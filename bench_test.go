@@ -1,0 +1,343 @@
+// Benchmarks regenerating the paper's evaluation (§6) plus ablations of the
+// design choices and micro-benchmarks of the substrates.
+//
+//	go test -bench 'Figure10' -benchtime 1x .   # one figure
+//	go test -bench . -benchmem .                # everything
+//
+// Macro benchmarks report rq/min (the paper's unit), ms/interaction and the
+// backend CPU-load proxy as custom metrics; ns/op is meaningless for them.
+// The full sweeps behind EXPERIMENTS.md run via cmd/tpcw-bench and
+// cmd/rubis-bench.
+package cjdbc_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cjdbc"
+	"cjdbc/internal/backend"
+	"cjdbc/internal/cache"
+	"cjdbc/internal/recovery"
+	"cjdbc/internal/sqlengine"
+	"cjdbc/internal/sqlparser"
+	"cjdbc/internal/sqlval"
+	"cjdbc/internal/workload/experiments"
+	"cjdbc/internal/workload/rubis"
+	"cjdbc/internal/workload/tpcw"
+)
+
+// benchTPCWConfig shrinks the sweep for bench time while keeping the same
+// cost calibration as the full harness.
+func benchTPCWConfig(mix tpcw.Mix) experiments.TPCWConfig {
+	cfg := experiments.DefaultTPCWConfig(mix)
+	cfg.Scale = tpcw.Scale{Items: 80, Customers: 80, Authors: 16}
+	cfg.Warmup = 150 * time.Millisecond
+	cfg.Duration = 500 * time.Millisecond
+	return cfg
+}
+
+func reportPoint(b *testing.B, p experiments.TPCWPoint) {
+	b.Helper()
+	b.ReportMetric(p.ThroughputRPM, "rq/min")
+	b.ReportMetric(p.AvgResponseMs, "ms/interaction")
+	b.ReportMetric(p.BackendLoad*100, "DB%")
+	if p.Errors > 0 {
+		b.Logf("%s/%d: %d errors (first: %v)", p.Replication, p.Nodes, p.Errors, p.FirstError)
+	}
+}
+
+// benchFigure runs the representative points of one TPC-W figure.
+func benchFigure(b *testing.B, mix tpcw.Mix) {
+	b.Run("single-1", func(b *testing.B) {
+		cfg := benchTPCWConfig(mix)
+		for i := 0; i < b.N; i++ {
+			pts, err := experiments.RunTPCWFigure(experiments.TPCWConfig{
+				Mix: cfg.Mix, MaxNodes: 0, Scale: cfg.Scale, CostScale: cfg.CostScale,
+				ClientsPerNode: cfg.ClientsPerNode, BaseClients: cfg.BaseClients,
+				Warmup: cfg.Warmup, Duration: cfg.Duration, Seed: cfg.Seed,
+				EarlyResponse: cfg.EarlyResponse,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reportPoint(b, pts[0])
+		}
+	})
+	for _, pt := range []struct {
+		repl  string
+		nodes int
+	}{
+		{"full", 1}, {"full", 2}, {"full", 4}, {"full", 6},
+		{"partial", 2}, {"partial", 4}, {"partial", 6},
+	} {
+		b.Run(fmt.Sprintf("%s-%d", pt.repl, pt.nodes), func(b *testing.B) {
+			cfg := benchTPCWConfig(mix)
+			for i := 0; i < b.N; i++ {
+				p, err := experiments.RunTPCWPoint(cfg, pt.repl, pt.nodes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportPoint(b, p)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10: TPC-W browsing mix throughput vs
+// backends (full vs partial replication).
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, tpcw.Browsing) }
+
+// BenchmarkFigure11 regenerates Figure 11: TPC-W shopping mix.
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, tpcw.Shopping) }
+
+// BenchmarkFigure12 regenerates Figure 12: TPC-W ordering mix.
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, tpcw.Ordering) }
+
+// BenchmarkTable1 regenerates Table 1: the RUBiS bidding mix on one backend
+// with the result cache off, coherent, and relaxed.
+func BenchmarkTable1(b *testing.B) {
+	cfg := experiments.DefaultTable1Config()
+	cfg.Scale = rubis.Scale{Users: 80, Items: 160, Categories: 10, Regions: 5}
+	cfg.Warmup = 150 * time.Millisecond
+	cfg.Duration = 500 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.Logf("%-16s %10.0f rq/min %8.2f ms  DB %3.0f%%  ctrl %3.0f%%",
+				r.Config, r.ThroughputRPM, r.AvgResponseMs, r.BackendLoad*100, r.CtrlLoad*100)
+		}
+		// Headline metric: relaxed-cache throughput gain over no cache.
+		if rows[0].ThroughputRPM > 0 {
+			b.ReportMetric(rows[2].ThroughputRPM/rows[0].ThroughputRPM, "relaxed/no-cache")
+			b.ReportMetric(rows[0].BackendLoad*100, "DB%-nocache")
+			b.ReportMetric(rows[2].BackendLoad*100, "DB%-relaxed")
+		}
+	}
+}
+
+// BenchmarkAblationEarlyResponse compares early response "first" (the
+// paper's TPC-W configuration) against fully synchronous "all" (§2.4.4).
+func BenchmarkAblationEarlyResponse(b *testing.B) {
+	for _, policy := range []string{"first", "all"} {
+		b.Run(policy, func(b *testing.B) {
+			cfg := benchTPCWConfig(tpcw.Ordering)
+			cfg.EarlyResponse = policy
+			for i := 0; i < b.N; i++ {
+				p, err := experiments.RunTPCWPoint(cfg, "full", 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportPoint(b, p)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelTx compares parallel transactions (§2.4.4)
+// against a fully serialized scheduler.
+func BenchmarkAblationParallelTx(b *testing.B) {
+	for _, parallel := range []bool{true, false} {
+		name := "parallel"
+		if !parallel {
+			name = "serialized"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchTPCWConfig(tpcw.Shopping)
+			cfg.DisableParallelTx = !parallel
+			for i := 0; i < b.N; i++ {
+				p, err := experiments.RunTPCWPoint(cfg, "full", 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportPoint(b, p)
+			}
+		})
+	}
+}
+
+// BenchmarkCacheGranularity compares the invalidation granularities of
+// §2.4.2 on the RUBiS mix.
+func BenchmarkCacheGranularity(b *testing.B) {
+	for _, gran := range []string{"database", "table", "column"} {
+		b.Run(gran, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := runRUBiSWithCache(gran)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ThroughputRPM, "rq/min")
+				b.ReportMetric(res.AvgResponseMs, "ms/interaction")
+			}
+		})
+	}
+}
+
+func runRUBiSWithCache(granularity string) (r struct {
+	ThroughputRPM float64
+	AvgResponseMs float64
+}, err error) {
+	cfg := experiments.DefaultTable1Config()
+	cfg.Scale = rubis.Scale{Users: 80, Items: 160, Categories: 10, Regions: 5}
+	cfg.Warmup = 150 * time.Millisecond
+	cfg.Duration = 400 * time.Millisecond
+	res, err := experiments.RunTable1Mode(cfg, "coherent cache", granularity)
+	if err != nil {
+		return r, err
+	}
+	r.ThroughputRPM = res.ThroughputRPM
+	r.AvgResponseMs = res.AvgResponseMs
+	return r, nil
+}
+
+// --- micro-benchmarks of the substrates ---
+
+// BenchmarkParseSelect measures the SQL front end on a TPC-W query.
+func BenchmarkParseSelect(b *testing.B) {
+	q := "SELECT i_id, i_title, a_fname, a_lname FROM item JOIN author ON i_a_id = a_id WHERE i_subject = 'HISTORY' ORDER BY i_pub_date DESC, i_title LIMIT 50"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparser.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginePointRead measures an indexed single-row select.
+func BenchmarkEnginePointRead(b *testing.B) {
+	e := sqlengine.New("bench")
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := s.ExecSQL(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'v%d')", i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st, _ := sqlparser.Parse("SELECT v FROM t WHERE id = 500")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineInsert measures single-row insert throughput.
+func BenchmarkEngineInsert(b *testing.B) {
+	e := sqlengine.New("bench")
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExecSQL(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'x')", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineJoin measures an indexed two-table join.
+func BenchmarkEngineJoin(b *testing.B) {
+	e := sqlengine.New("bench")
+	s := e.NewSession()
+	s.ExecSQL("CREATE TABLE a (id INTEGER PRIMARY KEY, bid INTEGER)")
+	s.ExecSQL("CREATE TABLE c (id INTEGER PRIMARY KEY, name VARCHAR)")
+	for i := 0; i < 200; i++ {
+		s.ExecSQL(fmt.Sprintf("INSERT INTO a (id, bid) VALUES (%d, %d)", i, i%50))
+		if i < 50 {
+			s.ExecSQL(fmt.Sprintf("INSERT INTO c (id, name) VALUES (%d, 'n%d')", i, i))
+		}
+	}
+	st, _ := sqlparser.Parse("SELECT a.id, c.name FROM a JOIN c ON a.bid = c.id WHERE c.id = 7")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResultCache measures cache hit latency.
+func BenchmarkResultCache(b *testing.B) {
+	c := cache.New(cache.Config{Granularity: cache.GranTable})
+	q := "SELECT a FROM t WHERE id = 1"
+	st, _ := sqlparser.Parse(q)
+	c.Put(q, st, &backend.Result{Columns: []string{"a"}, Rows: [][]sqlval.Value{{sqlval.Int(1)}}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Get(q) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkRecoveryLogAppend measures write-ahead logging cost.
+func BenchmarkRecoveryLogAppend(b *testing.B) {
+	l := recovery.NewMemoryLog()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(recovery.Entry{User: "u", TxID: 1, Class: recovery.ClassWrite,
+			SQL: "INSERT INTO t (a) VALUES (1)"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRead measures the full controller read path (no cost
+// model): parse, route, balance, execute, serialize.
+func BenchmarkClusterRead(b *testing.B) {
+	ctrl := cjdbc.NewController("bench", 1)
+	defer ctrl.Close()
+	vdb, err := ctrl.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{Name: "b"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		vdb.AddInMemoryBackend(fmt.Sprintf("db%d", i))
+	}
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	sess.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
+	sess.Exec("INSERT INTO t (id, v) VALUES (1, 'x')")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Query("SELECT v FROM t WHERE id = 1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterWrite measures the full write-all path on 3 backends.
+func BenchmarkClusterWrite(b *testing.B) {
+	ctrl := cjdbc.NewController("bench", 1)
+	defer ctrl.Close()
+	vdb, err := ctrl.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{Name: "b"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		vdb.AddInMemoryBackend(fmt.Sprintf("db%d", i))
+	}
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	sess.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Exec(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'x')", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

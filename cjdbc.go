@@ -1,0 +1,326 @@
+// Package cjdbc is a Go reproduction of C-JDBC (Cecchet, Marguerite and
+// Zwaenepoel, USENIX 2004): flexible database clustering middleware. It
+// turns a collection of database backends into a single virtual database
+// behind a uniform driver interface, using read-one/write-all replication
+// with pluggable load balancing, an optional strongly- or loosely-consistent
+// query result cache, a recovery log with checkpointing, horizontal
+// scalability (controllers replicated over totally ordered group
+// communication) and vertical scalability (controllers nested as each
+// other's backends).
+//
+// Quick start:
+//
+//	ctrl := cjdbc.NewController("ctrl0", 1)
+//	vdb, _ := ctrl.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{Name: "mydb"})
+//	vdb.AddInMemoryBackend("db0")
+//	vdb.AddInMemoryBackend("db1")
+//	sess, _ := vdb.OpenSession("user", "")
+//	sess.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
+//	sess.Exec("INSERT INTO t (id, v) VALUES (?, ?)", 1, "hello")
+//	rows, _ := sess.Query("SELECT v FROM t WHERE id = ?", 1)
+package cjdbc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/balancer"
+	"cjdbc/internal/cache"
+	"cjdbc/internal/controller"
+	"cjdbc/internal/distributed"
+	"cjdbc/internal/groupcomm"
+	"cjdbc/internal/netproto"
+	"cjdbc/internal/recovery"
+	"cjdbc/internal/sqlengine"
+)
+
+// Controller hosts virtual databases and optionally serves them over TCP.
+type Controller struct {
+	inner  *controller.Controller
+	server *netproto.Server
+}
+
+// NewController creates a controller. The numeric id must be unique among
+// controllers sharing a distributed virtual database.
+func NewController(name string, id uint16) *Controller {
+	return &Controller{inner: controller.New(name, id)}
+}
+
+// Name returns the controller name.
+func (c *Controller) Name() string { return c.inner.Name() }
+
+// VirtualDatabaseConfig configures one virtual database.
+type VirtualDatabaseConfig struct {
+	// Name identifies the virtual database to connecting drivers.
+	Name string
+
+	// Users maps virtual logins to passwords; empty accepts everyone.
+	Users map[string]string
+
+	// PartialReplication maps table -> backend names hosting it. Empty
+	// means full replication. Tables found on backends at enable time are
+	// merged in (dynamic schema gathering).
+	PartialReplication map[string][]string
+
+	// LoadBalancer is "lprf" (least pending requests first, the default),
+	// "rr" (round robin) or "wrr" (weighted round robin).
+	LoadBalancer string
+
+	// Cache enables the query result cache when non-nil.
+	Cache *CacheConfig
+
+	// RecoveryLogPath stores the recovery log in a flat file; "memory"
+	// keeps it in process memory; "" disables logging (and with it
+	// checkpointing).
+	RecoveryLogPath string
+
+	// EarlyResponse is "all" (default), "first" or "majority" (§2.4.4).
+	EarlyResponse string
+
+	// DisableParallelTransactions turns off the parallel-transactions
+	// optimization, serializing every operation (for ablation).
+	DisableParallelTransactions bool
+
+	// CtrlCostPerRequest etc. attribute virtual CPU time to the
+	// controller for monitoring (used by the RUBiS harness).
+	CtrlCostPerRequest      time.Duration
+	CtrlCostPerCacheHit     time.Duration
+	CtrlCostPerInvalidation time.Duration
+}
+
+// CacheConfig configures the query result cache (§2.4.2).
+type CacheConfig struct {
+	// Granularity is "database", "table" (default) or "column".
+	Granularity string
+	// MaxEntries bounds the cache (default 4096).
+	MaxEntries int
+	// Staleness relaxes consistency: entries may serve stale data for up
+	// to this duration; 0 keeps strong consistency.
+	Staleness time.Duration
+}
+
+// VirtualDatabase is the single-database view the middleware exposes.
+type VirtualDatabase struct {
+	inner *controller.VirtualDatabase
+	dist  *distributed.VDB
+}
+
+// CreateVirtualDatabase registers a virtual database on the controller.
+func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualDatabase, error) {
+	var repl balancer.Replication
+	if len(cfg.PartialReplication) > 0 {
+		repl = balancer.NewPartialReplication(cfg.PartialReplication)
+	}
+	bal, err := balancer.New(cfg.LoadBalancer)
+	if err != nil {
+		return nil, err
+	}
+	var rc *cache.ResultCache
+	if cfg.Cache != nil {
+		gran := cache.GranTable
+		switch strings.ToLower(cfg.Cache.Granularity) {
+		case "", "table":
+		case "database":
+			gran = cache.GranDatabase
+		case "column":
+			gran = cache.GranColumn
+		default:
+			return nil, fmt.Errorf("cjdbc: unknown cache granularity %q", cfg.Cache.Granularity)
+		}
+		rc = cache.New(cache.Config{
+			Granularity: gran,
+			MaxEntries:  cfg.Cache.MaxEntries,
+			Staleness:   cfg.Cache.Staleness,
+		})
+	}
+	var log recovery.Log
+	switch cfg.RecoveryLogPath {
+	case "":
+	case "memory":
+		log = recovery.NewMemoryLog()
+	default:
+		log, err = recovery.OpenFileLog(cfg.RecoveryLogPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var early controller.ResponsePolicy
+	switch strings.ToLower(cfg.EarlyResponse) {
+	case "", "all":
+		early = controller.ResponseAll
+	case "first":
+		early = controller.ResponseFirst
+	case "majority":
+		early = controller.ResponseMajority
+	default:
+		return nil, fmt.Errorf("cjdbc: unknown early-response policy %q", cfg.EarlyResponse)
+	}
+	auth := controller.NewAuthManager()
+	for u, p := range cfg.Users {
+		auth.AddUser(u, p)
+	}
+	inner, err := c.inner.AddVirtualDatabase(controller.VDBConfig{
+		Name:          cfg.Name,
+		Replication:   repl,
+		Balancer:      bal,
+		Cache:         rc,
+		RecoveryLog:   log,
+		EarlyResponse: early,
+		ParallelTx:    !cfg.DisableParallelTransactions,
+		Auth:          auth,
+		CtrlCost: controller.CtrlCost{
+			PerRequest:      cfg.CtrlCostPerRequest,
+			PerCacheHit:     cfg.CtrlCostPerCacheHit,
+			PerInvalidation: cfg.CtrlCostPerInvalidation,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VirtualDatabase{inner: inner}, nil
+}
+
+// VirtualDatabase looks up a previously created virtual database.
+func (c *Controller) VirtualDatabase(name string) (*VirtualDatabase, error) {
+	v, err := c.inner.VirtualDatabase(name)
+	if err != nil {
+		return nil, err
+	}
+	return &VirtualDatabase{inner: v}, nil
+}
+
+// ListenAndServe exposes the controller's virtual databases over TCP for
+// remote drivers. addr may use port 0; the bound address is returned.
+func (c *Controller) ListenAndServe(addr string) (string, error) {
+	if c.server == nil {
+		c.server = netproto.NewServer(c.inner)
+	}
+	return c.server.Listen(addr)
+}
+
+// Close shuts down the network server (if any) and every backend.
+func (c *Controller) Close() {
+	if c.server != nil {
+		c.server.Close()
+	}
+	c.inner.Close()
+}
+
+// Internal exposes the underlying controller for advanced wiring (admin
+// endpoint, benchmarks).
+func (c *Controller) Internal() *controller.Controller { return c.inner }
+
+// BackendOption tunes a backend added to a virtual database.
+type BackendOption func(*backend.Config)
+
+// WithWeight sets the weighted-round-robin weight.
+func WithWeight(w int) BackendOption {
+	return func(c *backend.Config) { c.Weight = w }
+}
+
+// WithMaxConns bounds the backend's connection pool.
+func WithMaxConns(n int) BackendOption {
+	return func(c *backend.Config) { c.MaxConns = n }
+}
+
+// WithServiceCost charges simulated service time per statement on this
+// backend, standing in for the paper's physical database machines. scale is
+// the wall-clock duration of one cost unit.
+func WithServiceCost(scale time.Duration) BackendOption {
+	return func(c *backend.Config) { c.Cost = backend.DefaultCostModel(scale) }
+}
+
+// WithCostParallelism sets how many statements the simulated backend
+// machine serves concurrently (only meaningful with WithServiceCost).
+func WithCostParallelism(n int) BackendOption {
+	return func(c *backend.Config) { c.CostParallelism = n }
+}
+
+// AddInMemoryBackend creates a fresh in-process SQL engine and attaches it
+// as a backend, returning the engine's name.
+func (v *VirtualDatabase) AddInMemoryBackend(name string, opts ...BackendOption) error {
+	eng := sqlengine.New(name)
+	return v.addDriverBackend(name, &backend.EngineDriver{Engine: eng}, opts...)
+}
+
+// AddEngineBackend attaches an existing SQL engine as a backend (useful
+// when several controllers share physical backends, as in the budget
+// high-availability deployment of §5.1).
+func (v *VirtualDatabase) AddEngineBackend(name string, eng *sqlengine.Engine, opts ...BackendOption) error {
+	return v.addDriverBackend(name, &backend.EngineDriver{Engine: eng}, opts...)
+}
+
+// AddClusterBackend attaches another virtual database (reached through dsn,
+// a cjdbc:// URL) as a backend: this is vertical scalability (§4.2), where
+// the C-JDBC driver is re-injected into the controller as a native driver.
+func (v *VirtualDatabase) AddClusterBackend(name, dsn string, opts ...BackendOption) error {
+	return v.addDriverBackend(name, &clusterDriver{dsn: dsn}, opts...)
+}
+
+func (v *VirtualDatabase) addDriverBackend(name string, d backend.Driver, opts ...BackendOption) error {
+	cfg := backend.Config{Name: name, Driver: d}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	b := backend.New(cfg)
+	return v.inner.AddBackend(b)
+}
+
+// Name returns the virtual database name.
+func (v *VirtualDatabase) Name() string { return v.inner.Name() }
+
+// Internal exposes the wrapped virtual database for benchmarks and tests.
+func (v *VirtualDatabase) Internal() *controller.VirtualDatabase { return v.inner }
+
+// JoinGroup attaches the virtual database to a named controller group for
+// horizontal scalability (§4.1): writes are synchronized with total order
+// across every controller in the group. Controllers in one process find
+// groups by name; controllerName must be unique within the group.
+func (v *VirtualDatabase) JoinGroup(groupName, controllerName string) error {
+	g := groupcomm.DefaultRegistry.Get(groupName)
+	d, err := distributed.Join(v.inner, g, controllerName)
+	if err != nil {
+		return err
+	}
+	v.dist = d
+	return nil
+}
+
+// LeaveGroup detaches from the controller group.
+func (v *VirtualDatabase) LeaveGroup() {
+	if v.dist != nil {
+		v.dist.Leave()
+		v.dist = nil
+	}
+}
+
+// Checkpoint writes a named marker into the recovery log.
+func (v *VirtualDatabase) Checkpoint(name string) error {
+	_, err := v.inner.Checkpoint(name)
+	return err
+}
+
+// BackupBackend takes an online backup of one backend (§3.1) and returns a
+// portable dump that can re-integrate failed or new backends.
+func (v *VirtualDatabase) BackupBackend(backendName, checkpointName string) (*recovery.Dump, error) {
+	return v.inner.BackupBackend(backendName, checkpointName)
+}
+
+// RestoreBackend re-integrates a backend from a dump plus log replay.
+func (v *VirtualDatabase) RestoreBackend(backendName string, dump *recovery.Dump) error {
+	return v.inner.RestoreBackend(backendName, dump)
+}
+
+// DisableBackend removes a backend from service.
+func (v *VirtualDatabase) DisableBackend(name string) { v.inner.DisableBackend(name) }
+
+// BackendStates reports each backend's lifecycle state.
+func (v *VirtualDatabase) BackendStates() map[string]string {
+	out := make(map[string]string)
+	for _, b := range v.inner.Backends() {
+		out[b.Name()] = b.State().String()
+	}
+	return out
+}

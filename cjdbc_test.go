@@ -1,0 +1,447 @@
+package cjdbc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestCluster(t *testing.T, n int, cfg VirtualDatabaseConfig) (*Controller, *VirtualDatabase) {
+	t.Helper()
+	ctrl := NewController("ctrl-test", 1)
+	t.Cleanup(ctrl.Close)
+	if cfg.Name == "" {
+		cfg.Name = "mydb"
+	}
+	vdb, err := ctrl.CreateVirtualDatabase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := vdb.AddInMemoryBackend(fmt.Sprintf("db%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctrl, vdb
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	_, vdb := newTestCluster(t, 2, VirtualDatabaseConfig{})
+	sess, err := vdb.OpenSession("user", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	mustE := func(sql string, args ...any) *Rows {
+		t.Helper()
+		r, err := sess.Exec(sql, args...)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return r
+	}
+	mustE("CREATE TABLE users (id INTEGER PRIMARY KEY AUTO_INCREMENT, name VARCHAR NOT NULL, joined TIMESTAMP)")
+	r := mustE("INSERT INTO users (name, joined) VALUES (?, ?)", "ada", time.Date(2004, 6, 27, 0, 0, 0, 0, time.UTC))
+	if r.LastInsertID != 1 || r.RowsAffected != 1 {
+		t.Fatalf("insert result: %+v", r)
+	}
+	mustE("INSERT INTO users (name) VALUES (?)", "grace")
+
+	rows := mustE("SELECT id, name FROM users ORDER BY id")
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	var id int64
+	var name string
+	for rows.Next() {
+		if err := rows.Scan(&id, &name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if id != 2 || name != "grace" {
+		t.Errorf("last row: %d %q", id, name)
+	}
+
+	// Transactions through the interface methods.
+	if err := sess.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustE("UPDATE users SET name = ? WHERE id = ?", "ada lovelace", 1)
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows = mustE("SELECT name FROM users WHERE id = 1")
+	rows.Next()
+	var got string
+	rows.Scan(&got)
+	if got != "ada lovelace" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestScanDestinations(t *testing.T) {
+	_, vdb := newTestCluster(t, 1, VirtualDatabaseConfig{})
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	sess.Exec("CREATE TABLE t (i INTEGER, f FLOAT, s VARCHAR, b BOOLEAN, ts TIMESTAMP, bl BLOB)")
+	when := time.Date(2004, 1, 2, 3, 4, 5, 0, time.UTC)
+	sess.Exec("INSERT INTO t (i, f, s, b, ts, bl) VALUES (?, ?, ?, ?, ?, ?)",
+		int64(7), 2.5, "str", true, when, []byte{1, 2})
+	rows, err := sess.Query("SELECT i, f, s, b, ts, bl FROM t")
+	if err != nil || !rows.Next() {
+		t.Fatalf("query: %v", err)
+	}
+	var (
+		i  int64
+		f  float64
+		s  string
+		b  bool
+		ts time.Time
+		bl []byte
+	)
+	if err := rows.Scan(&i, &f, &s, &b, &ts, &bl); err != nil {
+		t.Fatal(err)
+	}
+	if i != 7 || f != 2.5 || s != "str" || !b || !ts.Equal(when) || len(bl) != 2 {
+		t.Errorf("scanned: %v %v %q %v %v %v", i, f, s, b, ts, bl)
+	}
+	// Generic access.
+	rows.Reset()
+	rows.Next()
+	if rows.Value(0) != int64(7) {
+		t.Errorf("Value(0) = %v", rows.Value(0))
+	}
+}
+
+func TestNetworkDriverAndFailover(t *testing.T) {
+	// Two controllers sharing the same two engine backends (the budget-HA
+	// pattern of §5.1).
+	ctrlA := NewController("A", 1)
+	ctrlB := NewController("B", 2)
+	defer ctrlA.Close()
+	defer ctrlB.Close()
+
+	mk := func(c *Controller, join bool) *VirtualDatabase {
+		v, err := c.CreateVirtualDatabase(VirtualDatabaseConfig{Name: "ha"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.AddInMemoryBackend(c.Name() + "-db"); err != nil {
+			t.Fatal(err)
+		}
+		if join {
+			if err := v.JoinGroup("ha-group-failover", c.Name()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return v
+	}
+	va := mk(ctrlA, true)
+	vb := mk(ctrlB, true)
+	defer va.LeaveGroup()
+	defer vb.LeaveGroup()
+
+	addrA, err := ctrlA.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := ctrlB.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := Connect(fmt.Sprintf("cjdbc://%s,%s/ha?user=u", addrA, addrB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	if _, err := sess.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("INSERT INTO t (id, v) VALUES (1, 'before')"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill controller A; the driver must fail over to B transparently.
+	ctrlA.Close()
+	va.LeaveGroup()
+
+	var rows *Rows
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rows, err = sess.Query("SELECT v FROM t WHERE id = 1")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failover never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rows.Next()
+	var v string
+	rows.Scan(&v)
+	if v != "before" {
+		t.Errorf("value after failover: %q", v)
+	}
+	// Writes keep working against B.
+	if _, err := sess.Exec("INSERT INTO t (id, v) VALUES (2, 'after')"); err != nil {
+		t.Fatalf("write after failover: %v", err)
+	}
+}
+
+func TestFailoverAbortsOpenTransaction(t *testing.T) {
+	ctrlA := NewController("A2", 1)
+	ctrlB := NewController("B2", 2)
+	defer ctrlA.Close()
+	defer ctrlB.Close()
+	for _, c := range []*Controller{ctrlA, ctrlB} {
+		v, err := c.CreateVirtualDatabase(VirtualDatabaseConfig{Name: "ha"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.AddInMemoryBackend(c.Name() + "-db"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addrA, _ := ctrlA.ListenAndServe("127.0.0.1:0")
+	addrB, _ := ctrlB.ListenAndServe("127.0.0.1:0")
+	sess, err := Connect(fmt.Sprintf("cjdbc://%s,%s/ha", addrA, addrB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.Exec("CREATE TABLE t (id INTEGER)")
+	if err := sess.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	sess.Exec("INSERT INTO t (id) VALUES (1)")
+	ctrlA.Close()
+	_, err = sess.Exec("INSERT INTO t (id) VALUES (2)")
+	if !errors.Is(err, ErrTxLostOnFailover) {
+		t.Fatalf("expected ErrTxLostOnFailover, got %v", err)
+	}
+	// Session is usable again in auto-commit mode on controller B.
+	if _, err := sess.Exec("SELECT 1"); err != nil {
+		t.Fatalf("session dead after tx failover: %v", err)
+	}
+}
+
+func TestVerticalScalability(t *testing.T) {
+	// Leaf controller with two real backends.
+	leaf := NewController("leaf", 10)
+	defer leaf.Close()
+	leafVDB, err := leaf.CreateVirtualDatabase(VirtualDatabaseConfig{Name: "leafdb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafVDB.AddInMemoryBackend("l0")
+	leafVDB.AddInMemoryBackend("l1")
+	leafAddr, err := leaf.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Top controller whose only backend is the leaf controller, reached
+	// through the re-injected driver (Figure 4).
+	top := NewController("top", 11)
+	defer top.Close()
+	topVDB, err := top.CreateVirtualDatabase(VirtualDatabaseConfig{Name: "topdb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topVDB.AddClusterBackend("leaf-as-backend", fmt.Sprintf("cjdbc://%s/leafdb", leafAddr)); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := topVDB.OpenSession("u", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("INSERT INTO t (id, v) VALUES (1, 'deep')"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sess.Query("SELECT v FROM t WHERE id = 1")
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("query through two levels: %v", err)
+	}
+	// Transactions traverse the tree too.
+	if err := sess.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("UPDATE t SET v = 'deeper' WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = sess.Query("SELECT v FROM t WHERE id = 1")
+	rows.Next()
+	var v string
+	rows.Scan(&v)
+	if v != "deeper" {
+		t.Errorf("nested tx result: %q", v)
+	}
+	// Both leaf backends hold the data (write-all at the leaf).
+	leafSess, _ := leafVDB.OpenSession("u", "")
+	defer leafSess.Close()
+	rows, _ = leafSess.Query("SELECT COUNT(*) FROM t")
+	rows.Next()
+	var n int64
+	rows.Scan(&n)
+	if n != 1 {
+		t.Errorf("leaf rows = %d", n)
+	}
+}
+
+func TestCacheConfigThroughPublicAPI(t *testing.T) {
+	_, vdb := newTestCluster(t, 1, VirtualDatabaseConfig{
+		Cache: &CacheConfig{Granularity: "column", MaxEntries: 10},
+	})
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	sess.Exec("CREATE TABLE t (a INTEGER, b INTEGER)")
+	sess.Exec("INSERT INTO t (a, b) VALUES (1, 2)")
+	if _, err := sess.Query("SELECT a FROM t WHERE a = 1"); err != nil {
+		t.Fatal(err)
+	}
+	// Second identical read served from cache.
+	before := vdb.Internal().StatsSnapshot().CacheHits
+	sess.Query("SELECT a FROM t WHERE a = 1")
+	if vdb.Internal().StatsSnapshot().CacheHits != before+1 {
+		t.Error("cache hit not recorded")
+	}
+}
+
+func TestPartialReplicationConfig(t *testing.T) {
+	ctrl := NewController("pr", 3)
+	defer ctrl.Close()
+	vdb, err := ctrl.CreateVirtualDatabase(VirtualDatabaseConfig{
+		Name:               "pr",
+		PartialReplication: map[string][]string{"hot": {"db0", "db1"}, "cold": {"db1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdb.AddInMemoryBackend("db0")
+	vdb.AddInMemoryBackend("db1")
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	// CREATE routes per the static map merged with dynamic discovery.
+	if _, err := sess.Exec("CREATE TABLE hot (id INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("INSERT INTO hot (id) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sess.Query("SELECT COUNT(*) FROM hot")
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("read on partial table: %v", err)
+	}
+}
+
+func TestCheckpointBackupRestorePublicAPI(t *testing.T) {
+	_, vdb := newTestCluster(t, 2, VirtualDatabaseConfig{RecoveryLogPath: "memory"})
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	sess.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+	sess.Exec("INSERT INTO t (id) VALUES (1), (2)")
+
+	dump, err := vdb.BackupBackend("db0", "cp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Exec("INSERT INTO t (id) VALUES (3)")
+
+	vdb.DisableBackend("db1")
+	if got := vdb.BackendStates()["db1"]; got != "disabled" {
+		t.Fatalf("state = %q", got)
+	}
+	if err := vdb.RestoreBackend("db1", dump); err != nil {
+		t.Fatal(err)
+	}
+	if got := vdb.BackendStates()["db1"]; got != "enabled" {
+		t.Fatalf("state after restore = %q", got)
+	}
+	rows, _ := sess.Query("SELECT COUNT(*) FROM t")
+	rows.Next()
+	var n int64
+	rows.Scan(&n)
+	if n != 3 {
+		t.Errorf("rows = %d", n)
+	}
+}
+
+func TestParseDSN(t *testing.T) {
+	d, err := ParseDSN("cjdbc://h1:1000,h2:2000/mydb?user=alice&password=pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Controllers) != 2 || d.Controllers[1] != "h2:2000" {
+		t.Errorf("controllers: %v", d.Controllers)
+	}
+	if d.VDB != "mydb" || d.User != "alice" || d.Password != "pw" {
+		t.Errorf("parsed: %+v", d)
+	}
+	// Userinfo form.
+	d, err = ParseDSN("cjdbc://bob:s3c@h1:1000/db")
+	if err != nil || d.User != "bob" || d.Password != "s3c" {
+		t.Errorf("userinfo form: %+v, %v", d, err)
+	}
+	for _, bad := range []string{
+		"mysql://h/db", "cjdbc://h:1", "cjdbc:///db", "://",
+	} {
+		if _, err := ParseDSN(bad); err == nil {
+			t.Errorf("ParseDSN(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAuthOverNetwork(t *testing.T) {
+	ctrl := NewController("auth", 5)
+	defer ctrl.Close()
+	vdb, err := ctrl.CreateVirtualDatabase(VirtualDatabaseConfig{
+		Name:  "secure",
+		Users: map[string]string{"alice": "pw"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdb.AddInMemoryBackend("db0")
+	addr, _ := ctrl.ListenAndServe("127.0.0.1:0")
+
+	if _, err := Connect(fmt.Sprintf("cjdbc://%s/secure?user=alice&password=nope", addr)); err == nil {
+		t.Fatal("bad password accepted")
+	}
+	sess, err := Connect(fmt.Sprintf("cjdbc://%s/secure?user=alice&password=pw", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	if _, err := Connect(fmt.Sprintf("cjdbc://%s/missing?user=alice&password=pw", addr)); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing vdb: %v", err)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	ctrl := NewController("bad", 9)
+	defer ctrl.Close()
+	if _, err := ctrl.CreateVirtualDatabase(VirtualDatabaseConfig{Name: "x", LoadBalancer: "psychic"}); err == nil {
+		t.Error("unknown balancer accepted")
+	}
+	if _, err := ctrl.CreateVirtualDatabase(VirtualDatabaseConfig{Name: "x", EarlyResponse: "eventually"}); err == nil {
+		t.Error("unknown early response accepted")
+	}
+	if _, err := ctrl.CreateVirtualDatabase(VirtualDatabaseConfig{Name: "x", Cache: &CacheConfig{Granularity: "row"}}); err == nil {
+		t.Error("unknown granularity accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Command cjdbc-console is a minimal interactive SQL console against a
+// virtual database, the hand-driven counterpart of the paper's
+// administration console.
+//
+//	go run ./cmd/cjdbc-console -dsn 'cjdbc://127.0.0.1:25322/mydb?user=app&password=secret'
+//
+// Type SQL statements terminated by newline; \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cjdbc"
+)
+
+func main() {
+	dsn := flag.String("dsn", "", "cjdbc:// connection URL")
+	flag.Parse()
+	if *dsn == "" {
+		fmt.Fprintln(os.Stderr, "cjdbc-console: -dsn is required")
+		os.Exit(2)
+	}
+	sess, err := cjdbc.Connect(*dsn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cjdbc-console: %v\n", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
+	fmt.Println("connected; \\q to quit")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("cjdbc> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "\\q" || line == "quit" || line == "exit" {
+			return
+		}
+		rows, err := sess.Exec(line)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		printRows(rows)
+	}
+}
+
+func printRows(rows *cjdbc.Rows) {
+	if len(rows.Columns) == 0 {
+		fmt.Printf("ok (%d row(s) affected)\n", rows.RowsAffected)
+		return
+	}
+	fmt.Println(strings.Join(rows.Columns, " | "))
+	n := 0
+	for rows.Next() {
+		vals := make([]string, len(rows.Columns))
+		for i := range rows.Columns {
+			vals[i] = fmt.Sprint(rows.Value(i))
+		}
+		fmt.Println(strings.Join(vals, " | "))
+		n++
+	}
+	fmt.Printf("(%d row(s))\n", n)
+}

@@ -1,0 +1,164 @@
+// Command cjdbc-controller runs a standalone controller from a JSON
+// configuration file, serving its virtual databases over the cjdbc:// wire
+// protocol and its monitoring surface over HTTP (the paper's JMX console
+// equivalent).
+//
+//	go run ./cmd/cjdbc-controller -config controller.json
+//
+// Example configuration:
+//
+//	{
+//	  "name": "ctrl0",
+//	  "id": 1,
+//	  "listen": "127.0.0.1:25322",
+//	  "admin": "127.0.0.1:8090",
+//	  "virtualDatabases": [
+//	    {
+//	      "name": "mydb",
+//	      "users": {"app": "secret"},
+//	      "loadBalancer": "lprf",
+//	      "earlyResponse": "first",
+//	      "recoveryLog": "memory",
+//	      "cache": {"granularity": "table", "maxEntries": 4096},
+//	      "backends": [{"name": "db0"}, {"name": "db1"}],
+//	      "group": "mydb-group"
+//	    }
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cjdbc"
+	"cjdbc/internal/admin"
+)
+
+// fileConfig is the on-disk configuration schema.
+type fileConfig struct {
+	Name             string          `json:"name"`
+	ID               uint16          `json:"id"`
+	Listen           string          `json:"listen"`
+	Admin            string          `json:"admin"`
+	VirtualDatabases []vdbFileConfig `json:"virtualDatabases"`
+}
+
+type vdbFileConfig struct {
+	Name               string              `json:"name"`
+	Users              map[string]string   `json:"users"`
+	LoadBalancer       string              `json:"loadBalancer"`
+	EarlyResponse      string              `json:"earlyResponse"`
+	RecoveryLog        string              `json:"recoveryLog"`
+	PartialReplication map[string][]string `json:"partialReplication"`
+	Cache              *cacheFileConfig    `json:"cache"`
+	Backends           []backendFileConfig `json:"backends"`
+	Group              string              `json:"group"`
+}
+
+type cacheFileConfig struct {
+	Granularity string `json:"granularity"`
+	MaxEntries  int    `json:"maxEntries"`
+	StalenessMS int    `json:"stalenessMs"`
+}
+
+type backendFileConfig struct {
+	Name   string `json:"name"`
+	DSN    string `json:"dsn"` // cjdbc:// URL for a nested controller; empty = in-memory engine
+	Weight int    `json:"weight"`
+}
+
+func main() {
+	configPath := flag.String("config", "", "path to the controller configuration JSON")
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "cjdbc-controller: -config is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg fileConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *configPath, err))
+	}
+
+	ctrl := cjdbc.NewController(cfg.Name, cfg.ID)
+	defer ctrl.Close()
+	for _, vc := range cfg.VirtualDatabases {
+		vcfg := cjdbc.VirtualDatabaseConfig{
+			Name:               vc.Name,
+			Users:              vc.Users,
+			LoadBalancer:       vc.LoadBalancer,
+			EarlyResponse:      vc.EarlyResponse,
+			RecoveryLogPath:    vc.RecoveryLog,
+			PartialReplication: vc.PartialReplication,
+		}
+		if vc.Cache != nil {
+			vcfg.Cache = &cjdbc.CacheConfig{
+				Granularity: vc.Cache.Granularity,
+				MaxEntries:  vc.Cache.MaxEntries,
+				Staleness:   time.Duration(vc.Cache.StalenessMS) * time.Millisecond,
+			}
+		}
+		vdb, err := ctrl.CreateVirtualDatabase(vcfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, bc := range vc.Backends {
+			var opts []cjdbc.BackendOption
+			if bc.Weight > 0 {
+				opts = append(opts, cjdbc.WithWeight(bc.Weight))
+			}
+			if bc.DSN != "" {
+				err = vdb.AddClusterBackend(bc.Name, bc.DSN, opts...)
+			} else {
+				err = vdb.AddInMemoryBackend(bc.Name, opts...)
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if vc.Group != "" {
+			if err := vdb.JoinGroup(vc.Group, cfg.Name); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("virtual database %q loaded with %d backend(s)\n", vc.Name, len(vc.Backends))
+	}
+
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:25322"
+	}
+	addr, err := ctrl.ListenAndServe(cfg.Listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("controller %q serving cjdbc:// on %s\n", cfg.Name, addr)
+
+	if cfg.Admin != "" {
+		adm := admin.New(ctrl.Internal())
+		adminAddr, err := adm.Listen(cfg.Admin)
+		if err != nil {
+			fatal(err)
+		}
+		defer adm.Close()
+		fmt.Printf("admin console (JMX equivalent) on http://%s/vdbs\n", adminAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cjdbc-controller: %v\n", err)
+	os.Exit(1)
+}

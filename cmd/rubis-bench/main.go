@@ -1,0 +1,45 @@
+// Command rubis-bench regenerates Table 1 of the paper: the RUBiS bidding
+// mix on a single backend with the query result cache disabled, coherent,
+// and relaxed (1-minute staleness).
+//
+//	go run ./cmd/rubis-bench
+//	go run ./cmd/rubis-bench -clients 90 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cjdbc/internal/workload/experiments"
+	"cjdbc/internal/workload/rubis"
+)
+
+func main() {
+	clients := flag.Int("clients", 45, "emulated clients (paper: 450 at full scale)")
+	duration := flag.Duration("duration", time.Second, "measurement window per configuration")
+	warmup := flag.Duration("warmup", 250*time.Millisecond, "warmup per configuration")
+	costScale := flag.Duration("cost-scale", 1200*time.Microsecond, "wall time of one backend cost unit")
+	users := flag.Int("users", 100, "RUBiS user count")
+	items := flag.Int("items", 200, "RUBiS item count")
+	staleness := flag.Duration("staleness", time.Minute, "relaxed-cache staleness limit")
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultTable1Config()
+	cfg.Clients = *clients
+	cfg.Duration = *duration
+	cfg.Warmup = *warmup
+	cfg.CostScale = *costScale
+	cfg.Scale = rubis.Scale{Users: *users, Items: *items, Categories: 10, Regions: 5}
+	cfg.Staleness = *staleness
+	cfg.Seed = *seed
+
+	rows, err := experiments.RunTable1(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rubis-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.FormatTable1(rows))
+}

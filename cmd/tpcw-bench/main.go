@@ -1,0 +1,88 @@
+// Command tpcw-bench regenerates Figures 10, 11 and 12 of the paper: TPC-W
+// maximum throughput in SQL requests per minute as a function of the number
+// of database backends, for full and partial replication, plus the
+// single-database baseline.
+//
+//	go run ./cmd/tpcw-bench                 # all three mixes
+//	go run ./cmd/tpcw-bench -mix browsing   # one figure
+//	go run ./cmd/tpcw-bench -nodes 4 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cjdbc/internal/workload/experiments"
+	"cjdbc/internal/workload/tpcw"
+)
+
+func main() {
+	mix := flag.String("mix", "all", "browsing, shopping, ordering or all")
+	nodes := flag.Int("nodes", 6, "maximum number of backends to sweep")
+	duration := flag.Duration("duration", time.Second, "measurement window per point")
+	warmup := flag.Duration("warmup", 250*time.Millisecond, "warmup per point")
+	costScale := flag.Duration("cost-scale", 1200*time.Microsecond, "wall time of one backend cost unit")
+	items := flag.Int("items", 100, "TPC-W item count")
+	customers := flag.Int("customers", 100, "TPC-W customer count")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	var mixes []tpcw.Mix
+	switch *mix {
+	case "all":
+		mixes = []tpcw.Mix{tpcw.Browsing, tpcw.Shopping, tpcw.Ordering}
+	case "browsing", "shopping", "ordering":
+		mixes = []tpcw.Mix{tpcw.Mix(*mix)}
+	default:
+		fmt.Fprintf(os.Stderr, "tpcw-bench: unknown mix %q\n", *mix)
+		os.Exit(2)
+	}
+
+	figures := map[tpcw.Mix]string{
+		tpcw.Browsing: "Figure 10", tpcw.Shopping: "Figure 11", tpcw.Ordering: "Figure 12",
+	}
+	for _, m := range mixes {
+		cfg := experiments.DefaultTPCWConfig(m)
+		cfg.MaxNodes = *nodes
+		cfg.Duration = *duration
+		cfg.Warmup = *warmup
+		cfg.CostScale = *costScale
+		cfg.Scale = tpcw.Scale{Items: *items, Customers: *customers, Authors: *items / 4}
+		cfg.Seed = *seed
+
+		fmt.Printf("=== %s: TPC-W %s mix ===\n", figures[m], m)
+		pts, err := experiments.RunTPCWFigure(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpcw-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatTPCWPoints(m, pts))
+		printSpeedups(pts)
+		fmt.Println()
+	}
+}
+
+// printSpeedups summarizes the figure the way the paper's text does.
+func printSpeedups(pts []experiments.TPCWPoint) {
+	byKey := map[string]experiments.TPCWPoint{}
+	maxNodes := 0
+	for _, p := range pts {
+		byKey[fmt.Sprintf("%s/%d", p.Replication, p.Nodes)] = p
+		if p.Nodes > maxNodes {
+			maxNodes = p.Nodes
+		}
+	}
+	full1, okF1 := byKey["full/1"]
+	fullN, okFN := byKey[fmt.Sprintf("full/%d", maxNodes)]
+	partN, okPN := byKey[fmt.Sprintf("partial/%d", maxNodes)]
+	if okF1 && okFN && full1.ThroughputRPM > 0 {
+		fmt.Printf("full replication speedup at %d nodes: %.1fx\n",
+			maxNodes, fullN.ThroughputRPM/full1.ThroughputRPM)
+	}
+	if okFN && okPN && fullN.ThroughputRPM > 0 {
+		fmt.Printf("partial over full at %d nodes: %+.0f%%\n",
+			maxNodes, 100*(partN.ThroughputRPM/fullN.ThroughputRPM-1))
+	}
+}

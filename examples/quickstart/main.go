@@ -1,0 +1,80 @@
+// Quickstart: a single controller exposing one virtual database replicated
+// over three in-memory backends. The application sees one database; reads
+// are balanced across replicas, writes are broadcast, transactions span the
+// cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cjdbc"
+)
+
+func main() {
+	ctrl := cjdbc.NewController("ctrl0", 1)
+	defer ctrl.Close()
+
+	vdb, err := ctrl.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{
+		Name:         "bookstore",
+		LoadBalancer: "lprf",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"db0", "db1", "db2"} {
+		if err := vdb.AddInMemoryBackend(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sess, err := vdb.OpenSession("reader", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	must := func(sql string, args ...any) *cjdbc.Rows {
+		rows, err := sess.Exec(sql, args...)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		return rows
+	}
+
+	must(`CREATE TABLE book (
+		id INTEGER PRIMARY KEY AUTO_INCREMENT,
+		title VARCHAR NOT NULL,
+		price FLOAT)`)
+	must("INSERT INTO book (title, price) VALUES (?, ?)", "Concurrency Control and Recovery", 79.0)
+	must("INSERT INTO book (title, price) VALUES (?, ?)", "Transaction Processing", 120.0)
+
+	// A transaction spanning all replicas.
+	if err := sess.Begin(); err != nil {
+		log.Fatal(err)
+	}
+	must("UPDATE book SET price = price * 0.9 WHERE price > ?", 100.0)
+	if err := sess.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	rows := must("SELECT id, title, price FROM book ORDER BY id")
+	fmt.Println("books in the virtual database:")
+	for rows.Next() {
+		var id int64
+		var title string
+		var price float64
+		if err := rows.Scan(&id, &title, &price); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d: %-40s $%.2f\n", id, title, price)
+	}
+
+	// Each backend holds identical data; reads were spread across them.
+	for name, state := range vdb.BackendStates() {
+		fmt.Printf("backend %s: %s\n", name, state)
+	}
+	stats := vdb.Internal().StatsSnapshot()
+	fmt.Printf("cluster stats: %d reads, %d writes, %d commits\n",
+		stats.Reads, stats.Writes, stats.Commits)
+}

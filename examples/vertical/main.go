@@ -1,0 +1,79 @@
+// Vertical scalability (§4.2, Figure 4): controllers nest by re-injecting
+// the C-JDBC driver as a backend's native driver. Here a top-level
+// controller fans out to two leaf controllers, each replicating over two
+// real backends — a 2-level tree presenting six databases as one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cjdbc"
+)
+
+func main() {
+	// Two leaf controllers, each a full-replication cluster of two
+	// in-memory backends.
+	var leafAddrs []string
+	for i := 0; i < 2; i++ {
+		leaf := cjdbc.NewController(fmt.Sprintf("leaf%d", i), uint16(10+i))
+		defer leaf.Close()
+		vdb, err := leaf.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{Name: "leafdb"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			if err := vdb.AddInMemoryBackend(fmt.Sprintf("leaf%d-db%d", i, j)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		addr, err := leaf.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		leafAddrs = append(leafAddrs, addr)
+		fmt.Printf("leaf controller %d serving on %s\n", i, addr)
+	}
+
+	// The top controller treats each leaf cluster as one backend, reached
+	// through the same driver applications use.
+	top := cjdbc.NewController("top", 1)
+	defer top.Close()
+	topVDB, err := top.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{Name: "tree"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, addr := range leafAddrs {
+		dsn := fmt.Sprintf("cjdbc://%s/leafdb", addr)
+		if err := topVDB.AddClusterBackend(fmt.Sprintf("leaf%d", i), dsn); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sess, err := topVDB.OpenSession("app", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	if _, err := sess.Exec("CREATE TABLE sensor (id INTEGER PRIMARY KEY, reading FLOAT)"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := sess.Exec("INSERT INTO sensor (id, reading) VALUES (?, ?)", i, float64(i)*1.5); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rows, err := sess.Query("SELECT COUNT(*), AVG(reading) FROM sensor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows.Next()
+	var n int64
+	var avg float64
+	if err := rows.Scan(&n, &avg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query through the tree: %d rows, avg reading %.2f\n", n, avg)
+	fmt.Println("every one of the 4 leaf backends holds the data (write-all down the tree)")
+}

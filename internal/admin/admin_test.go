@@ -1,0 +1,133 @@
+package admin
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/controller"
+	"cjdbc/internal/recovery"
+	"cjdbc/internal/sqlengine"
+)
+
+func newTestServer(t *testing.T) (*Server, *controller.VirtualDatabase) {
+	t.Helper()
+	c := controller.New("ctrl", 1)
+	vdb, err := c.AddVirtualDatabase(controller.VDBConfig{
+		Name: "app", ParallelTx: true, RecoveryLog: recovery.NewMemoryLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := backend.New(backend.Config{Name: "db0", Driver: &backend.EngineDriver{Engine: sqlengine.New("db0")}})
+	t.Cleanup(b.Close)
+	if err := vdb.AddBackend(b); err != nil {
+		t.Fatal(err)
+	}
+	return New(c), vdb
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestListVDBs(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := get(t, s.Handler(), "/vdbs")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var names []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "app" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestVDBInfo(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := get(t, s.Handler(), "/vdbs/app")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var info VDBInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "app" || len(info.Backends) != 1 || info.Backends[0].State != "enabled" {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestMissingVDB404(t *testing.T) {
+	s, _ := newTestServer(t)
+	if rec := get(t, s.Handler(), "/vdbs/none"); rec.Code != 404 {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestDisableEnableBackend(t *testing.T) {
+	s, vdb := newTestServer(t)
+	if rec := get(t, s.Handler(), "/vdbs/app/disable?backend=db0"); rec.Code != 200 {
+		t.Fatalf("disable status = %d", rec.Code)
+	}
+	b, _ := vdb.Backend("db0")
+	if b.Enabled() {
+		t.Fatal("backend still enabled")
+	}
+	if rec := get(t, s.Handler(), "/vdbs/app/enable?backend=db0"); rec.Code != 200 {
+		t.Fatalf("enable status = %d", rec.Code)
+	}
+	if !b.Enabled() {
+		t.Fatal("backend still disabled")
+	}
+	if rec := get(t, s.Handler(), "/vdbs/app/enable?backend=missing"); rec.Code != 404 {
+		t.Errorf("enable missing backend = %d", rec.Code)
+	}
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	s, vdb := newTestServer(t)
+	if rec := get(t, s.Handler(), "/vdbs/app/checkpoint?name=cp1"); rec.Code != 200 {
+		t.Fatalf("checkpoint status = %d, body=%s", rec.Code, rec.Body.String())
+	}
+	seq, ok, err := vdb.RecoveryLog().CheckpointSeq("cp1")
+	if err != nil || !ok || seq == 0 {
+		t.Errorf("checkpoint not recorded: %d %v %v", seq, ok, err)
+	}
+	if rec := get(t, s.Handler(), "/vdbs/app/checkpoint"); rec.Code != 400 {
+		t.Errorf("nameless checkpoint = %d", rec.Code)
+	}
+}
+
+func TestUnknownAction(t *testing.T) {
+	s, _ := newTestServer(t)
+	if rec := get(t, s.Handler(), "/vdbs/app/frobnicate"); rec.Code != 404 {
+		t.Errorf("unknown action = %d", rec.Code)
+	}
+}
+
+func TestListenServesHTTP(t *testing.T) {
+	s, _ := newTestServer(t)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + addr + "/vdbs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,615 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cjdbc/internal/sqlparser"
+)
+
+// Errors reported by backends.
+var (
+	// ErrDisabled is returned for operations on a disabled backend.
+	ErrDisabled = errors.New("backend: disabled")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("backend: closed")
+)
+
+// State is the backend lifecycle state (§3 of the paper: backends are
+// disabled on failure or for checkpointing, then re-integrated).
+type State int32
+
+// Backend states.
+const (
+	StateDisabled State = iota
+	StateEnabled
+	StateRecovering
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateDisabled:
+		return "disabled"
+	case StateEnabled:
+		return "enabled"
+	case StateRecovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// Config configures a Backend.
+type Config struct {
+	Name     string
+	Driver   Driver
+	Weight   int        // weighted-round-robin weight; 0 means 1
+	MaxConns int        // connection pool size; 0 means 16
+	Cost     *CostModel // nil disables service-time simulation
+	// CostParallelism is the number of statements the simulated machine
+	// serves concurrently (its CPU/disk parallelism); 0 means 4. Only
+	// meaningful with a cost model.
+	CostParallelism int
+}
+
+// Backend is one database of a virtual database: a native driver plus the
+// connection manager, ordered write lanes, and monitoring counters.
+//
+// Writes are executed on two kinds of lanes, mirroring C-JDBC's
+// per-transaction backend worker threads: each transaction has its own
+// connection and worker (so a transaction blocked on database locks never
+// prevents another transaction's commit from being delivered), and
+// auto-commit writes share one FIFO lane. The cluster-wide submission order
+// established by the scheduler, combined with the engine's FIFO lock
+// granting, keeps conflicting writes applying in the same order on every
+// replica.
+type Backend struct {
+	name     string
+	weight   int
+	driver   Driver
+	cost     *CostModel
+	maxConns int
+
+	state atomic.Int32
+
+	// Connection pool: sem bounds total connections, idle holds returned ones.
+	sem  chan struct{}
+	idle chan Conn
+
+	// costSem models the machine's service parallelism: every costed
+	// statement (read or write, pooled or transactional) occupies one slot
+	// for its simulated service time, so writes broadcast to a replica
+	// consume capacity that its reads can no longer use — the effect
+	// behind Figure 10's sub-linear full-replication scaling.
+	costSem chan struct{}
+
+	mu  sync.Mutex
+	txs map[uint64]*txConn
+
+	autoQ  chan *writeTask
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	// onFailure is invoked (on its own goroutine) when a write fails, so
+	// the request manager can react (§2.4.1: no 2PC; a backend failing a
+	// write is disabled).
+	onFailure atomic.Value // func(*Backend, error)
+
+	failErr atomic.Value // error to inject for fault testing
+
+	pending   atomic.Int64
+	busyNanos atomic.Int64
+	ops       atomic.Int64
+	failures  atomic.Int64
+}
+
+// txConn is the per-transaction connection with its own worker lane and
+// write-completion tracking (read-your-writes under early response).
+type txConn struct {
+	conn   Conn
+	mu     sync.Mutex
+	wrote  sync.WaitGroup
+	queue  chan *writeTask
+	ending bool // an end-of-transaction task has been enqueued
+}
+
+type writeTask struct {
+	txID  uint64 // 0 = auto-commit
+	class sqlparser.StatementClass
+	st    sqlparser.Statement
+	sql   string
+	done  chan WriteOutcome
+}
+
+// WriteOutcome is the terminal result of an asynchronous write.
+type WriteOutcome struct {
+	Backend *Backend
+	Res     *Result
+	Err     error
+}
+
+// New creates a backend in the disabled state.
+func New(cfg Config) *Backend {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 16
+	}
+	if cfg.Weight <= 0 {
+		cfg.Weight = 1
+	}
+	if cfg.CostParallelism <= 0 {
+		cfg.CostParallelism = 4
+	}
+	b := &Backend{
+		name:     cfg.Name,
+		weight:   cfg.Weight,
+		driver:   cfg.Driver,
+		cost:     cfg.Cost,
+		maxConns: cfg.MaxConns,
+		sem:      make(chan struct{}, cfg.MaxConns),
+		idle:     make(chan Conn, cfg.MaxConns),
+		costSem:  make(chan struct{}, cfg.CostParallelism),
+		txs:      make(map[uint64]*txConn),
+		autoQ:    make(chan *writeTask, 4096),
+		closed:   make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.autoLoop()
+	return b
+}
+
+// Name returns the backend name.
+func (b *Backend) Name() string { return b.name }
+
+// Weight returns the load-balancing weight.
+func (b *Backend) Weight() int { return b.weight }
+
+// Driver exposes the native driver (for metadata and checkpointing).
+func (b *Backend) Driver() Driver { return b.driver }
+
+// State returns the current lifecycle state.
+func (b *Backend) State() State { return State(b.state.Load()) }
+
+// Enable moves the backend to the enabled state.
+func (b *Backend) Enable() { b.state.Store(int32(StateEnabled)) }
+
+// Disable moves the backend to the disabled state. In-flight operations
+// complete; new operations fail with ErrDisabled.
+func (b *Backend) Disable() { b.state.Store(int32(StateDisabled)) }
+
+// SetRecovering marks the backend as replaying the recovery log.
+func (b *Backend) SetRecovering() { b.state.Store(int32(StateRecovering)) }
+
+// Enabled reports whether the backend accepts client operations.
+func (b *Backend) Enabled() bool { return b.State() == StateEnabled }
+
+// Pending returns the number of queued plus executing requests, the gauge
+// the least-pending-requests-first balancer reads.
+func (b *Backend) Pending() int { return int(b.pending.Load()) }
+
+// BusyNanos returns the cumulative simulated busy time, the CPU-load proxy.
+func (b *Backend) BusyNanos() int64 { return b.busyNanos.Load() }
+
+// Ops returns the number of operations executed.
+func (b *Backend) Ops() int64 { return b.ops.Load() }
+
+// Failures returns the number of failed operations.
+func (b *Backend) Failures() int64 { return b.failures.Load() }
+
+// OnWriteFailure registers the request manager's failure callback.
+func (b *Backend) OnWriteFailure(f func(*Backend, error)) { b.onFailure.Store(f) }
+
+// InjectFailure makes every subsequent operation fail with err, for fault
+// injection tests. Pass nil to heal.
+func (b *Backend) InjectFailure(err error) {
+	if err == nil {
+		b.failErr.Store(errNoFailure)
+	} else {
+		b.failErr.Store(err)
+	}
+}
+
+var errNoFailure = errors.New("")
+
+func (b *Backend) injected() error {
+	v := b.failErr.Load()
+	if v == nil {
+		return nil
+	}
+	err := v.(error)
+	if errors.Is(err, errNoFailure) {
+		return nil
+	}
+	return err
+}
+
+func (b *Backend) notifyFailure(err error) {
+	if errors.Is(err, ErrDisabled) || errors.Is(err, ErrClosed) {
+		return
+	}
+	if f, ok := b.onFailure.Load().(func(*Backend, error)); ok && f != nil {
+		go f(b, err)
+	}
+}
+
+// Close shuts the backend down, closing pooled connections.
+func (b *Backend) Close() {
+	select {
+	case <-b.closed:
+		return
+	default:
+	}
+	b.Disable()
+	close(b.closed)
+	b.wg.Wait()
+	for {
+		select {
+		case c := <-b.idle:
+			_ = c.Close()
+		default:
+			return
+		}
+	}
+}
+
+// checkout obtains a pooled connection, opening a new one when under the
+// connection cap. It blocks while the pool is exhausted, which is the
+// queueing point that models the backend machine's capacity.
+func (b *Backend) checkout() (Conn, error) {
+	select {
+	case <-b.closed:
+		return nil, ErrClosed
+	case b.sem <- struct{}{}:
+	}
+	select {
+	case c := <-b.idle:
+		return c, nil
+	default:
+	}
+	c, err := b.driver.Open()
+	if err != nil {
+		<-b.sem
+		return nil, fmt.Errorf("backend %s: open: %w", b.name, err)
+	}
+	return c, nil
+}
+
+func (b *Backend) checkin(c Conn) {
+	select {
+	case b.idle <- c:
+	default:
+		_ = c.Close()
+	}
+	<-b.sem
+}
+
+// charge applies the cost model and records busy time. The service
+// semaphore bounds how many statements the simulated machine serves at
+// once; without a cost model it is skipped entirely.
+func (b *Backend) charge(st sqlparser.Statement) {
+	if b.cost == nil || b.cost.TimeScale == 0 {
+		return
+	}
+	b.costSem <- struct{}{}
+	d := b.cost.charge(st)
+	<-b.costSem
+	if d > 0 {
+		b.busyNanos.Add(int64(d))
+	}
+}
+
+// Read executes a read on this backend. txID 0 means auto-commit. Within a
+// transaction the read waits for the transaction's earlier asynchronous
+// writes on this backend (§2.4.4: read-your-writes under early response).
+func (b *Backend) Read(txID uint64, st sqlparser.Statement, sql string) (*Result, error) {
+	if !b.Enabled() {
+		return nil, ErrDisabled
+	}
+	if err := b.injected(); err != nil {
+		b.failures.Add(1)
+		return nil, err
+	}
+	b.pending.Add(1)
+	defer b.pending.Add(-1)
+	b.ops.Add(1)
+
+	if txID != 0 {
+		tc, err := b.txConnFor(txID)
+		if err != nil {
+			return nil, err
+		}
+		tc.wrote.Wait()
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		b.charge(st)
+		res, err := tc.conn.Exec(st, sql)
+		if err != nil {
+			b.failures.Add(1)
+		}
+		return res, err
+	}
+
+	c, err := b.checkout()
+	if err != nil {
+		return nil, err
+	}
+	defer b.checkin(c)
+	b.charge(st)
+	res, err := c.Exec(st, sql)
+	if err != nil {
+		b.failures.Add(1)
+	}
+	return res, err
+}
+
+// txConnFor returns (creating lazily) the transaction's connection on this
+// backend. Lazy transaction begin (§2.4.4): the backend-side transaction
+// starts only when the backend first needs to execute for it.
+func (b *Backend) txConnFor(txID uint64) (*txConn, error) {
+	b.mu.Lock()
+	tc, ok := b.txs[txID]
+	if ok {
+		b.mu.Unlock()
+		return tc, nil
+	}
+	tc = &txConn{queue: make(chan *writeTask, 1024)}
+	b.txs[txID] = tc
+	b.mu.Unlock()
+
+	// Transaction connections are dedicated, not pooled: drawing them from
+	// the bounded pool would let a burst of transactions exhaust it and
+	// stall the scheduler's dispatch (which runs under the cluster write
+	// lock). The cost semaphore, not the pool, models machine capacity.
+	c, err := b.driver.Open()
+	if err == nil {
+		err = c.Begin()
+		if err != nil {
+			_ = c.Close()
+		}
+	}
+	if err != nil {
+		b.mu.Lock()
+		delete(b.txs, txID)
+		b.mu.Unlock()
+		return nil, err
+	}
+	tc.conn = c
+	go b.txWorker(txID, tc)
+	return tc, nil
+}
+
+// txWorker drains one transaction's write lane in FIFO order and exits
+// after the end-of-transaction task.
+func (b *Backend) txWorker(txID uint64, tc *txConn) {
+	for t := range tc.queue {
+		res, err := b.execTxTask(txID, tc, t)
+		if err != nil {
+			b.failures.Add(1)
+			b.notifyFailure(err)
+		}
+		b.pending.Add(-1)
+		t.done <- WriteOutcome{Backend: b, Res: res, Err: err}
+		if t.class != sqlparser.ClassWrite {
+			return
+		}
+	}
+}
+
+func (b *Backend) execTxTask(txID uint64, tc *txConn, t *writeTask) (*Result, error) {
+	if t.class == sqlparser.ClassCommit || t.class == sqlparser.ClassRollback {
+		tc.mu.Lock()
+		b.charge(t.st)
+		var err error
+		if t.class == sqlparser.ClassCommit {
+			err = tc.conn.Commit()
+		} else {
+			err = tc.conn.Rollback()
+		}
+		tc.mu.Unlock()
+		b.mu.Lock()
+		delete(b.txs, txID)
+		b.mu.Unlock()
+		_ = tc.conn.Close()
+		b.ops.Add(1)
+		return &Result{}, err
+	}
+
+	defer tc.wrote.Done()
+	if b.State() == StateDisabled {
+		return nil, ErrDisabled
+	}
+	if err := b.injected(); err != nil {
+		return nil, err
+	}
+	b.ops.Add(1)
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	b.charge(t.st)
+	return tc.conn.Exec(t.st, t.sql)
+}
+
+// HasTx reports whether the transaction has started on this backend.
+func (b *Backend) HasTx(txID uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.txs[txID]
+	return ok
+}
+
+// EnqueueWrite appends a write (or commit/rollback) to the backend's
+// ordered write lanes and returns a channel delivering the outcome. The
+// scheduler enqueues each cluster-wide write to all backends in the same
+// order, which is what keeps replicas identical (§2.4.1).
+func (b *Backend) EnqueueWrite(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement, sql string) <-chan WriteOutcome {
+	done := make(chan WriteOutcome, 1)
+	t := &writeTask{txID: txID, class: class, st: st, sql: sql, done: done}
+
+	reply := func(res *Result, err error) <-chan WriteOutcome {
+		done <- WriteOutcome{Backend: b, Res: res, Err: err}
+		return done
+	}
+	if !b.Enabled() {
+		return reply(nil, ErrDisabled)
+	}
+
+	if txID != 0 {
+		switch class {
+		case sqlparser.ClassWrite:
+			tc, err := b.txConnFor(txID)
+			if err != nil {
+				return reply(nil, err)
+			}
+			b.mu.Lock()
+			if tc.ending {
+				b.mu.Unlock()
+				return reply(nil, fmt.Errorf("backend %s: transaction %d already ended", b.name, txID))
+			}
+			tc.wrote.Add(1)
+			b.pending.Add(1)
+			b.mu.Unlock()
+			// Reserve the write lock now, in cluster submission order, so
+			// conflicting transactions take their locks in the same order
+			// on every replica (§2.4.1 total write order).
+			if r, ok := tc.conn.(LockReserver); ok && t.st != nil {
+				if tbl, isWrite := sqlparser.WriteTarget(t.st); isWrite {
+					r.ReserveWriteLock(tbl)
+				}
+			}
+			tc.queue <- t
+			return done
+		case sqlparser.ClassCommit, sqlparser.ClassRollback:
+			b.mu.Lock()
+			tc, ok := b.txs[txID]
+			if !ok || tc.ending {
+				b.mu.Unlock()
+				// Lazy begin: the transaction never touched this backend
+				// (or its end was already delivered).
+				return reply(&Result{}, nil)
+			}
+			tc.ending = true
+			b.pending.Add(1)
+			b.mu.Unlock()
+			tc.queue <- t
+			return done
+		}
+	}
+
+	// Auto-commit lane.
+	b.pending.Add(1)
+	select {
+	case b.autoQ <- t:
+	case <-b.closed:
+		b.pending.Add(-1)
+		return reply(nil, ErrClosed)
+	}
+	return done
+}
+
+// autoLoop executes auto-commit writes strictly in order, one at a time.
+func (b *Backend) autoLoop() {
+	defer b.wg.Done()
+	for {
+		select {
+		case t := <-b.autoQ:
+			b.runAuto(t)
+		case <-b.closed:
+			for {
+				select {
+				case t := <-b.autoQ:
+					b.pending.Add(-1)
+					t.done <- WriteOutcome{Backend: b, Err: ErrClosed}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (b *Backend) runAuto(t *writeTask) {
+	res, err := b.execAuto(t)
+	if err != nil {
+		b.failures.Add(1)
+		b.notifyFailure(err)
+	}
+	b.pending.Add(-1)
+	t.done <- WriteOutcome{Backend: b, Res: res, Err: err}
+}
+
+func (b *Backend) execAuto(t *writeTask) (*Result, error) {
+	if b.State() == StateDisabled {
+		return nil, ErrDisabled
+	}
+	if err := b.injected(); err != nil {
+		return nil, err
+	}
+	b.ops.Add(1)
+	c, err := b.checkout()
+	if err != nil {
+		return nil, err
+	}
+	defer b.checkin(c)
+	b.charge(t.st)
+	return c.Exec(t.st, t.sql)
+}
+
+// AbortTx force-releases a transaction's connection (used when a client
+// session dies without demarcating). It waits for the rollback to finish.
+func (b *Backend) AbortTx(txID uint64) {
+	out := b.EnqueueWrite(txID, sqlparser.ClassRollback, nil, "ROLLBACK")
+	<-out
+}
+
+// TableNames gathers the backend's schema, preferring driver metadata and
+// falling back to SHOW TABLES over a connection (§2.4.3: schema information
+// is dynamically gathered when a backend is enabled).
+func (b *Backend) TableNames() ([]string, error) {
+	if sp, ok := b.driver.(SchemaProvider); ok {
+		return sp.TableNames()
+	}
+	c, err := b.checkout()
+	if err != nil {
+		return nil, err
+	}
+	defer b.checkin(c)
+	res, err := c.Exec(nil, "SHOW TABLES")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, r[0].AsString())
+	}
+	return out, nil
+}
+
+// Exec executes any statement in auto-commit mode through the write lanes
+// (for writes) or directly (for reads); a convenience used by recovery
+// replay and examples.
+func (b *Backend) Exec(st sqlparser.Statement, sql string) (*Result, error) {
+	if st == nil {
+		var err error
+		st, err = sqlparser.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sqlparser.Classify(st) == sqlparser.ClassRead {
+		return b.Read(0, st, sql)
+	}
+	out := <-b.EnqueueWrite(0, sqlparser.ClassWrite, st, sql)
+	return out.Res, out.Err
+}
+
+// DirectExec bypasses the enabled-state check, executing directly on a
+// fresh connection. Checkpointing and recovery use it while the backend is
+// disabled for clients.
+func (b *Backend) DirectExec(st sqlparser.Statement, sql string) (*Result, error) {
+	c, err := b.driver.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Close() }()
+	return c.Exec(st, sql)
+}

@@ -1,0 +1,389 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cjdbc/internal/sqlengine"
+	"cjdbc/internal/sqlparser"
+)
+
+func newTestBackend(t *testing.T) (*Backend, *sqlengine.Engine) {
+	t.Helper()
+	e := sqlengine.New("db1")
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	b := New(Config{Name: "db1", Driver: &EngineDriver{Engine: e}})
+	b.Enable()
+	t.Cleanup(b.Close)
+	return b, e
+}
+
+func TestStateMachine(t *testing.T) {
+	b, _ := newTestBackend(t)
+	if !b.Enabled() {
+		t.Fatal("should be enabled")
+	}
+	b.Disable()
+	if b.State() != StateDisabled {
+		t.Fatal("should be disabled")
+	}
+	if _, err := b.Read(0, nil, "SELECT * FROM t"); !errors.Is(err, ErrDisabled) {
+		t.Fatalf("read on disabled: %v", err)
+	}
+	out := <-b.EnqueueWrite(0, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (1, 'x')")
+	if !errors.Is(out.Err, ErrDisabled) {
+		t.Fatalf("write on disabled: %v", out.Err)
+	}
+	b.SetRecovering()
+	if b.State() != StateRecovering || b.State().String() != "recovering" {
+		t.Fatal("recovering state")
+	}
+	b.Enable()
+	if _, err := b.Read(0, nil, "SELECT * FROM t"); err != nil {
+		t.Fatalf("read after re-enable: %v", err)
+	}
+}
+
+func TestAutoCommitReadWrite(t *testing.T) {
+	b, _ := newTestBackend(t)
+	out := <-b.EnqueueWrite(0, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (1, 'a')")
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Res.RowsAffected != 1 {
+		t.Fatalf("affected = %d", out.Res.RowsAffected)
+	}
+	res, err := b.Read(0, nil, "SELECT v FROM t WHERE id = 1")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].AsString() != "a" {
+		t.Fatalf("read: %v %v", res, err)
+	}
+}
+
+func TestTransactionalWritesAndLazyBegin(t *testing.T) {
+	b, e := newTestBackend(t)
+	const tx = uint64(42)
+	if b.HasTx(tx) {
+		t.Fatal("transaction should not exist before first statement (lazy begin)")
+	}
+	before := e.StatsSnapshot().Transactions
+
+	out := <-b.EnqueueWrite(tx, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (1, 'a')")
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if !b.HasTx(tx) {
+		t.Fatal("transaction should have lazily begun")
+	}
+	if got := e.StatsSnapshot().Transactions; got != before+1 {
+		t.Fatalf("engine transactions = %d, want %d", got, before+1)
+	}
+
+	// Uncommitted data invisible to an auto-commit read... the engine uses
+	// table locks, so the read would block; read through the tx instead.
+	res, err := b.Read(tx, nil, "SELECT COUNT(*) FROM t")
+	if err != nil || res.Rows[0][0].I != 1 {
+		t.Fatalf("tx read: %v %v", res, err)
+	}
+
+	out = <-b.EnqueueWrite(tx, sqlparser.ClassCommit, mustStmt(t, "COMMIT"), "COMMIT")
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if b.HasTx(tx) {
+		t.Fatal("transaction should be gone after commit")
+	}
+	res, err = b.Read(0, nil, "SELECT COUNT(*) FROM t")
+	if err != nil || res.Rows[0][0].I != 1 {
+		t.Fatalf("after commit: %v %v", res, err)
+	}
+}
+
+func TestRollbackTx(t *testing.T) {
+	b, _ := newTestBackend(t)
+	const tx = uint64(7)
+	<-b.EnqueueWrite(tx, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (9, 'x')")
+	out := <-b.EnqueueWrite(tx, sqlparser.ClassRollback, mustStmt(t, "ROLLBACK"), "ROLLBACK")
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	res, err := b.Read(0, nil, "SELECT COUNT(*) FROM t")
+	if err != nil || res.Rows[0][0].I != 0 {
+		t.Fatalf("after rollback: %v %v", res, err)
+	}
+}
+
+func TestCommitWithoutLazyBeginIsNoop(t *testing.T) {
+	b, e := newTestBackend(t)
+	before := e.StatsSnapshot().Transactions
+	out := <-b.EnqueueWrite(99, sqlparser.ClassCommit, mustStmt(t, "COMMIT"), "COMMIT")
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if got := e.StatsSnapshot().Transactions; got != before {
+		t.Fatal("commit of untouched transaction must not start one")
+	}
+}
+
+func TestWriteOrderPreserved(t *testing.T) {
+	b, _ := newTestBackend(t)
+	// Enqueue interleaved inserts and updates; FIFO order means the final
+	// value is deterministic.
+	<-b.EnqueueWrite(0, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (1, 'v0')")
+	var last <-chan WriteOutcome
+	for i := 1; i <= 50; i++ {
+		last = b.EnqueueWrite(0, sqlparser.ClassWrite, nil,
+			fmt.Sprintf("UPDATE t SET v = 'v%d' WHERE id = 1", i))
+	}
+	if out := <-last; out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	res, err := b.Read(0, nil, "SELECT v FROM t WHERE id = 1")
+	if err != nil || res.Rows[0][0].AsString() != "v50" {
+		t.Fatalf("final value: %v %v", res, err)
+	}
+}
+
+func TestReadYourWritesInTransaction(t *testing.T) {
+	b, _ := newTestBackend(t)
+	const tx = uint64(5)
+	// Enqueue a write and immediately read without waiting for the write's
+	// outcome: the read must observe it.
+	b.EnqueueWrite(tx, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (3, 'w')")
+	res, err := b.Read(tx, nil, "SELECT v FROM t WHERE id = 3")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].AsString() != "w" {
+		t.Fatalf("read-your-writes: %v %v", res, err)
+	}
+	<-b.EnqueueWrite(tx, sqlparser.ClassRollback, mustStmt(t, "ROLLBACK"), "ROLLBACK")
+}
+
+func TestWriteFailureCallback(t *testing.T) {
+	b, _ := newTestBackend(t)
+	called := make(chan error, 1)
+	b.OnWriteFailure(func(fb *Backend, err error) {
+		if fb != b {
+			t.Error("wrong backend in callback")
+		}
+		called <- err
+	})
+	out := <-b.EnqueueWrite(0, sqlparser.ClassWrite, nil, "INSERT INTO missing (id) VALUES (1)")
+	if out.Err == nil {
+		t.Fatal("write to missing table should fail")
+	}
+	select {
+	case <-called:
+	case <-time.After(time.Second):
+		t.Fatal("failure callback not invoked")
+	}
+	if b.Failures() == 0 {
+		t.Error("failure counter not bumped")
+	}
+}
+
+func TestInjectFailure(t *testing.T) {
+	b, _ := newTestBackend(t)
+	boom := errors.New("disk on fire")
+	b.InjectFailure(boom)
+	if _, err := b.Read(0, nil, "SELECT * FROM t"); !errors.Is(err, boom) {
+		t.Fatalf("injected read: %v", err)
+	}
+	out := <-b.EnqueueWrite(0, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (1, 'x')")
+	if !errors.Is(out.Err, boom) {
+		t.Fatalf("injected write: %v", out.Err)
+	}
+	b.InjectFailure(nil)
+	if _, err := b.Read(0, nil, "SELECT * FROM t"); err != nil {
+		t.Fatalf("healed read: %v", err)
+	}
+}
+
+func TestPendingGauge(t *testing.T) {
+	e := sqlengine.New("slow")
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE t (id INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	b := New(Config{
+		Name:   "slow",
+		Driver: &EngineDriver{Engine: e},
+		Cost:   &CostModel{TimeScale: 5 * time.Millisecond, PointRead: 1, ScanRead: 4, Write: 1},
+	})
+	b.Enable()
+	defer b.Close()
+
+	if b.Pending() != 0 {
+		t.Fatal("pending should start at 0")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = b.Read(0, nil, "SELECT * FROM t")
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	if b.Pending() == 0 {
+		t.Error("pending should be non-zero during slow reads")
+	}
+	wg.Wait()
+	if b.Pending() != 0 {
+		t.Errorf("pending after completion = %d", b.Pending())
+	}
+	if b.BusyNanos() == 0 {
+		t.Error("busy time not accumulated")
+	}
+}
+
+func TestConnectionPoolReuse(t *testing.T) {
+	b, _ := newTestBackend(t)
+	for i := 0; i < 100; i++ {
+		if _, err := b.Read(0, nil, "SELECT COUNT(*) FROM t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pool bounds connections; idle length cannot exceed MaxConns.
+	if len(b.idle) > b.maxConns {
+		t.Errorf("idle = %d > max %d", len(b.idle), b.maxConns)
+	}
+}
+
+func TestConcurrentReadsBoundedByPool(t *testing.T) {
+	e := sqlengine.New("db")
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE t (id INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	b := New(Config{Name: "db", Driver: &EngineDriver{Engine: e}, MaxConns: 2,
+		Cost: &CostModel{TimeScale: 2 * time.Millisecond, ScanRead: 1, PointRead: 1}})
+	b.Enable()
+	defer b.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = b.Read(0, nil, "SELECT * FROM t")
+		}()
+	}
+	wg.Wait()
+	// 8 reads of 2ms with concurrency 2 need at least ~8ms.
+	if elapsed := time.Since(start); elapsed < 6*time.Millisecond {
+		t.Errorf("pool did not bound concurrency: %v", elapsed)
+	}
+}
+
+func TestTableNamesViaMetadataAndShowTables(t *testing.T) {
+	b, _ := newTestBackend(t)
+	names, err := b.TableNames()
+	if err != nil || len(names) != 1 || names[0] != "t" {
+		t.Fatalf("metadata names: %v %v", names, err)
+	}
+	// Force the SHOW TABLES path with a driver that hides metadata.
+	e := sqlengine.New("db2")
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE u (id INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	b2 := New(Config{Name: "db2", Driver: opaqueDriver{&EngineDriver{Engine: e}}})
+	b2.Enable()
+	defer b2.Close()
+	names, err = b2.TableNames()
+	if err != nil || len(names) != 1 || names[0] != "u" {
+		t.Fatalf("show tables names: %v %v", names, err)
+	}
+}
+
+// opaqueDriver hides the SchemaProvider interface.
+type opaqueDriver struct{ d Driver }
+
+func (o opaqueDriver) Open() (Conn, error) { return o.d.Open() }
+
+func TestCostModelClassification(t *testing.T) {
+	m := DefaultCostModel(time.Microsecond)
+	cases := []struct {
+		sql  string
+		want float64
+	}{
+		{"SELECT v FROM t WHERE id = 1", m.PointRead},
+		{"SELECT * FROM t", m.ScanRead},
+		{"SELECT a FROM t JOIN u ON t.id = u.id WHERE t.id = 1", m.ScanRead},
+		{"SELECT COUNT(*) FROM t", m.HeavyRead},
+		{"SELECT a, SUM(b) FROM t GROUP BY a", m.HeavyRead},
+		{"INSERT INTO t (id) VALUES (1)", m.Write},
+		{"UPDATE t SET v = 1", m.Write},
+		{"DELETE FROM t", m.Write},
+		{"CREATE TEMPORARY TABLE x AS SELECT * FROM t", m.TempTable},
+		{"CREATE TABLE y (a INTEGER)", m.DDL},
+		{"DROP TABLE y", m.DDL},
+		{"BEGIN", m.TxOverhead},
+		{"COMMIT", m.TxOverhead},
+	}
+	for _, c := range cases {
+		st := mustStmt(t, c.sql)
+		if got := m.Classify(st); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.sql, got, c.want)
+		}
+	}
+	var nilModel *CostModel
+	if nilModel.Classify(mustStmt(t, "SELECT 1")) != 0 {
+		t.Error("nil model must cost 0")
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	b, _ := newTestBackend(t)
+	b.Close()
+	out := <-b.EnqueueWrite(0, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (1, 'x')")
+	if !errors.Is(out.Err, ErrDisabled) && !errors.Is(out.Err, ErrClosed) {
+		t.Fatalf("write after close: %v", out.Err)
+	}
+	b.Close() // idempotent
+}
+
+func TestAbortTx(t *testing.T) {
+	b, _ := newTestBackend(t)
+	const tx = uint64(11)
+	<-b.EnqueueWrite(tx, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (4, 'x')")
+	b.AbortTx(tx)
+	if b.HasTx(tx) {
+		t.Fatal("tx should be gone")
+	}
+	res, err := b.Read(0, nil, "SELECT COUNT(*) FROM t")
+	if err != nil || res.Rows[0][0].I != 0 {
+		t.Fatalf("abort did not roll back: %v %v", res, err)
+	}
+}
+
+func TestDirectExecBypassesDisabled(t *testing.T) {
+	b, _ := newTestBackend(t)
+	b.Disable()
+	if _, err := b.DirectExec(nil, "INSERT INTO t (id, v) VALUES (8, 'r')"); err != nil {
+		t.Fatalf("direct exec: %v", err)
+	}
+	b.Enable()
+	res, err := b.Read(0, nil, "SELECT COUNT(*) FROM t")
+	if err != nil || res.Rows[0][0].I != 1 {
+		t.Fatalf("direct exec row missing: %v %v", res, err)
+	}
+}
+
+func mustStmt(t *testing.T, sql string) sqlparser.Statement {
+	t.Helper()
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

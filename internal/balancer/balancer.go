@@ -1,0 +1,324 @@
+// Package balancer implements C-JDBC's read load-balancing algorithms
+// (round robin, weighted round robin, least pending requests first) and the
+// replication policies (full and per-table partial replication) that decide
+// which backends can serve a read and which must apply a write (§2.4.3).
+package balancer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cjdbc/internal/backend"
+)
+
+// ErrNoBackend is returned when no enabled backend can serve the request.
+var ErrNoBackend = errors.New("balancer: no enabled backend can execute this request")
+
+// Balancer picks one backend among the candidates able to serve a read.
+type Balancer interface {
+	Name() string
+	Choose(candidates []*backend.Backend) (*backend.Backend, error)
+}
+
+// RoundRobin cycles through candidates.
+type RoundRobin struct {
+	ctr atomic.Uint64
+}
+
+// Name returns "round-robin".
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Choose picks the next backend in rotation.
+func (rr *RoundRobin) Choose(cands []*backend.Backend) (*backend.Backend, error) {
+	if len(cands) == 0 {
+		return nil, ErrNoBackend
+	}
+	n := rr.ctr.Add(1) - 1
+	return cands[n%uint64(len(cands))], nil
+}
+
+// WeightedRoundRobin cycles through candidates proportionally to their
+// weights.
+type WeightedRoundRobin struct {
+	ctr atomic.Uint64
+}
+
+// Name returns "weighted-round-robin".
+func (*WeightedRoundRobin) Name() string { return "weighted-round-robin" }
+
+// Choose picks the next backend in the weight-expanded rotation.
+func (w *WeightedRoundRobin) Choose(cands []*backend.Backend) (*backend.Backend, error) {
+	if len(cands) == 0 {
+		return nil, ErrNoBackend
+	}
+	total := 0
+	for _, b := range cands {
+		total += b.Weight()
+	}
+	if total == 0 {
+		return nil, ErrNoBackend
+	}
+	x := int(w.ctr.Add(1)-1) % total
+	for _, b := range cands {
+		x -= b.Weight()
+		if x < 0 {
+			return b, nil
+		}
+	}
+	return cands[len(cands)-1], nil
+}
+
+// LeastPending sends the request to the backend with the fewest pending
+// queries, the paper's Least Pending Requests First policy and the one used
+// for all TPC-W measurements.
+type LeastPending struct {
+	tie RoundRobin // breaks ties fairly
+}
+
+// Name returns "least-pending-requests-first".
+func (*LeastPending) Name() string { return "least-pending-requests-first" }
+
+// Choose picks the candidate with the lowest pending-request gauge.
+func (lp *LeastPending) Choose(cands []*backend.Backend) (*backend.Backend, error) {
+	if len(cands) == 0 {
+		return nil, ErrNoBackend
+	}
+	best := -1
+	var ties []*backend.Backend
+	for _, b := range cands {
+		p := b.Pending()
+		switch {
+		case best < 0 || p < best:
+			best = p
+			ties = ties[:0]
+			ties = append(ties, b)
+		case p == best:
+			ties = append(ties, b)
+		}
+	}
+	if len(ties) == 1 {
+		return ties[0], nil
+	}
+	return lp.tie.Choose(ties)
+}
+
+// New constructs a balancer by policy name. Custom balancers can be used by
+// implementing the Balancer interface directly (the paper allows
+// user-defined strategies).
+func New(name string) (Balancer, error) {
+	switch strings.ToLower(name) {
+	case "", "round-robin", "roundrobin", "rr":
+		return &RoundRobin{}, nil
+	case "weighted-round-robin", "wrr":
+		return &WeightedRoundRobin{}, nil
+	case "least-pending-requests-first", "least-pending", "lprf":
+		return &LeastPending{}, nil
+	}
+	return nil, fmt.Errorf("balancer: unknown policy %q", name)
+}
+
+// Replication decides which backends host which tables.
+type Replication interface {
+	// Name identifies the policy.
+	Name() string
+	// RequiresParsing reports whether requests must be parsed to route
+	// (full replication does not, §2.4.3).
+	RequiresParsing() bool
+	// ReadCandidates returns the enabled backends hosting all the tables
+	// a read references.
+	ReadCandidates(tables []string, all []*backend.Backend) []*backend.Backend
+	// WriteTargets returns the enabled backends that must apply a write
+	// affecting the given tables.
+	WriteTargets(tables []string, all []*backend.Backend) []*backend.Backend
+	// NoteCreate records a newly created table and its hosts, keeping the
+	// dynamically gathered schema accurate (§2.4.3).
+	NoteCreate(table string, hosts []string)
+	// NoteDrop removes a dropped table from the schema.
+	NoteDrop(table string)
+	// Hosts lists the backends hosting a table (empty for full replication,
+	// meaning "all").
+	Hosts(table string) []string
+}
+
+// FullReplication hosts every table on every backend.
+type FullReplication struct{}
+
+// Name returns "full".
+func (FullReplication) Name() string { return "full" }
+
+// RequiresParsing returns false: any backend can execute any query.
+func (FullReplication) RequiresParsing() bool { return false }
+
+// ReadCandidates returns all enabled backends.
+func (FullReplication) ReadCandidates(_ []string, all []*backend.Backend) []*backend.Backend {
+	return enabledOf(all)
+}
+
+// WriteTargets returns all enabled backends.
+func (FullReplication) WriteTargets(_ []string, all []*backend.Backend) []*backend.Backend {
+	return enabledOf(all)
+}
+
+// NoteCreate is a no-op under full replication.
+func (FullReplication) NoteCreate(string, []string) {}
+
+// NoteDrop is a no-op under full replication.
+func (FullReplication) NoteDrop(string) {}
+
+// Hosts returns nil, meaning every backend.
+func (FullReplication) Hosts(string) []string { return nil }
+
+// PartialReplication maps tables to the backends hosting them, configured
+// per table and updated dynamically on CREATE/DROP (§2.4.3).
+type PartialReplication struct {
+	mu    sync.RWMutex
+	hosts map[string]map[string]bool // table -> backend name set
+}
+
+// NewPartialReplication builds a policy from a table -> backend-names map.
+func NewPartialReplication(tables map[string][]string) *PartialReplication {
+	p := &PartialReplication{hosts: make(map[string]map[string]bool, len(tables))}
+	for t, bs := range tables {
+		set := make(map[string]bool, len(bs))
+		for _, b := range bs {
+			set[b] = true
+		}
+		p.hosts[strings.ToLower(t)] = set
+	}
+	return p
+}
+
+// Name returns "partial".
+func (*PartialReplication) Name() string { return "partial" }
+
+// RequiresParsing returns true: routing needs the referenced tables.
+func (*PartialReplication) RequiresParsing() bool { return true }
+
+// ReadCandidates returns enabled backends hosting every referenced table.
+// Unknown tables (e.g. just-created temporary tables of another session)
+// exclude a backend unless it hosts them.
+func (p *PartialReplication) ReadCandidates(tables []string, all []*backend.Backend) []*backend.Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []*backend.Backend
+	for _, b := range all {
+		if !b.Enabled() {
+			continue
+		}
+		ok := true
+		for _, t := range tables {
+			set, known := p.hosts[t]
+			if !known {
+				// Tables absent from the schema map cannot be served.
+				ok = false
+				break
+			}
+			if !set[b.Name()] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// WriteTargets returns enabled backends hosting at least one affected table.
+// For a CREATE of a not-yet-known table the hosts of the other referenced
+// tables decide (CREATE TEMPORARY TABLE ... AS SELECT under partial
+// replication runs only where its sources live, which is what limits the
+// TPC-W best-seller temp table to two backends in Figure 10).
+func (p *PartialReplication) WriteTargets(tables []string, all []*backend.Backend) []*backend.Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	known := false
+	var out []*backend.Backend
+	for _, b := range all {
+		if !b.Enabled() {
+			continue
+		}
+		hit := false
+		for _, t := range tables {
+			set, k := p.hosts[t]
+			if !k {
+				continue
+			}
+			known = true
+			if set[b.Name()] {
+				hit = true
+			} else {
+				// A backend missing any referenced known table cannot
+				// execute the statement.
+				hit = false
+				break
+			}
+		}
+		if hit {
+			out = append(out, b)
+		}
+	}
+	if !known {
+		// Pure DDL creating a brand-new table: send everywhere.
+		return enabledOf(all)
+	}
+	return out
+}
+
+// NoteCreate records a new table's hosts.
+func (p *PartialReplication) NoteCreate(table string, hosts []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		set[h] = true
+	}
+	p.hosts[strings.ToLower(table)] = set
+}
+
+// NoteDrop removes a table.
+func (p *PartialReplication) NoteDrop(table string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.hosts, strings.ToLower(table))
+}
+
+// Hosts returns the sorted backend names hosting a table.
+func (p *PartialReplication) Hosts(table string) []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	set := p.hosts[strings.ToLower(table)]
+	out := make([]string, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tables returns the sorted known table names.
+func (p *PartialReplication) Tables() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.hosts))
+	for t := range p.hosts {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func enabledOf(all []*backend.Backend) []*backend.Backend {
+	out := make([]*backend.Backend, 0, len(all))
+	for _, b := range all {
+		if b.Enabled() {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package balancer
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/sqlengine"
+)
+
+func mkBackends(t *testing.T, n int, weights ...int) []*backend.Backend {
+	t.Helper()
+	out := make([]*backend.Backend, n)
+	for i := range out {
+		w := 1
+		if i < len(weights) {
+			w = weights[i]
+		}
+		e := sqlengine.New(fmt.Sprintf("db%d", i))
+		b := backend.New(backend.Config{
+			Name:   fmt.Sprintf("db%d", i),
+			Driver: &backend.EngineDriver{Engine: e},
+			Weight: w,
+		})
+		b.Enable()
+		t.Cleanup(b.Close)
+		out[i] = b
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	bs := mkBackends(t, 3)
+	rr := &RoundRobin{}
+	counts := map[string]int{}
+	for i := 0; i < 9; i++ {
+		b, err := rr.Choose(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[b.Name()]++
+	}
+	for _, b := range bs {
+		if counts[b.Name()] != 3 {
+			t.Errorf("backend %s chosen %d times, want 3", b.Name(), counts[b.Name()])
+		}
+	}
+}
+
+func TestRoundRobinEmpty(t *testing.T) {
+	rr := &RoundRobin{}
+	if _, err := rr.Choose(nil); !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("empty: %v", err)
+	}
+}
+
+func TestWeightedRoundRobinProportional(t *testing.T) {
+	bs := mkBackends(t, 2, 3, 1)
+	w := &WeightedRoundRobin{}
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		b, err := w.Choose(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[b.Name()]++
+	}
+	if counts["db0"] != 30 || counts["db1"] != 10 {
+		t.Errorf("weighted distribution: %v", counts)
+	}
+}
+
+func TestLeastPendingPrefersIdle(t *testing.T) {
+	bs := mkBackends(t, 3)
+	lp := &LeastPending{}
+	// All idle: ties broken round-robin, every backend eventually used.
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		b, _ := lp.Choose(bs)
+		seen[b.Name()] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("ties not spread: %v", seen)
+	}
+}
+
+func TestBalancerFactory(t *testing.T) {
+	for _, name := range []string{"", "rr", "round-robin", "wrr", "lprf", "least-pending-requests-first"} {
+		if _, err := New(name); err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+	}
+	if _, err := New("quantum"); err == nil {
+		t.Error("unknown balancer accepted")
+	}
+}
+
+func TestFullReplicationRouting(t *testing.T) {
+	bs := mkBackends(t, 3)
+	var f FullReplication
+	if f.RequiresParsing() {
+		t.Error("full replication must not require parsing")
+	}
+	if got := f.ReadCandidates([]string{"any"}, bs); len(got) != 3 {
+		t.Errorf("read candidates = %d", len(got))
+	}
+	if got := f.WriteTargets([]string{"any"}, bs); len(got) != 3 {
+		t.Errorf("write targets = %d", len(got))
+	}
+	bs[1].Disable()
+	if got := f.ReadCandidates(nil, bs); len(got) != 2 {
+		t.Errorf("disabled backend still candidate: %d", len(got))
+	}
+}
+
+func TestPartialReplicationReads(t *testing.T) {
+	bs := mkBackends(t, 3)
+	p := NewPartialReplication(map[string][]string{
+		"item":       {"db0", "db1", "db2"},
+		"order_line": {"db0", "db1"},
+		"customer":   {"db2"},
+	})
+	if !p.RequiresParsing() {
+		t.Error("partial replication must require parsing")
+	}
+	// Query touching item+order_line can run on db0/db1 only.
+	got := p.ReadCandidates([]string{"item", "order_line"}, bs)
+	if len(got) != 2 || got[0].Name() != "db0" || got[1].Name() != "db1" {
+		t.Errorf("candidates: %v", names(got))
+	}
+	// Query touching customer only on db2.
+	got = p.ReadCandidates([]string{"customer"}, bs)
+	if len(got) != 1 || got[0].Name() != "db2" {
+		t.Errorf("candidates: %v", names(got))
+	}
+	// Join spanning disjoint partitions: impossible.
+	got = p.ReadCandidates([]string{"order_line", "customer"}, bs)
+	if len(got) != 0 {
+		t.Errorf("impossible join candidates: %v", names(got))
+	}
+	// Unknown table: no candidates.
+	got = p.ReadCandidates([]string{"nope"}, bs)
+	if len(got) != 0 {
+		t.Errorf("unknown table candidates: %v", names(got))
+	}
+	// Disabled hosts are skipped.
+	bs[0].Disable()
+	got = p.ReadCandidates([]string{"item", "order_line"}, bs)
+	if len(got) != 1 || got[0].Name() != "db1" {
+		t.Errorf("after disable: %v", names(got))
+	}
+}
+
+func TestPartialReplicationWrites(t *testing.T) {
+	bs := mkBackends(t, 3)
+	p := NewPartialReplication(map[string][]string{
+		"order_line": {"db0", "db1"},
+		"item":       {"db0", "db1", "db2"},
+	})
+	got := p.WriteTargets([]string{"order_line"}, bs)
+	if len(got) != 2 {
+		t.Errorf("write targets: %v", names(got))
+	}
+	// Writes to an unknown table (fresh CREATE TABLE) go everywhere.
+	got = p.WriteTargets([]string{"brand_new"}, bs)
+	if len(got) != 3 {
+		t.Errorf("fresh create targets: %v", names(got))
+	}
+	// CREATE TEMP TABLE AS SELECT over order_line: restricted to its hosts
+	// (the Figure 10 best-seller optimization).
+	got = p.WriteTargets([]string{"besttmp", "order_line"}, bs)
+	if len(got) != 2 {
+		t.Errorf("temp table targets: %v", names(got))
+	}
+}
+
+func TestPartialReplicationDynamicSchema(t *testing.T) {
+	bs := mkBackends(t, 2)
+	p := NewPartialReplication(map[string][]string{"a": {"db0"}})
+	p.NoteCreate("b", []string{"db1"})
+	if got := p.Hosts("b"); len(got) != 1 || got[0] != "db1" {
+		t.Errorf("hosts after create: %v", got)
+	}
+	if got := p.ReadCandidates([]string{"b"}, bs); len(got) != 1 || got[0].Name() != "db1" {
+		t.Errorf("read after create: %v", names(got))
+	}
+	p.NoteDrop("b")
+	if got := p.ReadCandidates([]string{"b"}, bs); len(got) != 0 {
+		t.Errorf("read after drop: %v", names(got))
+	}
+	if ts := p.Tables(); len(ts) != 1 || ts[0] != "a" {
+		t.Errorf("tables = %v", ts)
+	}
+}
+
+func names(bs []*backend.Backend) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name()
+	}
+	return out
+}

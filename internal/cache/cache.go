@@ -1,0 +1,263 @@
+// Package cache implements the optional query result cache of the request
+// manager (§2.4.2): it stores the result set associated with each read,
+// provides strong consistency by invalidating entries that may contain
+// stale data when an update executes, supports invalidation granularities
+// from database-wide to table- and column-based, and can relax consistency
+// with a staleness limit.
+package cache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/sqlparser"
+)
+
+// Granularity selects how precisely updates invalidate cached entries.
+type Granularity int
+
+// Invalidation granularities (§2.4.2).
+const (
+	// GranDatabase flushes the whole cache on any update.
+	GranDatabase Granularity = iota
+	// GranTable invalidates entries reading any written table.
+	GranTable
+	// GranColumn invalidates entries reading any written column of a
+	// written table.
+	GranColumn
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case GranDatabase:
+		return "database"
+	case GranTable:
+		return "table"
+	case GranColumn:
+		return "column"
+	}
+	return "unknown"
+}
+
+// Config configures a ResultCache.
+type Config struct {
+	Granularity Granularity
+	MaxEntries  int // LRU capacity; 0 means 4096
+	// Staleness relaxes consistency: entries stay valid for this long
+	// regardless of updates (0 keeps the cache strongly consistent).
+	Staleness time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Puts          int64
+	Invalidations int64
+	Evictions     int64
+}
+
+// ResultCache is a strongly or loosely consistent query result cache.
+type ResultCache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recent
+	byTable map[string]map[*entry]bool
+	stats   Stats
+}
+
+type entry struct {
+	key     string
+	res     *backend.Result
+	tables  []string
+	cols    []string // read columns, when enumerable
+	colsOK  bool
+	created time.Time
+	lruElem *list.Element
+}
+
+// New creates a cache.
+func New(cfg Config) *ResultCache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &ResultCache{
+		cfg:     cfg,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		byTable: make(map[string]map[*entry]bool),
+	}
+}
+
+// Key normalizes a SQL string into a cache key.
+func Key(sql string) string { return strings.TrimSpace(sql) }
+
+// Get returns the cached result for a read, or nil on miss. Under a
+// staleness limit, entries older than the limit are dropped here.
+func (c *ResultCache) Get(sql string) *backend.Result {
+	k := Key(sql)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		return nil
+	}
+	if c.cfg.Staleness > 0 && c.cfg.Clock().Sub(e.created) > c.cfg.Staleness {
+		c.removeLocked(e)
+		c.stats.Misses++
+		return nil
+	}
+	c.lru.MoveToFront(e.lruElem)
+	c.stats.Hits++
+	return e.res
+}
+
+// Put stores a read's result. The statement provides the table and column
+// footprint used for invalidation.
+func (c *ResultCache) Put(sql string, st sqlparser.Statement, res *backend.Result) {
+	if res == nil || sqlparser.Classify(st) != sqlparser.ClassRead {
+		return
+	}
+	k := Key(sql)
+	cols, colsOK := sqlparser.ReadColumns(st)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, dup := c.entries[k]; dup {
+		c.removeLocked(old)
+	}
+	e := &entry{
+		key:     k,
+		res:     res,
+		tables:  st.Tables(),
+		cols:    cols,
+		colsOK:  colsOK,
+		created: c.cfg.Clock(),
+	}
+	e.lruElem = c.lru.PushFront(e)
+	c.entries[k] = e
+	for _, t := range e.tables {
+		set := c.byTable[t]
+		if set == nil {
+			set = make(map[*entry]bool)
+			c.byTable[t] = set
+		}
+		set[e] = true
+	}
+	c.stats.Puts++
+	for len(c.entries) > c.cfg.MaxEntries {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest.Value.(*entry))
+		c.stats.Evictions++
+	}
+}
+
+// InvalidateWrite drops the entries a write may have made stale, honouring
+// the configured granularity. Under a staleness limit nothing is dropped:
+// entries expire by age instead (§2.4.2 relaxed consistency).
+func (c *ResultCache) InvalidateWrite(st sqlparser.Statement) {
+	if c.cfg.Staleness > 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.cfg.Granularity {
+	case GranDatabase:
+		if len(c.entries) > 0 {
+			c.stats.Invalidations += int64(len(c.entries))
+			c.entries = make(map[string]*entry)
+			c.lru.Init()
+			c.byTable = make(map[string]map[*entry]bool)
+		}
+	case GranTable:
+		for _, t := range st.Tables() {
+			c.invalidateTableLocked(t, nil)
+		}
+	case GranColumn:
+		written := sqlparser.WrittenColumns(st)
+		for _, t := range st.Tables() {
+			c.invalidateTableLocked(t, written)
+		}
+	}
+}
+
+// invalidateTableLocked drops entries reading table t. When writtenCols is
+// non-nil, only entries whose read columns intersect it (or whose columns
+// cannot be enumerated) are dropped.
+func (c *ResultCache) invalidateTableLocked(t string, writtenCols []string) {
+	set := c.byTable[t]
+	if len(set) == 0 {
+		return
+	}
+	var victims []*entry
+	for e := range set {
+		if writtenCols == nil || !e.colsOK || intersects(e.cols, writtenCols) {
+			victims = append(victims, e)
+		}
+	}
+	for _, e := range victims {
+		c.removeLocked(e)
+		c.stats.Invalidations++
+	}
+}
+
+func intersects(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Flush empties the cache.
+func (c *ResultCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry)
+	c.lru.Init()
+	c.byTable = make(map[string]map[*entry]bool)
+}
+
+// Len returns the number of cached entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// StatsSnapshot returns a copy of the counters.
+func (c *ResultCache) StatsSnapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *ResultCache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.lruElem)
+	for _, t := range e.tables {
+		if set := c.byTable[t]; set != nil {
+			delete(set, e)
+			if len(set) == 0 {
+				delete(c.byTable, t)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/sqlparser"
+	"cjdbc/internal/sqlval"
+)
+
+func res(n int) *backend.Result {
+	r := &backend.Result{Columns: []string{"a"}}
+	for i := 0; i < n; i++ {
+		r.Rows = append(r.Rows, []sqlval.Value{sqlval.Int(int64(i))})
+	}
+	return r
+}
+
+func stmt(t *testing.T, sql string) sqlparser.Statement {
+	t.Helper()
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(Config{Granularity: GranTable})
+	q := "SELECT a FROM t WHERE id = 1"
+	if c.Get(q) != nil {
+		t.Fatal("unexpected hit")
+	}
+	c.Put(q, stmt(t, q), res(1))
+	if got := c.Get(q); got == nil || len(got.Rows) != 1 {
+		t.Fatal("expected hit")
+	}
+	// Whitespace-normalized key.
+	if c.Get("  "+q+"  ") == nil {
+		t.Fatal("normalized key should hit")
+	}
+	st := c.StatsSnapshot()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestOnlyReadsAreCached(t *testing.T) {
+	c := New(Config{})
+	w := "UPDATE t SET a = 1"
+	c.Put(w, stmt(t, w), res(1))
+	if c.Len() != 0 {
+		t.Fatal("write cached")
+	}
+}
+
+func TestDatabaseGranularityFlushesAll(t *testing.T) {
+	c := New(Config{Granularity: GranDatabase})
+	c.Put("SELECT a FROM t", stmt(t, "SELECT a FROM t"), res(1))
+	c.Put("SELECT b FROM u", stmt(t, "SELECT b FROM u"), res(1))
+	c.InvalidateWrite(stmt(t, "UPDATE unrelated SET x = 1"))
+	if c.Len() != 0 {
+		t.Fatal("database granularity must flush everything")
+	}
+}
+
+func TestTableGranularity(t *testing.T) {
+	c := New(Config{Granularity: GranTable})
+	c.Put("SELECT a FROM t", stmt(t, "SELECT a FROM t"), res(1))
+	c.Put("SELECT b FROM u", stmt(t, "SELECT b FROM u"), res(1))
+	c.Put("SELECT t.a, u.b FROM t JOIN u ON t.id = u.id",
+		stmt(t, "SELECT t.a, u.b FROM t JOIN u ON t.id = u.id"), res(1))
+	c.InvalidateWrite(stmt(t, "UPDATE t SET a = 2"))
+	if c.Get("SELECT a FROM t") != nil {
+		t.Error("entry on written table survived")
+	}
+	if c.Get("SELECT t.a, u.b FROM t JOIN u ON t.id = u.id") != nil {
+		t.Error("join entry reading written table survived")
+	}
+	if c.Get("SELECT b FROM u") == nil {
+		t.Error("entry on unrelated table was invalidated")
+	}
+}
+
+func TestColumnGranularity(t *testing.T) {
+	c := New(Config{Granularity: GranColumn})
+	c.Put("SELECT a FROM t WHERE id = 1", stmt(t, "SELECT a FROM t WHERE id = 1"), res(1))
+	c.Put("SELECT b FROM t WHERE id = 1", stmt(t, "SELECT b FROM t WHERE id = 1"), res(1))
+	c.Put("SELECT * FROM t", stmt(t, "SELECT * FROM t"), res(1))
+
+	// Update touching only column b.
+	c.InvalidateWrite(stmt(t, "UPDATE t SET b = 9 WHERE id = 1"))
+	if c.Get("SELECT a FROM t WHERE id = 1") == nil {
+		t.Error("column-disjoint entry invalidated")
+	}
+	if c.Get("SELECT b FROM t WHERE id = 1") != nil {
+		t.Error("entry reading written column survived")
+	}
+	if c.Get("SELECT * FROM t") != nil {
+		t.Error("star entry (not enumerable) survived")
+	}
+
+	// DELETE has no written-column list: everything on the table goes.
+	c.Put("SELECT a FROM t WHERE id = 1", stmt(t, "SELECT a FROM t WHERE id = 1"), res(1))
+	c.InvalidateWrite(stmt(t, "DELETE FROM t WHERE id = 1"))
+	if c.Get("SELECT a FROM t WHERE id = 1") != nil {
+		t.Error("entry survived DELETE")
+	}
+}
+
+func TestColumnGranularityWhereColumns(t *testing.T) {
+	// A query filtering on a written column must be invalidated even if it
+	// does not select it: the row membership may change.
+	c := New(Config{Granularity: GranColumn})
+	q := "SELECT a FROM t WHERE b > 5"
+	c.Put(q, stmt(t, q), res(1))
+	c.InvalidateWrite(stmt(t, "UPDATE t SET b = 0"))
+	if c.Get(q) != nil {
+		t.Error("entry filtering on written column survived")
+	}
+}
+
+func TestRelaxedStaleness(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := New(Config{Granularity: GranTable, Staleness: time.Minute, Clock: clock})
+	q := "SELECT a FROM t"
+	c.Put(q, stmt(t, q), res(1))
+
+	// Updates do NOT invalidate under a staleness limit.
+	c.InvalidateWrite(stmt(t, "UPDATE t SET a = 1"))
+	if c.Get(q) == nil {
+		t.Fatal("relaxed cache dropped entry on write")
+	}
+	// Entries expire by age.
+	now = now.Add(61 * time.Second)
+	if c.Get(q) != nil {
+		t.Fatal("expired entry returned")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{Granularity: GranTable, MaxEntries: 3})
+	for i := 0; i < 5; i++ {
+		q := fmt.Sprintf("SELECT a FROM t WHERE id = %d", i)
+		c.Put(q, stmt(t, q), res(1))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	// Oldest entries evicted.
+	if c.Get("SELECT a FROM t WHERE id = 0") != nil {
+		t.Error("oldest entry survived eviction")
+	}
+	if c.Get("SELECT a FROM t WHERE id = 4") == nil {
+		t.Error("newest entry evicted")
+	}
+	if st := c.StatsSnapshot(); st.Evictions != 2 {
+		t.Errorf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	c := New(Config{Granularity: GranTable, MaxEntries: 2})
+	q1, q2, q3 := "SELECT a FROM t WHERE id = 1", "SELECT a FROM t WHERE id = 2", "SELECT a FROM t WHERE id = 3"
+	c.Put(q1, stmt(t, q1), res(1))
+	c.Put(q2, stmt(t, q2), res(1))
+	c.Get(q1) // touch: q2 becomes LRU
+	c.Put(q3, stmt(t, q3), res(1))
+	if c.Get(q1) == nil {
+		t.Error("touched entry evicted")
+	}
+	if c.Get(q2) != nil {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(Config{})
+	q := "SELECT a FROM t"
+	c.Put(q, stmt(t, q), res(1))
+	c.Flush()
+	if c.Len() != 0 || c.Get(q) != nil {
+		t.Fatal("flush incomplete")
+	}
+}
+
+func TestPutReplacesExisting(t *testing.T) {
+	c := New(Config{Granularity: GranTable})
+	q := "SELECT a FROM t"
+	c.Put(q, stmt(t, q), res(1))
+	c.Put(q, stmt(t, q), res(5))
+	if got := c.Get(q); len(got.Rows) != 5 {
+		t.Fatalf("replacement not visible: %d rows", len(got.Rows))
+	}
+	if c.Len() != 1 {
+		t.Fatalf("duplicate entries: %d", c.Len())
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if GranDatabase.String() != "database" || GranTable.String() != "table" || GranColumn.String() != "column" {
+		t.Error("granularity names")
+	}
+}

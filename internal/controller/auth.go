@@ -1,0 +1,64 @@
+// Package controller implements the C-JDBC controller: virtual databases
+// exposing a single-database view over a set of backends, each with its own
+// request manager (scheduler, optional query result cache, load balancer,
+// optional recovery log) and authentication manager (§2).
+package controller
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrAuth is returned on bad credentials.
+var ErrAuth = errors.New("controller: authentication failed")
+
+// AuthManager validates virtual database logins. Virtual users are
+// independent from the real backend logins, as in the paper.
+type AuthManager struct {
+	mu    sync.RWMutex
+	users map[string]string
+}
+
+// NewAuthManager creates an empty authentication manager.
+func NewAuthManager() *AuthManager {
+	return &AuthManager{users: make(map[string]string)}
+}
+
+// AddUser registers (or replaces) a virtual login.
+func (a *AuthManager) AddUser(user, password string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.users[user] = password
+}
+
+// RemoveUser deletes a virtual login.
+func (a *AuthManager) RemoveUser(user string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.users, user)
+}
+
+// Authenticate checks credentials. An auth manager with no users accepts
+// everyone (convenient for examples and tests).
+func (a *AuthManager) Authenticate(user, password string) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if len(a.users) == 0 {
+		return nil
+	}
+	if p, ok := a.users[user]; ok && p == password {
+		return nil
+	}
+	return ErrAuth
+}
+
+// Users returns the registered user names.
+func (a *AuthManager) Users() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.users))
+	for u := range a.users {
+		out = append(out, u)
+	}
+	return out
+}

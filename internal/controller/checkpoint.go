@@ -1,0 +1,158 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/recovery"
+)
+
+// ErrNoRecoveryLog is returned by checkpoint operations on a virtual
+// database configured without a recovery log.
+var ErrNoRecoveryLog = errors.New("controller: virtual database has no recovery log")
+
+// Checkpoint inserts a named checkpoint marker in the recovery log, atomic
+// with respect to the cluster-wide write order (§3.1: "the checkpoint
+// procedure starts by inserting a checkpoint marker in the recovery log").
+func (v *VirtualDatabase) Checkpoint(name string) (uint64, error) {
+	if v.log == nil {
+		return 0, ErrNoRecoveryLog
+	}
+	v.sched.LockWrites()
+	defer v.sched.UnlockWrites()
+	return v.log.Checkpoint(name)
+}
+
+// BackupBackend takes an online backup of one backend (§3.1): a checkpoint
+// marker is logged, the backend is disabled (the others keep serving), its
+// content is dumped, the updates that arrived during the dump are replayed
+// from the recovery log, and the backend is re-enabled. The returned dump
+// can later integrate new or failed backends.
+func (v *VirtualDatabase) BackupBackend(backendName, checkpointName string) (*recovery.Dump, error) {
+	if v.log == nil {
+		return nil, ErrNoRecoveryLog
+	}
+	b, err := v.Backend(backendName)
+	if err != nil {
+		return nil, err
+	}
+	sp, ok := b.Driver().(backend.SchemaProvider)
+	if !ok {
+		return nil, fmt.Errorf("controller: backend %s cannot be dumped (no schema provider)", backendName)
+	}
+
+	seq, err := v.Checkpoint(checkpointName)
+	if err != nil {
+		return nil, err
+	}
+	b.Disable()
+	dump, err := recovery.TakeDump(checkpointName, sp)
+	if err != nil {
+		b.Enable()
+		return nil, err
+	}
+	if err := v.catchUpAndEnable(b, seq); err != nil {
+		return nil, err
+	}
+	return dump, nil
+}
+
+// RestoreBackend re-integrates a failed or stale backend from a dump: the
+// dump is restored, the log is replayed from the dump's checkpoint, and the
+// backend is re-enabled (§3: "tools to automatically re-integrate failed
+// backends into a virtual database").
+func (v *VirtualDatabase) RestoreBackend(backendName string, dump *recovery.Dump) error {
+	if v.log == nil {
+		return ErrNoRecoveryLog
+	}
+	b, err := v.Backend(backendName)
+	if err != nil {
+		return err
+	}
+	seq, ok, err := v.log.CheckpointSeq(dump.Name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("controller: checkpoint %q not found in recovery log", dump.Name)
+	}
+	b.Disable()
+	b.SetRecovering()
+	if err := recovery.Restore(dump, b); err != nil {
+		b.Disable()
+		return err
+	}
+	return v.catchUpAndEnable(b, seq)
+}
+
+// IntegrateBackend adds a brand-new backend and brings it up to date from a
+// dump, the "bring new backends into the system" path of §3.
+func (v *VirtualDatabase) IntegrateBackend(b *backend.Backend, dump *recovery.Dump) error {
+	if v.log == nil {
+		return ErrNoRecoveryLog
+	}
+	b.OnWriteFailure(v.writeFailureCallback)
+	b.Disable()
+	b.SetRecovering()
+	if err := recovery.Restore(dump, b); err != nil {
+		return err
+	}
+	seq, ok, err := v.log.CheckpointSeq(dump.Name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("controller: checkpoint %q not found in recovery log", dump.Name)
+	}
+	v.mu.Lock()
+	v.backends = append(v.backends, b)
+	v.mu.Unlock()
+	if v.repl.RequiresParsing() {
+		for _, td := range dump.Tables {
+			hosts := append(v.repl.Hosts(td.Name), b.Name())
+			v.repl.NoteCreate(td.Name, hosts)
+		}
+	}
+	return v.catchUpAndEnable(b, seq)
+}
+
+// catchUpAndEnable replays the log from seq onto b, then performs a final
+// catch-up inside the total-order critical section so no write lands
+// between the last replayed entry and the enable.
+func (v *VirtualDatabase) catchUpAndEnable(b *backend.Backend, seq uint64) error {
+	// Bulk replay outside the write lock: may take a while on big logs.
+	last, err := replayCommitted(v.log, seq, b)
+	if err != nil {
+		b.Disable()
+		return err
+	}
+	// Final catch-up with writes quiesced, then enable atomically.
+	v.sched.LockWrites()
+	defer v.sched.UnlockWrites()
+	if _, err := replayCommitted(v.log, last, b); err != nil {
+		b.Disable()
+		return err
+	}
+	b.Enable()
+	return nil
+}
+
+// replayCommitted applies committed writes after seq and returns the
+// highest sequence number observed (so a second pass can resume there).
+func replayCommitted(l recovery.Log, seq uint64, b *backend.Backend) (uint64, error) {
+	entries, err := l.Since(seq)
+	if err != nil {
+		return seq, err
+	}
+	last := seq
+	for _, e := range entries {
+		if e.Seq > last {
+			last = e.Seq
+		}
+	}
+	if _, err := recovery.Replay(l, seq, b); err != nil {
+		return last, err
+	}
+	return last, nil
+}

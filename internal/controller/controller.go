@@ -1,0 +1,78 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Controller hosts one or more virtual databases, as in Figure 1 where a
+// single controller serves two virtual databases with independent request
+// managers.
+type Controller struct {
+	name string
+	id   uint16
+
+	mu   sync.RWMutex
+	vdbs map[string]*VirtualDatabase
+}
+
+// New creates a controller. id must be unique among controllers sharing a
+// distributed virtual database (it prefixes transaction identifiers).
+func New(name string, id uint16) *Controller {
+	return &Controller{name: name, id: id, vdbs: make(map[string]*VirtualDatabase)}
+}
+
+// Name returns the controller name.
+func (c *Controller) Name() string { return c.name }
+
+// ID returns the controller's numeric identity.
+func (c *Controller) ID() uint16 { return c.id }
+
+// AddVirtualDatabase creates and registers a virtual database from cfg,
+// forcing the controller's identity into the scheduler.
+func (c *Controller) AddVirtualDatabase(cfg VDBConfig) (*VirtualDatabase, error) {
+	cfg.ControllerID = c.id
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.vdbs[cfg.Name]; dup {
+		return nil, fmt.Errorf("controller: virtual database %q already loaded", cfg.Name)
+	}
+	v := NewVirtualDatabase(cfg)
+	c.vdbs[cfg.Name] = v
+	return v, nil
+}
+
+// VirtualDatabase looks a virtual database up by name.
+func (c *Controller) VirtualDatabase(name string) (*VirtualDatabase, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.vdbs[name]
+	if !ok {
+		return nil, fmt.Errorf("controller: no virtual database %q", name)
+	}
+	return v, nil
+}
+
+// VirtualDatabases returns the sorted names of the hosted vdbs.
+func (c *Controller) VirtualDatabases() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.vdbs))
+	for n := range c.vdbs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close shuts down every backend of every virtual database.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range c.vdbs {
+		for _, b := range v.Backends() {
+			b.Close()
+		}
+	}
+}

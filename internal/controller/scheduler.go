@@ -1,0 +1,179 @@
+package controller
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/sqlparser"
+)
+
+// ResponsePolicy selects when a write (update, commit or abort) is
+// acknowledged to the client (§2.4.4 early response): after the first
+// backend, after a majority, or after all backends complete.
+type ResponsePolicy int
+
+// Response policies.
+const (
+	// ResponseAll waits for every involved backend (the default; fully
+	// synchronous as §2.4.1 describes).
+	ResponseAll ResponsePolicy = iota
+	// ResponseFirst returns as soon as one backend has executed the
+	// operation, offering the latency of the fastest backend.
+	ResponseFirst
+	// ResponseMajority returns once a majority of the involved backends
+	// have executed the operation.
+	ResponseMajority
+)
+
+// String names the policy.
+func (p ResponsePolicy) String() string {
+	switch p {
+	case ResponseAll:
+		return "all"
+	case ResponseFirst:
+		return "first"
+	case ResponseMajority:
+		return "majority"
+	}
+	return "unknown"
+}
+
+// Scheduler implements §2.4.1: it imposes a total order on updates, commits
+// and aborts (one in progress per virtual database at a time), lets reads
+// from different transactions proceed concurrently, rewrites
+// non-deterministic macros, and allocates transaction identifiers.
+type Scheduler struct {
+	// writeMu is the total-order point: writes are sequenced, logged and
+	// enqueued to the backends' FIFO queues while holding it.
+	writeMu sync.Mutex
+
+	// serializeAll disables the parallel-transactions optimization
+	// (§2.4.4): when set, reads serialize through writeMu as well.
+	serializeAll bool
+
+	early ResponsePolicy
+
+	txSeq  atomic.Uint64
+	txBase uint64 // controller-unique prefix for distributed uniqueness
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+	clock func() time.Time
+}
+
+// NewScheduler creates a scheduler. controllerID disambiguates transaction
+// identifiers when several controllers host the same virtual database.
+func NewScheduler(controllerID uint16, early ResponsePolicy, parallelTx bool) *Scheduler {
+	return &Scheduler{
+		serializeAll: !parallelTx,
+		early:        early,
+		txBase:       uint64(controllerID) << 48,
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
+		clock:        time.Now,
+	}
+}
+
+// NextTxID allocates a cluster-unique transaction identifier. Identifiers
+// are never zero (zero means auto-commit).
+func (s *Scheduler) NextTxID() uint64 {
+	return s.txBase | s.txSeq.Add(1)
+}
+
+// Policy returns the early-response policy.
+func (s *Scheduler) Policy() ResponsePolicy { return s.early }
+
+// RewriteMacros replaces NOW()/RAND() style macros with values computed
+// once by the scheduler, so every backend stores exactly the same data.
+func (s *Scheduler) RewriteMacros(st sqlparser.Statement) {
+	if !sqlparser.HasMacros(st) {
+		return
+	}
+	s.rngMu.Lock()
+	now := s.clock()
+	rng := s.rng
+	sqlparser.RewriteMacros(st, now, rng)
+	s.rngMu.Unlock()
+}
+
+// LockWrites enters the total-order critical section.
+func (s *Scheduler) LockWrites() { s.writeMu.Lock() }
+
+// UnlockWrites leaves the total-order critical section.
+func (s *Scheduler) UnlockWrites() { s.writeMu.Unlock() }
+
+// BeginRead blocks reads only when parallel transactions are disabled.
+func (s *Scheduler) BeginRead() {
+	if s.serializeAll {
+		s.writeMu.Lock()
+	}
+}
+
+// EndRead matches BeginRead.
+func (s *Scheduler) EndRead() {
+	if s.serializeAll {
+		s.writeMu.Unlock()
+	}
+}
+
+// WaitOutcomes applies the early-response policy to the per-backend write
+// outcome channels: it blocks until enough backends answered, and keeps
+// draining the rest in the background so failures still disable backends.
+// It returns the first successful result; if every backend failed, it
+// returns the first error.
+func (s *Scheduler) WaitOutcomes(policy ResponsePolicy, outs []<-chan backend.WriteOutcome) (*backend.Result, error) {
+	n := len(outs)
+	if n == 0 {
+		return nil, ErrNoWriteTarget
+	}
+	need := n
+	switch policy {
+	case ResponseFirst:
+		need = 1
+	case ResponseMajority:
+		need = n/2 + 1
+	}
+
+	agg := make(chan backend.WriteOutcome, n)
+	for _, ch := range outs {
+		ch := ch
+		go func() { agg <- <-ch }()
+	}
+
+	var firstRes *backend.Result
+	var firstErr error
+	successes, received := 0, 0
+	for received < n {
+		o := <-agg
+		received++
+		if o.Err == nil {
+			successes++
+			if firstRes == nil {
+				firstRes = o.Res
+			}
+		} else if firstErr == nil {
+			firstErr = o.Err
+		}
+		if successes >= need {
+			// Drain the stragglers asynchronously; backend failure
+			// callbacks handle any late errors.
+			remaining := n - received
+			if remaining > 0 {
+				go func() {
+					for i := 0; i < remaining; i++ {
+						<-agg
+					}
+				}()
+			}
+			return firstRes, nil
+		}
+	}
+	if successes > 0 {
+		// Partial success: the failing backends have been disabled (no
+		// 2PC, §2.4.1); the operation stands on the survivors.
+		return firstRes, nil
+	}
+	return nil, firstErr
+}

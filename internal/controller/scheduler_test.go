@@ -1,0 +1,143 @@
+package controller
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cjdbc/internal/backend"
+)
+
+// outcomeChan builds a pre-resolved outcome channel.
+func outcomeChan(res *backend.Result, err error, after time.Duration) <-chan backend.WriteOutcome {
+	ch := make(chan backend.WriteOutcome, 1)
+	if after == 0 {
+		ch <- backend.WriteOutcome{Res: res, Err: err}
+	} else {
+		go func() {
+			time.Sleep(after)
+			ch <- backend.WriteOutcome{Res: res, Err: err}
+		}()
+	}
+	return ch
+}
+
+func TestWaitOutcomesAllWaitsForEveryBackend(t *testing.T) {
+	s := NewScheduler(1, ResponseAll, true)
+	slow := 30 * time.Millisecond
+	start := time.Now()
+	res, err := s.WaitOutcomes(ResponseAll, []<-chan backend.WriteOutcome{
+		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 0),
+		outcomeChan(&backend.Result{RowsAffected: 1}, nil, slow),
+	})
+	if err != nil || res.RowsAffected != 1 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if time.Since(start) < slow {
+		t.Error("ResponseAll returned before the slow backend")
+	}
+}
+
+func TestWaitOutcomesFirstReturnsEarly(t *testing.T) {
+	s := NewScheduler(1, ResponseFirst, true)
+	start := time.Now()
+	res, err := s.WaitOutcomes(ResponseFirst, []<-chan backend.WriteOutcome{
+		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 0),
+		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 200*time.Millisecond),
+	})
+	if err != nil || res == nil {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("ResponseFirst waited for the slow backend")
+	}
+}
+
+func TestWaitOutcomesMajority(t *testing.T) {
+	s := NewScheduler(1, ResponseMajority, true)
+	start := time.Now()
+	_, err := s.WaitOutcomes(ResponseMajority, []<-chan backend.WriteOutcome{
+		outcomeChan(&backend.Result{}, nil, 0),
+		outcomeChan(&backend.Result{}, nil, 10*time.Millisecond),
+		outcomeChan(&backend.Result{}, nil, 300*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 150*time.Millisecond {
+		t.Error("majority waited for the slowest backend")
+	}
+}
+
+func TestWaitOutcomesPartialFailureSucceeds(t *testing.T) {
+	// No 2PC (§2.4.1): a failed backend gets disabled, the operation
+	// stands on the survivors.
+	s := NewScheduler(1, ResponseAll, true)
+	res, err := s.WaitOutcomes(ResponseAll, []<-chan backend.WriteOutcome{
+		outcomeChan(nil, errors.New("disk died"), 0),
+		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 0),
+	})
+	if err != nil || res == nil {
+		t.Fatalf("partial failure: res=%v err=%v", res, err)
+	}
+}
+
+func TestWaitOutcomesTotalFailureFails(t *testing.T) {
+	s := NewScheduler(1, ResponseAll, true)
+	boom := errors.New("boom")
+	_, err := s.WaitOutcomes(ResponseAll, []<-chan backend.WriteOutcome{
+		outcomeChan(nil, boom, 0),
+		outcomeChan(nil, boom, 0),
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("total failure: %v", err)
+	}
+	if _, err := s.WaitOutcomes(ResponseAll, nil); !errors.Is(err, ErrNoWriteTarget) {
+		t.Fatalf("empty targets: %v", err)
+	}
+}
+
+func TestWaitOutcomesFirstSkipsEarlyError(t *testing.T) {
+	// With ResponseFirst, an early failure must not mask a later success.
+	s := NewScheduler(1, ResponseFirst, true)
+	res, err := s.WaitOutcomes(ResponseFirst, []<-chan backend.WriteOutcome{
+		outcomeChan(nil, errors.New("bad disk"), 0),
+		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 10*time.Millisecond),
+	})
+	if err != nil || res == nil {
+		t.Fatalf("first-with-error: res=%v err=%v", res, err)
+	}
+}
+
+func TestTxIDsUniqueAcrossControllers(t *testing.T) {
+	s1 := NewScheduler(1, ResponseAll, true)
+	s2 := NewScheduler(2, ResponseAll, true)
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, s := range []*Scheduler{s1, s2} {
+		wg.Add(1)
+		go func(s *Scheduler) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := s.NextTxID()
+				mu.Lock()
+				if id == 0 || seen[id] {
+					t.Errorf("duplicate or zero txid %d", id)
+					mu.Unlock()
+					return
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if ResponseAll.String() != "all" || ResponseFirst.String() != "first" || ResponseMajority.String() != "majority" {
+		t.Error("policy names")
+	}
+}

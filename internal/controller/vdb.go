@@ -1,0 +1,581 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/balancer"
+	"cjdbc/internal/cache"
+	"cjdbc/internal/recovery"
+	"cjdbc/internal/sqlparser"
+	"cjdbc/internal/sqlval"
+)
+
+// Errors reported by the virtual database.
+var (
+	// ErrNoWriteTarget is returned when no enabled backend hosts the
+	// tables a write affects.
+	ErrNoWriteTarget = errors.New("controller: no enabled backend hosts the written tables")
+	// ErrUnknownBackend is returned for operations naming a backend the
+	// virtual database does not contain.
+	ErrUnknownBackend = errors.New("controller: unknown backend")
+	// ErrSessionClosed is returned for operations on a closed session.
+	ErrSessionClosed = errors.New("controller: session closed")
+)
+
+// CtrlCost attributes virtual CPU time to the controller itself, the proxy
+// for the "C-JDBC CPU load" row of Table 1. The durations are accounted,
+// not slept: the controller is never the deliberate bottleneck.
+type CtrlCost struct {
+	PerRequest      time.Duration
+	PerCacheHit     time.Duration
+	PerInvalidation time.Duration
+}
+
+// VDBConfig configures a virtual database.
+type VDBConfig struct {
+	Name          string
+	ControllerID  uint16
+	Replication   balancer.Replication // nil means full replication
+	Balancer      balancer.Balancer    // nil means least-pending-requests-first
+	Cache         *cache.ResultCache   // nil disables result caching
+	RecoveryLog   recovery.Log         // nil disables logging
+	EarlyResponse ResponsePolicy       // applies to update/commit/abort
+	ParallelTx    bool                 // §2.4.4 parallel transactions
+	CtrlCost      CtrlCost             // controller CPU accounting
+	Auth          *AuthManager         // nil accepts everyone
+}
+
+// Stats counts virtual database activity.
+type Stats struct {
+	Reads            int64
+	Writes           int64
+	Begins           int64
+	Commits          int64
+	Rollbacks        int64
+	CacheHits        int64
+	CacheMisses      int64
+	BackendsDisabled int64
+}
+
+// VirtualDatabase presents one single-database view over a set of backends
+// (§2.2). All request routing happens here: this is the request manager.
+type VirtualDatabase struct {
+	name  string
+	auth  *AuthManager
+	repl  balancer.Replication
+	bal   balancer.Balancer
+	cache *cache.ResultCache
+	log   recovery.Log
+	sched *Scheduler
+	cost  CtrlCost
+
+	mu       sync.RWMutex
+	backends []*backend.Backend
+
+	// distributor, when set, carries writes to the other controllers
+	// hosting this virtual database (horizontal scalability, §4.1).
+	distributor Distributor
+
+	reads            atomic.Int64
+	writes           atomic.Int64
+	begins           atomic.Int64
+	commits          atomic.Int64
+	rollbacks        atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	backendsDisabled atomic.Int64
+	ctrlBusy         atomic.Int64
+}
+
+// Distributor forwards ordered write operations to every controller of a
+// distributed virtual database; implemented in the distributed package.
+type Distributor interface {
+	// SubmitWrite broadcasts one write/commit/abort with total order and
+	// returns the local application outcome.
+	SubmitWrite(txID uint64, class sqlparser.StatementClass, sql string) (*backend.Result, error)
+}
+
+// NewVirtualDatabase builds a virtual database from its configuration.
+func NewVirtualDatabase(cfg VDBConfig) *VirtualDatabase {
+	repl := cfg.Replication
+	if repl == nil {
+		repl = balancer.FullReplication{}
+	}
+	bal := cfg.Balancer
+	if bal == nil {
+		bal = &balancer.LeastPending{}
+	}
+	auth := cfg.Auth
+	if auth == nil {
+		auth = NewAuthManager()
+	}
+	return &VirtualDatabase{
+		name:  cfg.Name,
+		auth:  auth,
+		repl:  repl,
+		bal:   bal,
+		cache: cfg.Cache,
+		log:   cfg.RecoveryLog,
+		sched: NewScheduler(cfg.ControllerID, cfg.EarlyResponse, cfg.ParallelTx),
+		cost:  cfg.CtrlCost,
+	}
+}
+
+// Name returns the virtual database name.
+func (v *VirtualDatabase) Name() string { return v.name }
+
+// Auth returns the authentication manager.
+func (v *VirtualDatabase) Auth() *AuthManager { return v.auth }
+
+// Scheduler exposes the scheduler (for the distributed request manager).
+func (v *VirtualDatabase) Scheduler() *Scheduler { return v.sched }
+
+// Cache returns the result cache, or nil.
+func (v *VirtualDatabase) Cache() *cache.ResultCache { return v.cache }
+
+// RecoveryLog returns the recovery log, or nil.
+func (v *VirtualDatabase) RecoveryLog() recovery.Log { return v.log }
+
+// Replication returns the replication policy.
+func (v *VirtualDatabase) Replication() balancer.Replication { return v.repl }
+
+// SetDistributor installs the horizontal-scalability write path.
+func (v *VirtualDatabase) SetDistributor(d Distributor) {
+	v.mu.Lock()
+	v.distributor = d
+	v.mu.Unlock()
+}
+
+// AddBackend attaches a backend, wires its failure callback, gathers its
+// schema (dynamic schema gathering, §2.4.3) and enables it.
+func (v *VirtualDatabase) AddBackend(b *backend.Backend) error {
+	b.OnWriteFailure(v.writeFailureCallback)
+	if v.repl.RequiresParsing() {
+		names, err := b.TableNames()
+		if err != nil {
+			return fmt.Errorf("controller: gather schema of %s: %w", b.Name(), err)
+		}
+		for _, t := range names {
+			hosts := v.repl.Hosts(t)
+			hosts = append(hosts, b.Name())
+			v.repl.NoteCreate(t, hosts)
+		}
+	}
+	v.mu.Lock()
+	v.backends = append(v.backends, b)
+	v.mu.Unlock()
+	b.Enable()
+	return nil
+}
+
+// Backends returns a snapshot of the backend list.
+func (v *VirtualDatabase) Backends() []*backend.Backend {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]*backend.Backend(nil), v.backends...)
+}
+
+// Backend looks a backend up by name.
+func (v *VirtualDatabase) Backend(name string) (*backend.Backend, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, b := range v.backends {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrUnknownBackend, name)
+}
+
+// writeFailureCallback disables a backend that failed a write (§2.4.1).
+// Statement-level errors (bad SQL, constraint violations, lock timeouts)
+// fail identically on every replica and must not disable anything.
+func (v *VirtualDatabase) writeFailureCallback(fb *backend.Backend, err error) {
+	if isSemanticError(err) {
+		return
+	}
+	v.DisableBackend(fb.Name())
+}
+
+// DisableBackend disables a backend (after a write failure or for
+// maintenance); the virtual database keeps serving from the others.
+func (v *VirtualDatabase) DisableBackend(name string) {
+	b, err := v.Backend(name)
+	if err != nil {
+		return
+	}
+	if b.Enabled() {
+		b.Disable()
+		v.backendsDisabled.Add(1)
+	}
+}
+
+// StatsSnapshot returns the counters.
+func (v *VirtualDatabase) StatsSnapshot() Stats {
+	return Stats{
+		Reads:            v.reads.Load(),
+		Writes:           v.writes.Load(),
+		Begins:           v.begins.Load(),
+		Commits:          v.commits.Load(),
+		Rollbacks:        v.rollbacks.Load(),
+		CacheHits:        v.cacheHits.Load(),
+		CacheMisses:      v.cacheMisses.Load(),
+		BackendsDisabled: v.backendsDisabled.Load(),
+	}
+}
+
+// CtrlBusyNanos returns the accumulated controller CPU proxy.
+func (v *VirtualDatabase) CtrlBusyNanos() int64 { return v.ctrlBusy.Load() }
+
+func (v *VirtualDatabase) chargeCtrl(d time.Duration) {
+	if d > 0 {
+		v.ctrlBusy.Add(int64(d))
+	}
+}
+
+// Session is one client connection to the virtual database, holding its
+// transaction state. Sessions are not safe for concurrent use, matching a
+// JDBC Connection.
+type Session struct {
+	vdb    *VirtualDatabase
+	user   string
+	txID   uint64
+	closed bool
+}
+
+// NewSession authenticates and opens a session.
+func (v *VirtualDatabase) NewSession(user, password string) (*Session, error) {
+	if err := v.auth.Authenticate(user, password); err != nil {
+		return nil, err
+	}
+	return &Session{vdb: v, user: user}, nil
+}
+
+// User returns the session's login.
+func (s *Session) User() string { return s.user }
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.txID != 0 }
+
+// TxID exposes the transaction identifier (0 when auto-committing).
+func (s *Session) TxID() uint64 { return s.txID }
+
+// Close rolls back any open transaction and invalidates the session.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	if s.txID != 0 {
+		_, _ = s.Exec("ROLLBACK", nil)
+	}
+	s.closed = true
+}
+
+// Exec runs one SQL statement with optional positional parameters, routing
+// it per §2.4.1: begin/commit/abort to all backends, reads to one backend
+// chosen by the load balancer, updates to all backends hosting the affected
+// tables.
+func (s *Session) Exec(sql string, params []sqlval.Value) (*backend.Result, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	v := s.vdb
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(params) > 0 || sqlparser.NumParams(st) > 0 {
+		if err := sqlparser.BindParams(st, params); err != nil {
+			return nil, err
+		}
+		sql = sqlparser.Render(st)
+	}
+	v.chargeCtrl(v.cost.PerRequest)
+
+	switch sqlparser.Classify(st) {
+	case sqlparser.ClassBegin:
+		return s.execBegin()
+	case sqlparser.ClassCommit:
+		return s.execEndTx(sqlparser.ClassCommit, st)
+	case sqlparser.ClassRollback:
+		return s.execEndTx(sqlparser.ClassRollback, st)
+	case sqlparser.ClassRead:
+		return v.execRead(s.txID, st, sql)
+	default:
+		return s.execWrite(st, sql)
+	}
+}
+
+// execBegin starts a transaction lazily: no backend is contacted until the
+// transaction's first statement reaches it (§2.4.4 lazy transaction begin).
+func (s *Session) execBegin() (*backend.Result, error) {
+	v := s.vdb
+	if s.txID != 0 {
+		return nil, fmt.Errorf("controller: transaction already in progress")
+	}
+	s.txID = v.sched.NextTxID()
+	v.begins.Add(1)
+	if v.log != nil {
+		if _, err := v.log.Append(recovery.Entry{User: s.user, TxID: s.txID, Class: recovery.ClassBegin}); err != nil {
+			return nil, err
+		}
+	}
+	return &backend.Result{}, nil
+}
+
+// execEndTx commits or aborts: the demarcation is sent to every backend
+// (each no-ops if the transaction never started there).
+func (s *Session) execEndTx(class sqlparser.StatementClass, st sqlparser.Statement) (*backend.Result, error) {
+	v := s.vdb
+	if s.txID == 0 {
+		return nil, fmt.Errorf("controller: no transaction in progress")
+	}
+	txID := s.txID
+	s.txID = 0
+	if class == sqlparser.ClassCommit {
+		v.commits.Add(1)
+	} else {
+		v.rollbacks.Add(1)
+	}
+
+	if d := v.distributorSnapshot(); d != nil {
+		sql := "COMMIT"
+		if class == sqlparser.ClassRollback {
+			sql = "ROLLBACK"
+		}
+		return d.SubmitWrite(txID, class, sql)
+	}
+
+	v.sched.LockWrites()
+	if v.log != nil {
+		lc := recovery.ClassCommit
+		if class == sqlparser.ClassRollback {
+			lc = recovery.ClassRollback
+		}
+		if _, err := v.log.Append(recovery.Entry{User: s.user, TxID: txID, Class: lc}); err != nil {
+			v.sched.UnlockWrites()
+			return nil, err
+		}
+	}
+	outs := v.dispatchEndTx(txID, class, st)
+	v.sched.UnlockWrites()
+	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
+}
+
+// dispatchEndTx enqueues the demarcation on every backend. Must run inside
+// the total-order critical section (or the distributed applier).
+func (v *VirtualDatabase) dispatchEndTx(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement) []<-chan backend.WriteOutcome {
+	bs := v.Backends()
+	outs := make([]<-chan backend.WriteOutcome, 0, len(bs))
+	for _, b := range bs {
+		if !b.Enabled() {
+			continue
+		}
+		sql := "COMMIT"
+		if class == sqlparser.ClassRollback {
+			sql = "ROLLBACK"
+		}
+		outs = append(outs, b.EnqueueWrite(txID, class, st, sql))
+	}
+	return outs
+}
+
+// execWrite is the update path: macro rewriting, recovery logging, ordered
+// dispatch to all backends hosting the affected tables, cache invalidation,
+// then the early-response wait.
+func (s *Session) execWrite(st sqlparser.Statement, sql string) (*backend.Result, error) {
+	v := s.vdb
+	v.writes.Add(1)
+
+	if sqlparser.HasMacros(st) {
+		v.sched.RewriteMacros(st)
+		sql = sqlparser.Render(st)
+	}
+
+	if d := v.distributorSnapshot(); d != nil {
+		return d.SubmitWrite(s.txID, sqlparser.ClassWrite, sql)
+	}
+
+	v.sched.LockWrites()
+	if v.log != nil {
+		if _, err := v.log.Append(recovery.Entry{User: s.user, TxID: s.txID, Class: recovery.ClassWrite, SQL: sql}); err != nil {
+			v.sched.UnlockWrites()
+			return nil, err
+		}
+	}
+	outs, err := v.dispatchWrite(s.txID, st, sql)
+	v.sched.UnlockWrites()
+	if err != nil {
+		return nil, err
+	}
+	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
+}
+
+// dispatchWrite enqueues a write on every backend hosting the affected
+// tables and maintains the dynamic schema and the cache. Must run inside
+// the total-order critical section (or the distributed applier).
+func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql string) ([]<-chan backend.WriteOutcome, error) {
+	tables := st.Tables()
+	targets := v.repl.WriteTargets(tables, v.Backends())
+	if len(targets) == 0 {
+		return nil, ErrNoWriteTarget
+	}
+	// Deterministic dispatch order keeps logs and traces comparable.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Name() < targets[j].Name() })
+
+	outs := make([]<-chan backend.WriteOutcome, 0, len(targets))
+	for _, b := range targets {
+		outs = append(outs, b.EnqueueWrite(txID, sqlparser.ClassWrite, st, sql))
+	}
+
+	// Dynamic schema maintenance (§2.4.3: updated on each create or drop).
+	switch t := st.(type) {
+	case *sqlparser.CreateTable:
+		names := make([]string, len(targets))
+		for i, b := range targets {
+			names[i] = b.Name()
+		}
+		v.repl.NoteCreate(t.Table, names)
+	case *sqlparser.DropTable:
+		v.repl.NoteDrop(t.Table)
+	}
+
+	if v.cache != nil {
+		nInv := v.cache.StatsSnapshot().Invalidations
+		v.cache.InvalidateWrite(st)
+		if d := v.cost.PerInvalidation; d > 0 {
+			inv := v.cache.StatsSnapshot().Invalidations - nInv
+			v.chargeCtrl(time.Duration(inv) * d)
+		}
+	}
+	return outs, nil
+}
+
+// execRead is the read path: result cache, then load-balanced read-one.
+func (v *VirtualDatabase) execRead(txID uint64, st sqlparser.Statement, sql string) (*backend.Result, error) {
+	v.reads.Add(1)
+	if v.cache != nil && txID == 0 {
+		if res := v.cache.Get(sql); res != nil {
+			v.cacheHits.Add(1)
+			v.chargeCtrl(v.cost.PerCacheHit)
+			return res, nil
+		}
+		v.cacheMisses.Add(1)
+	}
+
+	v.sched.BeginRead()
+	defer v.sched.EndRead()
+
+	tables := st.Tables()
+	var lastErr error
+	// Retry on backend failure: the read fails over to another candidate
+	// (the failed backend is disabled by its callback or explicitly here).
+	for attempt := 0; attempt < 8; attempt++ {
+		cands := v.repl.ReadCandidates(tables, v.Backends())
+		b, err := v.bal.Choose(cands)
+		if err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		res, err := b.Read(txID, st, sql)
+		if err == nil {
+			if v.cache != nil && txID == 0 {
+				v.cache.Put(sql, st, res)
+			}
+			return res, nil
+		}
+		lastErr = err
+		if errors.Is(err, backend.ErrDisabled) || errors.Is(err, backend.ErrClosed) {
+			continue
+		}
+		if txID != 0 {
+			// Inside a transaction the read is pinned to transactional
+			// state; failing over silently would lose isolation.
+			return nil, err
+		}
+		// Engine-level errors (bad SQL, missing table) are not failover
+		// material: every replica would answer the same.
+		if isSemanticError(err) {
+			return nil, err
+		}
+		v.DisableBackend(b.Name())
+	}
+	return nil, lastErr
+}
+
+// isSemanticError distinguishes statement errors (identical on every
+// replica, so failover is pointless) from backend faults. The engine and
+// parser prefix their errors distinctively.
+func isSemanticError(err error) bool {
+	msg := err.Error()
+	return strings.HasPrefix(msg, "engine:") || strings.HasPrefix(msg, "sql:")
+}
+
+func (v *VirtualDatabase) distributorSnapshot() Distributor {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.distributor
+}
+
+// DispatchOrdered is the entry point the distributed request manager uses
+// when a totally ordered write is delivered: it logs and enqueues exactly
+// like the local path, but the caller supplies the ordering (deliveries are
+// processed sequentially) and waits on the returned outcome channels
+// itself. It never blocks on backend execution, so a transactional write
+// waiting on database locks cannot stall the delivery of the commit that
+// would release them.
+func (v *VirtualDatabase) DispatchOrdered(txID uint64, class sqlparser.StatementClass, sql string, user string) ([]<-chan backend.WriteOutcome, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if v.log != nil {
+		lc := recovery.ClassWrite
+		switch class {
+		case sqlparser.ClassCommit:
+			lc = recovery.ClassCommit
+		case sqlparser.ClassRollback:
+			lc = recovery.ClassRollback
+		}
+		if _, err := v.log.Append(recovery.Entry{User: user, TxID: txID, Class: lc, SQL: sql}); err != nil {
+			return nil, err
+		}
+	}
+	if class == sqlparser.ClassWrite {
+		return v.dispatchWrite(txID, st, sql)
+	}
+	return v.dispatchEndTx(txID, class, st), nil
+}
+
+// ApplyOrderedWrite dispatches one ordered write and waits per the
+// early-response policy; a convenience wrapper over DispatchOrdered.
+func (v *VirtualDatabase) ApplyOrderedWrite(txID uint64, class sqlparser.StatementClass, sql string, user string) (*backend.Result, error) {
+	outs, err := v.DispatchOrdered(txID, class, sql, user)
+	if err != nil {
+		return nil, err
+	}
+	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
+}
+
+// WaitPolicy applies the virtual database's early-response policy to a set
+// of outcome channels (exported for the distributed request manager).
+func (v *VirtualDatabase) WaitPolicy(outs []<-chan backend.WriteOutcome) (*backend.Result, error) {
+	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
+}
+
+// AbortSessionTx releases a transaction's backend connections without going
+// through SQL, used when a network session dies.
+func (v *VirtualDatabase) AbortSessionTx(txID uint64) {
+	for _, b := range v.Backends() {
+		b.AbortTx(txID)
+	}
+}

@@ -1,0 +1,258 @@
+// Package distributed implements C-JDBC's horizontal scalability (§4.1):
+// the schedulers of a virtual database hosted by several controllers are
+// synchronized through totally ordered group communication. Only write
+// requests and transaction demarcation travel through the group; reads stay
+// local to each controller. All other components (scheduler, cache, load
+// balancer) are unchanged, exactly as the paper describes.
+package distributed
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/controller"
+	"cjdbc/internal/groupcomm"
+	"cjdbc/internal/sqlparser"
+)
+
+// ErrLeft is returned when submitting to a distributed vdb that left its group.
+var ErrLeft = errors.New("distributed: controller has left the group")
+
+// writeMsg is the payload of one ordered write broadcast.
+type writeMsg struct {
+	ReqID  uint64 `json:"req"`
+	Origin string `json:"origin"`
+	TxID   uint64 `json:"tx"`
+	Class  uint8  `json:"class"`
+	SQL    string `json:"sql"`
+	User   string `json:"user"`
+}
+
+// configMsg announces a controller's backend configuration so that peers
+// can recover its backends after a failure (§4.1: "at initialization time,
+// the controllers exchange their respective backend configurations").
+type configMsg struct {
+	Origin   string   `json:"origin"`
+	Backends []string `json:"backends"`
+}
+
+// PeerEvent reports a membership change observed by this controller.
+type PeerEvent struct {
+	Peer     string
+	Joined   bool
+	Backends []string // last known backend config of the peer
+}
+
+// VDB is one controller's participation in a distributed virtual database.
+type VDB struct {
+	vdb    *controller.VirtualDatabase
+	member *groupcomm.Member
+	name   string
+
+	mu      sync.Mutex
+	waiters map[uint64]chan submitResult
+	peers   map[string][]string // peer -> backend names
+	known   map[string]bool     // current view membership
+	left    bool
+
+	reqSeq atomic.Uint64
+	events chan PeerEvent
+	done   chan struct{}
+}
+
+type submitResult struct {
+	res *backend.Result
+	err error
+}
+
+// Join attaches a virtual database to a controller group. The returned VDB
+// installs itself as the vdb's distributor: every write, commit and abort
+// is broadcast with total order and applied by every member in the same
+// sequence.
+func Join(v *controller.VirtualDatabase, g *groupcomm.Group, controllerName string) (*VDB, error) {
+	m, err := g.Join(controllerName)
+	if err != nil {
+		return nil, err
+	}
+	d := &VDB{
+		vdb:     v,
+		member:  m,
+		name:    controllerName,
+		waiters: make(map[uint64]chan submitResult),
+		peers:   make(map[string][]string),
+		known:   make(map[string]bool),
+		events:  make(chan PeerEvent, 64),
+		done:    make(chan struct{}),
+	}
+	go d.run()
+	v.SetDistributor(d)
+
+	// Announce our backend configuration for failure recovery.
+	names := make([]string, 0)
+	for _, b := range v.Backends() {
+		names = append(names, b.Name())
+	}
+	payload, err := json.Marshal(configMsg{Origin: controllerName, Backends: names})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Broadcast("config", payload); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Name returns the controller name inside the group.
+func (d *VDB) Name() string { return d.name }
+
+// Events delivers peer join/failure notifications, carrying the failed
+// peer's last known backend configuration so the survivor can recover them.
+func (d *VDB) Events() <-chan PeerEvent { return d.events }
+
+// PeerBackends returns the last announced backend names of a peer.
+func (d *VDB) PeerBackends(peer string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.peers[peer]...)
+}
+
+// Leave detaches from the group; the vdb reverts to purely local operation.
+func (d *VDB) Leave() {
+	d.mu.Lock()
+	if d.left {
+		d.mu.Unlock()
+		return
+	}
+	d.left = true
+	d.mu.Unlock()
+	d.vdb.SetDistributor(nil)
+	d.member.Leave()
+	<-d.done
+}
+
+// SubmitWrite implements controller.Distributor: the operation is broadcast
+// with total order and the call returns the local application's outcome.
+func (d *VDB) SubmitWrite(txID uint64, class sqlparser.StatementClass, sql string) (*backend.Result, error) {
+	d.mu.Lock()
+	if d.left {
+		d.mu.Unlock()
+		return nil, ErrLeft
+	}
+	reqID := d.reqSeq.Add(1)
+	ch := make(chan submitResult, 1)
+	d.waiters[reqID] = ch
+	d.mu.Unlock()
+
+	payload, err := json.Marshal(writeMsg{
+		ReqID: reqID, Origin: d.name, TxID: txID, Class: uint8(class), SQL: sql,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.member.Broadcast("write", payload); err != nil {
+		d.mu.Lock()
+		delete(d.waiters, reqID)
+		d.mu.Unlock()
+		return nil, fmt.Errorf("distributed: broadcast: %w", err)
+	}
+	r := <-ch
+	return r.res, r.err
+}
+
+// run is the applier: it processes deliveries strictly in total order.
+// Dispatch is non-blocking (the backends' write lanes execute
+// asynchronously), so a write stalled on database locks cannot prevent the
+// commit that releases them from being delivered.
+func (d *VDB) run() {
+	defer close(d.done)
+	msgs := d.member.Deliver()
+	views := d.member.Views()
+	for {
+		select {
+		case msg, ok := <-msgs:
+			if !ok {
+				return
+			}
+			d.handleMessage(msg)
+		case view, ok := <-views:
+			if !ok {
+				return
+			}
+			d.handleView(view)
+		}
+	}
+}
+
+func (d *VDB) handleMessage(msg groupcomm.Message) {
+	switch msg.Kind {
+	case "config":
+		var cm configMsg
+		if json.Unmarshal(msg.Payload, &cm) == nil && cm.Origin != d.name {
+			d.mu.Lock()
+			d.peers[cm.Origin] = cm.Backends
+			d.mu.Unlock()
+		}
+	case "write":
+		var wm writeMsg
+		if err := json.Unmarshal(msg.Payload, &wm); err != nil {
+			return
+		}
+		outs, err := d.vdb.DispatchOrdered(wm.TxID, sqlparser.StatementClass(wm.Class), wm.SQL, wm.User)
+		if wm.Origin != d.name {
+			// Remote origin: outcomes drain in the background; local
+			// failures disable local backends via their callbacks.
+			if err == nil {
+				go func() { _, _ = d.vdb.WaitPolicy(outs) }()
+			}
+			return
+		}
+		d.mu.Lock()
+		ch := d.waiters[wm.ReqID]
+		delete(d.waiters, wm.ReqID)
+		d.mu.Unlock()
+		if ch == nil {
+			return
+		}
+		if err != nil {
+			ch <- submitResult{err: err}
+			return
+		}
+		// Wait for the local policy outside the applier loop.
+		go func() {
+			res, werr := d.vdb.WaitPolicy(outs)
+			ch <- submitResult{res: res, err: werr}
+		}()
+	}
+}
+
+func (d *VDB) handleView(view groupcomm.View) {
+	d.mu.Lock()
+	prev := d.known
+	cur := make(map[string]bool, len(view.Members))
+	for _, m := range view.Members {
+		cur[m] = true
+	}
+	d.known = cur
+	var evs []PeerEvent
+	for m := range cur {
+		if m != d.name && !prev[m] {
+			evs = append(evs, PeerEvent{Peer: m, Joined: true})
+		}
+	}
+	for m := range prev {
+		if m != d.name && !cur[m] {
+			evs = append(evs, PeerEvent{Peer: m, Joined: false, Backends: append([]string(nil), d.peers[m]...)})
+		}
+	}
+	d.mu.Unlock()
+	for _, ev := range evs {
+		select {
+		case d.events <- ev:
+		default: // never block the applier on a slow consumer
+		}
+	}
+}

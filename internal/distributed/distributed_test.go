@@ -1,0 +1,262 @@
+package distributed
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/controller"
+	"cjdbc/internal/groupcomm"
+	"cjdbc/internal/sqlengine"
+)
+
+// node is one controller hosting the shared vdb with one local backend.
+type node struct {
+	ctrl   *controller.Controller
+	vdb    *controller.VirtualDatabase
+	dist   *VDB
+	engine *sqlengine.Engine
+}
+
+func mkCluster(t *testing.T, g *groupcomm.Group, n int) []*node {
+	t.Helper()
+	nodes := make([]*node, n)
+	for i := 0; i < n; i++ {
+		c := controller.New(fmt.Sprintf("ctrl%d", i), uint16(i+1))
+		v, err := c.AddVirtualDatabase(controller.VDBConfig{Name: "app", ParallelTx: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sqlengine.New(fmt.Sprintf("db%d", i))
+		s := e.NewSession()
+		s.ExecSQL("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
+		s.Close()
+		b := backend.New(backend.Config{Name: fmt.Sprintf("db%d", i), Driver: &backend.EngineDriver{Engine: e}})
+		t.Cleanup(b.Close)
+		if err := v.AddBackend(b); err != nil {
+			t.Fatal(err)
+		}
+		d, err := Join(v, g, c.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &node{ctrl: c, vdb: v, dist: d, engine: e}
+	}
+	return nodes
+}
+
+func count(t *testing.T, e *sqlengine.Engine, q string) int64 {
+	t.Helper()
+	s := e.NewSession()
+	defer s.Close()
+	res, err := s.ExecSQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[0][0].I
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestWritePropagatesToAllControllers(t *testing.T) {
+	g := groupcomm.NewGroup("app")
+	nodes := mkCluster(t, g, 3)
+	defer func() {
+		for _, n := range nodes {
+			n.dist.Leave()
+		}
+	}()
+
+	s, err := nodes[0].vdb.NewSession("u", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Exec("INSERT INTO t (id, v) VALUES (1, 'x')", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		n := n
+		waitFor(t, func() bool { return count(t, n.engine, "SELECT COUNT(*) FROM t") == 1 },
+			fmt.Sprintf("write on controller %d", i))
+	}
+}
+
+func TestTransactionsAcrossControllers(t *testing.T) {
+	g := groupcomm.NewGroup("app")
+	nodes := mkCluster(t, g, 2)
+	defer func() {
+		for _, n := range nodes {
+			n.dist.Leave()
+		}
+	}()
+
+	s, _ := nodes[0].vdb.NewSession("u", "")
+	defer s.Close()
+	if _, err := s.Exec("BEGIN", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO t (id, v) VALUES (1, 'tx')", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("COMMIT", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		n := n
+		waitFor(t, func() bool { return count(t, n.engine, "SELECT COUNT(*) FROM t") == 1 },
+			fmt.Sprintf("commit on controller %d", i))
+	}
+
+	// Rollback leaves nothing anywhere.
+	s.Exec("BEGIN", nil)
+	s.Exec("INSERT INTO t (id, v) VALUES (2, 'gone')", nil)
+	s.Exec("ROLLBACK", nil)
+	time.Sleep(20 * time.Millisecond)
+	for i, n := range nodes {
+		if got := count(t, n.engine, "SELECT COUNT(*) FROM t"); got != 1 {
+			t.Errorf("controller %d after rollback: %d rows", i, got)
+		}
+	}
+}
+
+func TestWritesFromBothControllersConverge(t *testing.T) {
+	g := groupcomm.NewGroup("app")
+	nodes := mkCluster(t, g, 2)
+	defer func() {
+		for _, n := range nodes {
+			n.dist.Leave()
+		}
+	}()
+
+	s0, _ := nodes[0].vdb.NewSession("u", "")
+	s1, _ := nodes[1].vdb.NewSession("u", "")
+	defer s0.Close()
+	defer s1.Close()
+
+	done := make(chan error, 2)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if _, err := s0.Exec(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'a')", i), nil); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 100; i < 120; i++ {
+			if _, err := s1.Exec(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'b')", i), nil); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range nodes {
+		n := n
+		waitFor(t, func() bool { return count(t, n.engine, "SELECT COUNT(*) FROM t") == 40 },
+			fmt.Sprintf("convergence on controller %d", i))
+	}
+}
+
+func TestReadsStayLocal(t *testing.T) {
+	g := groupcomm.NewGroup("app")
+	nodes := mkCluster(t, g, 2)
+	defer func() {
+		for _, n := range nodes {
+			n.dist.Leave()
+		}
+	}()
+
+	s, _ := nodes[0].vdb.NewSession("u", "")
+	defer s.Close()
+	s.Exec("INSERT INTO t (id, v) VALUES (1, 'x')", nil)
+	waitFor(t, func() bool { return count(t, nodes[1].engine, "SELECT COUNT(*) FROM t") == 1 }, "propagation")
+
+	remoteOps := nodes[1].vdb.Backends()[0].Ops()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Exec("SELECT v FROM t WHERE id = 1", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := nodes[1].vdb.Backends()[0].Ops(); got != remoteOps {
+		t.Errorf("reads crossed controllers: ops %d -> %d", remoteOps, got)
+	}
+}
+
+func TestControllerFailureEventCarriesBackendConfig(t *testing.T) {
+	g := groupcomm.NewGroup("app")
+	nodes := mkCluster(t, g, 2)
+	defer nodes[0].dist.Leave()
+
+	// Wait until ctrl0 learned ctrl1's config.
+	waitFor(t, func() bool { return len(nodes[0].dist.PeerBackends("ctrl1")) == 1 }, "config exchange")
+
+	nodes[1].dist.Leave() // simulate failure
+
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case ev := <-nodes[0].dist.Events():
+			if ev.Joined {
+				continue
+			}
+			if ev.Peer != "ctrl1" {
+				t.Fatalf("unexpected peer: %+v", ev)
+			}
+			if len(ev.Backends) != 1 || ev.Backends[0] != "db1" {
+				t.Fatalf("backend config not carried: %+v", ev)
+			}
+			return
+		case <-deadline:
+			t.Fatal("no failure event")
+		}
+	}
+}
+
+func TestSurvivorKeepsServingAfterPeerFailure(t *testing.T) {
+	g := groupcomm.NewGroup("app")
+	nodes := mkCluster(t, g, 2)
+	defer nodes[0].dist.Leave()
+
+	nodes[1].dist.Leave()
+
+	s, _ := nodes[0].vdb.NewSession("u", "")
+	defer s.Close()
+	if _, err := s.Exec("INSERT INTO t (id, v) VALUES (5, 'alive')", nil); err != nil {
+		t.Fatalf("write after peer failure: %v", err)
+	}
+	if got := count(t, nodes[0].engine, "SELECT COUNT(*) FROM t"); got != 1 {
+		t.Errorf("rows = %d", got)
+	}
+}
+
+func TestSubmitAfterLeaveFails(t *testing.T) {
+	g := groupcomm.NewGroup("app")
+	nodes := mkCluster(t, g, 1)
+	nodes[0].dist.Leave()
+	// The vdb reverted to local mode: writes still work locally.
+	s, _ := nodes[0].vdb.NewSession("u", "")
+	defer s.Close()
+	if _, err := s.Exec("INSERT INTO t (id, v) VALUES (1, 'local')", nil); err != nil {
+		t.Fatalf("local write after leave: %v", err)
+	}
+	nodes[0].dist.Leave() // idempotent
+}

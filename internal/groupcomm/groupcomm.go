@@ -1,0 +1,269 @@
+// Package groupcomm provides group membership and reliable totally ordered
+// broadcast, the services C-JDBC takes from JGroups (§4.1) to synchronize
+// the schedulers of a virtual database replicated over several controllers.
+//
+// The implementation is a sequencer protocol: a hub assigns a global
+// sequence number to every message and delivers messages to every member in
+// sequence order, including the sender. Membership changes (join, leave,
+// failure) produce view events ordered relative to messages. Members have
+// unbounded mailboxes so a slow member never blocks the group.
+package groupcomm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by group operations.
+var (
+	// ErrLeft is returned when operating on a member that left the group.
+	ErrLeft = errors.New("groupcomm: member has left the group")
+)
+
+// Message is one totally ordered broadcast.
+type Message struct {
+	Seq     uint64
+	Sender  string
+	Kind    string
+	Payload []byte
+}
+
+// View is a membership snapshot. Members are sorted; the first member acts
+// as coordinator when one is needed.
+type View struct {
+	ID      uint64
+	Members []string
+}
+
+// Coordinator returns the first member of the view, or "".
+func (v View) Coordinator() string {
+	if len(v.Members) == 0 {
+		return ""
+	}
+	return v.Members[0]
+}
+
+// Contains reports whether name is in the view.
+func (v View) Contains(name string) bool {
+	for _, m := range v.Members {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Group is one process group (one JGroups channel). Safe for concurrent use.
+type Group struct {
+	name string
+
+	mu      sync.Mutex
+	seq     uint64
+	viewID  uint64
+	members map[string]*Member
+}
+
+// NewGroup creates an empty group with the given name.
+func NewGroup(name string) *Group {
+	return &Group{name: name, members: make(map[string]*Member)}
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// event is either a message or a view change, queued in order.
+type event struct {
+	msg  *Message
+	view *View
+}
+
+// Member is one group participant.
+type Member struct {
+	group *Group
+	name  string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []event
+	closed bool
+
+	msgs  chan Message
+	views chan View
+	done  chan struct{}
+}
+
+// Join adds a member to the group. The new member (and every existing one)
+// receives the updated view.
+func (g *Group) Join(name string) (*Member, error) {
+	m := &Member{
+		group: g,
+		name:  name,
+		msgs:  make(chan Message, 64),
+		views: make(chan View, 16),
+		done:  make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	g.mu.Lock()
+	if _, dup := g.members[name]; dup {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("groupcomm: member %q already in group %q", name, g.name)
+	}
+	g.members[name] = m
+	g.bumpViewLocked()
+	g.mu.Unlock()
+	go m.pump()
+	return m, nil
+}
+
+// bumpViewLocked emits a new view to all members; caller holds g.mu.
+func (g *Group) bumpViewLocked() {
+	g.viewID++
+	names := make([]string, 0, len(g.members))
+	for n := range g.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	v := View{ID: g.viewID, Members: names}
+	for _, m := range g.members {
+		m.enqueue(event{view: &v})
+	}
+}
+
+// CurrentView returns the latest membership.
+func (g *Group) CurrentView() View {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	names := make([]string, 0, len(g.members))
+	for n := range g.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return View{ID: g.viewID, Members: names}
+}
+
+// Name returns the member name.
+func (m *Member) Name() string { return m.name }
+
+// Deliver returns the totally ordered message stream. Every broadcast,
+// including the member's own, appears here exactly once, in the same order
+// at every member.
+func (m *Member) Deliver() <-chan Message { return m.msgs }
+
+// Views returns the membership change stream.
+func (m *Member) Views() <-chan View { return m.views }
+
+// Broadcast sends a message with total order to all members including the
+// sender. It returns once the message has been sequenced (delivery to local
+// mailboxes is atomic with sequencing, so ordering is identical everywhere).
+func (m *Member) Broadcast(kind string, payload []byte) (uint64, error) {
+	g := m.group
+	g.mu.Lock()
+	if _, ok := g.members[m.name]; !ok {
+		g.mu.Unlock()
+		return 0, ErrLeft
+	}
+	g.seq++
+	msg := Message{Seq: g.seq, Sender: m.name, Kind: kind, Payload: payload}
+	for _, dst := range g.members {
+		dst.enqueue(event{msg: &msg})
+	}
+	g.mu.Unlock()
+	return msg.Seq, nil
+}
+
+// Leave removes the member gracefully; remaining members observe a new view.
+func (m *Member) Leave() {
+	g := m.group
+	g.mu.Lock()
+	if _, ok := g.members[m.name]; !ok {
+		g.mu.Unlock()
+		return
+	}
+	delete(g.members, m.name)
+	g.bumpViewLocked()
+	g.mu.Unlock()
+	m.close()
+}
+
+// Kill simulates a crash: the member stops consuming without announcing
+// anything; the group's failure detector (immediate here, heartbeats in a
+// real deployment) removes it and installs a new view.
+func (m *Member) Kill() {
+	m.Leave()
+}
+
+func (m *Member) enqueue(e event) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, e)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+func (m *Member) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.cond.Signal()
+	m.mu.Unlock()
+	<-m.done
+	close(m.msgs)
+	close(m.views)
+}
+
+// pump drains the unbounded mailbox into the typed channels, preserving
+// order between messages and views.
+func (m *Member) pump() {
+	defer close(m.done)
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 && m.closed {
+			m.mu.Unlock()
+			return
+		}
+		e := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		if e.msg != nil {
+			m.msgs <- *e.msg
+		} else {
+			m.views <- *e.view
+		}
+	}
+}
+
+// Registry maps group names to groups, so controllers sharing a process
+// find each other by name the way JGroups channels do by group name.
+type Registry struct {
+	mu     sync.Mutex
+	groups map[string]*Group
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{groups: make(map[string]*Group)}
+}
+
+// DefaultRegistry is the process-wide registry.
+var DefaultRegistry = NewRegistry()
+
+// Get returns (creating if needed) the named group.
+func (r *Registry) Get(name string) *Group {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[name]
+	if !ok {
+		g = NewGroup(name)
+		r.groups[name] = g
+	}
+	return g
+}

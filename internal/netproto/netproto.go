@@ -1,0 +1,278 @@
+// Package netproto is the wire protocol between the C-JDBC driver and the
+// controller (§2.3): a length-framed gob stream over TCP. Result sets are
+// fully serialized to the driver, which then browses them locally, exactly
+// as the paper's hybrid type 3/4 driver does. The same protocol serves
+// vertical scalability: a controller can be the client of another
+// controller.
+package netproto
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/controller"
+	"cjdbc/internal/sqlval"
+)
+
+// Op codes of the protocol.
+const (
+	OpConnect uint8 = iota + 1
+	OpExec
+	OpPing
+)
+
+// Request is one client->controller message.
+type Request struct {
+	Op       uint8
+	VDB      string // OpConnect
+	User     string
+	Password string
+	SQL      string // OpExec
+	Params   []sqlval.Value
+}
+
+// Response is one controller->client message. Err is a string because gob
+// cannot carry arbitrary error implementations.
+type Response struct {
+	OK           bool
+	Err          string
+	Columns      []string
+	Rows         [][]sqlval.Value
+	RowsAffected int64
+	LastInsertID int64
+}
+
+// Server exposes a controller's virtual databases over TCP.
+type Server struct {
+	ctrl *controller.Controller
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	sessions sync.WaitGroup
+}
+
+// NewServer wraps a controller.
+func NewServer(c *controller.Controller) *Server {
+	return &Server{ctrl: c, conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
+// bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("netproto: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.sessions.Add(1)
+		go func() {
+			defer s.sessions.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener, severs every active driver connection (their
+// controller sessions roll back), and waits for the handlers to wind down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.sessions.Wait()
+}
+
+// serveConn handles one driver connection: a connect handshake followed by
+// a stream of statement executions. The controller session dies with the
+// connection, rolling back any open transaction.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var hello Request
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	if hello.Op != OpConnect {
+		_ = enc.Encode(Response{Err: "netproto: expected connect"})
+		return
+	}
+	vdb, err := s.ctrl.VirtualDatabase(hello.VDB)
+	if err != nil {
+		_ = enc.Encode(Response{Err: err.Error()})
+		return
+	}
+	sess, err := vdb.NewSession(hello.User, hello.Password)
+	if err != nil {
+		_ = enc.Encode(Response{Err: err.Error()})
+		return
+	}
+	defer sess.Close()
+	if err := enc.Encode(Response{OK: true}); err != nil {
+		return
+	}
+
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // includes io.EOF: client gone, session cleanup above
+		}
+		switch req.Op {
+		case OpPing:
+			if err := enc.Encode(Response{OK: true}); err != nil {
+				return
+			}
+		case OpExec:
+			res, err := sess.Exec(req.SQL, req.Params)
+			var resp Response
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.OK = true
+				resp.Columns = res.Columns
+				resp.Rows = res.Rows
+				resp.RowsAffected = res.RowsAffected
+				resp.LastInsertID = res.LastInsertID
+			}
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+		default:
+			_ = enc.Encode(Response{Err: fmt.Sprintf("netproto: unknown op %d", req.Op)})
+			return
+		}
+	}
+}
+
+// Client is one driver connection to a controller.
+type Client struct {
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+// Dial connects and authenticates against one controller.
+func Dial(addr, vdb, user, password string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+	if err := c.enc.Encode(Request{Op: OpConnect, VDB: vdb, User: user, Password: password}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !resp.OK {
+		conn.Close()
+		return nil, errors.New(resp.Err)
+	}
+	return c, nil
+}
+
+// Exec runs one statement remotely, returning the fully materialized
+// result. A transport error is reported as ErrConnLost wrapped around the
+// cause, so the driver can fail over to another controller.
+func (c *Client) Exec(sql string, params []sqlval.Value) (*backend.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Request{Op: OpExec, SQL: sql, Params: params}); err != nil {
+		return nil, &ConnLostError{Cause: err}
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, &ConnLostError{Cause: err}
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Err)
+	}
+	return &backend.Result{
+		Columns:      resp.Columns,
+		Rows:         resp.Rows,
+		RowsAffected: resp.RowsAffected,
+		LastInsertID: resp.LastInsertID,
+	}, nil
+}
+
+// Ping verifies the connection is alive.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Request{Op: OpPing}); err != nil {
+		return &ConnLostError{Cause: err}
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return &ConnLostError{Cause: err}
+	}
+	if !resp.OK {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ConnLostError marks transport-level failures eligible for controller
+// failover (§2.3: the driver transparently fails over between controllers).
+type ConnLostError struct{ Cause error }
+
+// Error implements error.
+func (e *ConnLostError) Error() string { return "netproto: connection lost: " + e.Cause.Error() }
+
+// Unwrap exposes the cause.
+func (e *ConnLostError) Unwrap() error { return e.Cause }
+
+// IsConnLost reports whether err is a transport failure.
+func IsConnLost(err error) bool {
+	var cl *ConnLostError
+	return errors.As(err, &cl) || errors.Is(err, io.EOF)
+}

@@ -1,0 +1,275 @@
+package recovery
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/sqlval"
+)
+
+// Dump is a portable snapshot of a database: schema plus data, the
+// equivalent of the Octopus ETL dumps the paper uses for checkpointing.
+// Tables and indexes are re-created through SQL on restore, so dumps move
+// between heterogeneous backends.
+type Dump struct {
+	Name   string      `json:"name"`
+	Taken  time.Time   `json:"taken"`
+	Tables []TableDump `json:"tables"`
+}
+
+// TableDump is one table's schema and rows.
+type TableDump struct {
+	Name    string        `json:"name"`
+	Columns []ColumnDump  `json:"columns"`
+	Rows    [][]ValueDump `json:"rows"`
+}
+
+// ColumnDump describes one column portably.
+type ColumnDump struct {
+	Name          string `json:"name"`
+	Type          string `json:"type"`
+	NotNull       bool   `json:"not_null,omitempty"`
+	PrimaryKey    bool   `json:"primary_key,omitempty"`
+	AutoIncrement bool   `json:"auto_increment,omitempty"`
+}
+
+// ValueDump is one portable value: a kind tag and a string payload.
+type ValueDump struct {
+	K string `json:"k"`
+	V string `json:"v,omitempty"`
+}
+
+func dumpValue(v sqlval.Value) ValueDump {
+	switch v.K {
+	case sqlval.KindNull:
+		return ValueDump{K: "n"}
+	case sqlval.KindInt:
+		return ValueDump{K: "i", V: v.AsString()}
+	case sqlval.KindFloat:
+		return ValueDump{K: "f", V: v.AsString()}
+	case sqlval.KindBool:
+		return ValueDump{K: "b", V: v.AsString()}
+	case sqlval.KindTime:
+		return ValueDump{K: "t", V: v.T.UTC().Format(time.RFC3339Nano)}
+	case sqlval.KindBytes:
+		return ValueDump{K: "x", V: string(v.B)}
+	default:
+		return ValueDump{K: "s", V: v.S}
+	}
+}
+
+// Literal renders the dumped value as a SQL literal for restore statements.
+func (v ValueDump) Literal() string {
+	switch v.K {
+	case "n":
+		return "NULL"
+	case "i", "f":
+		return v.V
+	case "b":
+		return v.V
+	case "t":
+		t, err := time.Parse(time.RFC3339Nano, v.V)
+		if err != nil {
+			return "NULL"
+		}
+		return "'" + t.UTC().Format("2006-01-02 15:04:05") + "'"
+	default:
+		return "'" + strings.ReplaceAll(v.V, "'", "''") + "'"
+	}
+}
+
+func typeNameOf(k sqlval.Kind) string {
+	switch k {
+	case sqlval.KindInt:
+		return "INTEGER"
+	case sqlval.KindFloat:
+		return "FLOAT"
+	case sqlval.KindBool:
+		return "BOOLEAN"
+	case sqlval.KindTime:
+		return "TIMESTAMP"
+	case sqlval.KindBytes:
+		return "BLOB"
+	default:
+		return "VARCHAR"
+	}
+}
+
+// TakeDump snapshots every table reachable through the backend's schema
+// provider. The backend should be disabled first so no updates occur during
+// the dump (§3.1).
+func TakeDump(name string, src backend.SchemaProvider) (*Dump, error) {
+	tables, err := src.TableNames()
+	if err != nil {
+		return nil, fmt.Errorf("recovery: dump: %w", err)
+	}
+	d := &Dump{Name: name, Taken: time.Now()}
+	for _, t := range tables {
+		schema, rows, err := src.SnapshotTable(t)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: dump table %s: %w", t, err)
+		}
+		td := TableDump{Name: schema.Name}
+		for _, c := range schema.Columns {
+			td.Columns = append(td.Columns, ColumnDump{
+				Name:          c.Name,
+				Type:          typeNameOf(c.Type),
+				NotNull:       c.NotNull,
+				PrimaryKey:    c.PrimaryKey,
+				AutoIncrement: c.AutoIncrement,
+			})
+		}
+		for _, r := range rows {
+			vr := make([]ValueDump, len(r))
+			for i, v := range r {
+				vr[i] = dumpValue(v)
+			}
+			td.Rows = append(td.Rows, vr)
+		}
+		d.Tables = append(d.Tables, td)
+	}
+	return d, nil
+}
+
+// CreateTableSQL renders the DDL recreating one dumped table.
+func (td *TableDump) CreateTableSQL() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(td.Name)
+	b.WriteString(" (")
+	for i, c := range td.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type)
+		if c.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+		} else if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+		if c.AutoIncrement {
+			b.WriteString(" AUTO_INCREMENT")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// InsertSQL renders batched INSERT statements restoring the table's rows,
+// batchSize rows per statement.
+func (td *TableDump) InsertSQL(batchSize int) []string {
+	if batchSize <= 0 {
+		batchSize = 100
+	}
+	cols := make([]string, len(td.Columns))
+	for i, c := range td.Columns {
+		cols[i] = c.Name
+	}
+	head := "INSERT INTO " + td.Name + " (" + strings.Join(cols, ", ") + ") VALUES "
+	var out []string
+	for start := 0; start < len(td.Rows); start += batchSize {
+		end := start + batchSize
+		if end > len(td.Rows) {
+			end = len(td.Rows)
+		}
+		var b strings.Builder
+		b.WriteString(head)
+		for i, row := range td.Rows[start:end] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(")
+			for j, v := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.Literal())
+			}
+			b.WriteString(")")
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// Restore replays a dump onto a backend through plain SQL, dropping any
+// conflicting tables first. The backend must accept DirectExec (it is
+// normally disabled while restoring).
+func Restore(d *Dump, b *backend.Backend) error {
+	for _, td := range d.Tables {
+		if _, err := b.DirectExec(nil, "DROP TABLE IF EXISTS "+td.Name); err != nil {
+			return fmt.Errorf("recovery: restore drop %s: %w", td.Name, err)
+		}
+		if _, err := b.DirectExec(nil, td.CreateTableSQL()); err != nil {
+			return fmt.Errorf("recovery: restore create %s: %w", td.Name, err)
+		}
+		for _, ins := range td.InsertSQL(200) {
+			if _, err := b.DirectExec(nil, ins); err != nil {
+				return fmt.Errorf("recovery: restore rows of %s: %w", td.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the dump as JSON.
+func (d *Dump) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// ReadDump parses a JSON dump.
+func ReadDump(r io.Reader) (*Dump, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var d Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("recovery: parse dump: %w", err)
+	}
+	return &d, nil
+}
+
+// Replay applies the committed writes recorded after seq to a backend, in
+// log order. Entries belonging to transactions that aborted (or never
+// finished) are skipped; writes replay in their original serialized order,
+// which preserves replica equivalence.
+func Replay(l Log, seq uint64, b *backend.Backend) (applied int, err error) {
+	entries, err := l.Since(seq)
+	if err != nil {
+		return 0, err
+	}
+	outcome := make(map[uint64]EntryClass)
+	for _, e := range entries {
+		if e.Class == ClassCommit || e.Class == ClassRollback {
+			if _, seen := outcome[e.TxID]; !seen {
+				outcome[e.TxID] = e.Class
+			}
+		}
+	}
+	for _, e := range entries {
+		if e.Class != ClassWrite {
+			continue
+		}
+		// Auto-commit writes have TxID 0 and always replay.
+		if e.TxID != 0 && outcome[e.TxID] != ClassCommit {
+			continue
+		}
+		if _, err := b.DirectExec(nil, e.SQL); err != nil {
+			return applied, fmt.Errorf("recovery: replay seq %d (%s): %w", e.Seq, e.SQL, err)
+		}
+		applied++
+	}
+	return applied, nil
+}

@@ -1,0 +1,357 @@
+// Package recovery implements the C-JDBC recovery log (§3.2) and the
+// portable database dumps used for checkpointing (§3.1, where the paper
+// uses the Octopus ETL tool). A log entry records the user, the transaction
+// identifier and the SQL statement for every begin, commit, abort and
+// update; checkpoints are named markers in the log. The log can live in
+// memory, in a flat file, or in a database reached through SQL (which is
+// how the fault-tolerant log of Figure 2 is built: the entries are sent to
+// a replicated virtual database).
+package recovery
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// EntryClass classifies a log entry.
+type EntryClass string
+
+// Log entry classes.
+const (
+	ClassBegin      EntryClass = "begin"
+	ClassCommit     EntryClass = "commit"
+	ClassRollback   EntryClass = "rollback"
+	ClassWrite      EntryClass = "write"
+	ClassCheckpoint EntryClass = "checkpoint"
+)
+
+// Entry is one recovery log record.
+type Entry struct {
+	Seq   uint64     `json:"seq"`
+	User  string     `json:"user"`
+	TxID  uint64     `json:"tx"`
+	Class EntryClass `json:"class"`
+	SQL   string     `json:"sql,omitempty"`
+	Name  string     `json:"name,omitempty"` // checkpoint marker name
+}
+
+// Log is the recovery log interface. Implementations must be safe for
+// concurrent use.
+type Log interface {
+	// Append stores an entry (its Seq field is assigned) and returns the
+	// assigned sequence number.
+	Append(e Entry) (uint64, error)
+	// Checkpoint inserts a named checkpoint marker.
+	Checkpoint(name string) (uint64, error)
+	// CheckpointSeq returns the sequence number of a named checkpoint.
+	CheckpointSeq(name string) (uint64, bool, error)
+	// Since returns all entries with Seq greater than seq, in order.
+	Since(seq uint64) ([]Entry, error)
+	// Close releases resources.
+	Close() error
+}
+
+// MemoryLog keeps the log in process memory.
+type MemoryLog struct {
+	mu      sync.Mutex
+	seq     uint64
+	entries []Entry
+	marks   map[string]uint64
+}
+
+// NewMemoryLog creates an empty in-memory log.
+func NewMemoryLog() *MemoryLog {
+	return &MemoryLog{marks: make(map[string]uint64)}
+}
+
+// Append implements Log.
+func (l *MemoryLog) Append(e Entry) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	l.entries = append(l.entries, e)
+	return e.Seq, nil
+}
+
+// Checkpoint implements Log.
+func (l *MemoryLog) Checkpoint(name string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.entries = append(l.entries, Entry{Seq: l.seq, Class: ClassCheckpoint, Name: name})
+	l.marks[name] = l.seq
+	return l.seq, nil
+}
+
+// CheckpointSeq implements Log.
+func (l *MemoryLog) CheckpointSeq(name string) (uint64, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.marks[name]
+	return s, ok, nil
+}
+
+// Since implements Log.
+func (l *MemoryLog) Since(seq uint64) ([]Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if e.Seq > seq {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Len returns the number of entries, for tests and monitoring.
+func (l *MemoryLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Close implements Log.
+func (l *MemoryLog) Close() error { return nil }
+
+// FileLog stores the log in a flat file, one JSON entry per line (§3.2:
+// "the log can be stored in a flat file").
+type FileLog struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	seq   uint64
+	marks map[string]uint64
+	path  string
+}
+
+// OpenFileLog opens (creating if needed) a file-backed log, scanning
+// existing entries to restore the sequence counter and checkpoint markers.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: open log: %w", err)
+	}
+	l := &FileLog{f: f, marks: make(map[string]uint64), path: path}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("recovery: corrupt log line: %w", err)
+		}
+		if e.Seq > l.seq {
+			l.seq = e.Seq
+		}
+		if e.Class == ClassCheckpoint {
+			l.marks[e.Name] = e.Seq
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		return nil, err
+	}
+	l.w = bufio.NewWriter(f)
+	return l, nil
+}
+
+func (l *FileLog) appendLocked(e Entry) (uint64, error) {
+	l.seq++
+	e.Seq = l.seq
+	b, err := json.Marshal(e)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil {
+		return 0, err
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, err
+	}
+	return e.Seq, nil
+}
+
+// Append implements Log.
+func (l *FileLog) Append(e Entry) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(e)
+}
+
+// Checkpoint implements Log.
+func (l *FileLog) Checkpoint(name string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq, err := l.appendLocked(Entry{Class: ClassCheckpoint, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	l.marks[name] = seq
+	return seq, nil
+}
+
+// CheckpointSeq implements Log.
+func (l *FileLog) CheckpointSeq(name string) (uint64, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.marks[name]
+	return s, ok, nil
+}
+
+// Since implements Log.
+func (l *FileLog) Since(seq uint64) ([]Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(l.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, err
+		}
+		if e.Seq > seq {
+			out = append(out, e)
+		}
+	}
+	return out, sc.Err()
+}
+
+// Close implements Log.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}
+
+// SQLExecutor executes one auto-commit SQL statement; the database-backed
+// log uses it to reach its storage, which may itself be a fault-tolerant
+// virtual database (Figure 2).
+type SQLExecutor interface {
+	ExecSQL(sql string) (rowsAffected int64, err error)
+	QuerySQL(sql string) (columns []string, rows [][]string, err error)
+}
+
+// SQLLog stores the log in a database via SQL, the "log stored in a
+// database using JDBC" option of §3.2.
+type SQLLog struct {
+	mu   sync.Mutex
+	db   SQLExecutor
+	seq  uint64
+	name string
+}
+
+// NewSQLLog creates (if needed) the log table and returns a database-backed
+// log. tableName must be a valid SQL identifier.
+func NewSQLLog(db SQLExecutor, tableName string) (*SQLLog, error) {
+	l := &SQLLog{db: db, name: tableName}
+	_, err := db.ExecSQL(fmt.Sprintf(
+		`CREATE TABLE IF NOT EXISTS %s (seq INTEGER PRIMARY KEY, usr VARCHAR, tx INTEGER, class VARCHAR, sql_text VARCHAR, name VARCHAR)`,
+		tableName))
+	if err != nil {
+		return nil, fmt.Errorf("recovery: create log table: %w", err)
+	}
+	// Restore the sequence counter.
+	_, rows, err := db.QuerySQL(fmt.Sprintf("SELECT MAX(seq) FROM %s", tableName))
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 1 && rows[0][0] != "NULL" {
+		fmt.Sscanf(rows[0][0], "%d", &l.seq)
+	}
+	return l, nil
+}
+
+func (l *SQLLog) insertLocked(e Entry) (uint64, error) {
+	l.seq++
+	e.Seq = l.seq
+	_, err := l.db.ExecSQL(fmt.Sprintf(
+		"INSERT INTO %s (seq, usr, tx, class, sql_text, name) VALUES (%d, '%s', %d, '%s', '%s', '%s')",
+		l.name, e.Seq, escape(e.User), e.TxID, e.Class, escape(e.SQL), escape(e.Name)))
+	if err != nil {
+		return 0, err
+	}
+	return e.Seq, nil
+}
+
+// Append implements Log.
+func (l *SQLLog) Append(e Entry) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.insertLocked(e)
+}
+
+// Checkpoint implements Log.
+func (l *SQLLog) Checkpoint(name string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.insertLocked(Entry{Class: ClassCheckpoint, Name: name})
+}
+
+// CheckpointSeq implements Log.
+func (l *SQLLog) CheckpointSeq(name string) (uint64, bool, error) {
+	_, rows, err := l.db.QuerySQL(fmt.Sprintf(
+		"SELECT MAX(seq) FROM %s WHERE class = 'checkpoint' AND name = '%s'", l.name, escape(name)))
+	if err != nil {
+		return 0, false, err
+	}
+	if len(rows) == 0 || rows[0][0] == "NULL" {
+		return 0, false, nil
+	}
+	var seq uint64
+	fmt.Sscanf(rows[0][0], "%d", &seq)
+	return seq, true, nil
+}
+
+// Since implements Log.
+func (l *SQLLog) Since(seq uint64) ([]Entry, error) {
+	_, rows, err := l.db.QuerySQL(fmt.Sprintf(
+		"SELECT seq, usr, tx, class, sql_text, name FROM %s WHERE seq > %d ORDER BY seq", l.name, seq))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(rows))
+	for _, r := range rows {
+		var e Entry
+		fmt.Sscanf(r[0], "%d", &e.Seq)
+		e.User = r[1]
+		fmt.Sscanf(r[2], "%d", &e.TxID)
+		e.Class = EntryClass(r[3])
+		e.SQL = r[4]
+		e.Name = r[5]
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Close implements Log.
+func (l *SQLLog) Close() error { return nil }
+
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'', '\'')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,327 @@
+package recovery
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/sqlengine"
+)
+
+func testLogContract(t *testing.T, mk func(t *testing.T) Log) {
+	t.Helper()
+
+	t.Run("AppendAssignsMonotonicSeq", func(t *testing.T) {
+		l := mk(t)
+		defer l.Close()
+		s1, err := l.Append(Entry{User: "u", TxID: 1, Class: ClassBegin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := l.Append(Entry{User: "u", TxID: 1, Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (1)"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2 <= s1 {
+			t.Fatalf("seq not monotonic: %d then %d", s1, s2)
+		}
+	})
+
+	t.Run("SinceFiltersBySeq", func(t *testing.T) {
+		l := mk(t)
+		defer l.Close()
+		l.Append(Entry{Class: ClassWrite, SQL: "w1"})
+		mid, _ := l.Append(Entry{Class: ClassWrite, SQL: "w2"})
+		l.Append(Entry{Class: ClassWrite, SQL: "w3"})
+		got, err := l.Since(mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].SQL != "w3" {
+			t.Fatalf("Since(%d) = %+v", mid, got)
+		}
+		all, _ := l.Since(0)
+		if len(all) != 3 {
+			t.Fatalf("Since(0) = %d entries", len(all))
+		}
+	})
+
+	t.Run("CheckpointMarkers", func(t *testing.T) {
+		l := mk(t)
+		defer l.Close()
+		l.Append(Entry{Class: ClassWrite, SQL: "before"})
+		seq, err := l.Checkpoint("cp1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Append(Entry{Class: ClassWrite, SQL: "after"})
+		got, ok, err := l.CheckpointSeq("cp1")
+		if err != nil || !ok || got != seq {
+			t.Fatalf("CheckpointSeq = %d, %v, %v (want %d)", got, ok, err, seq)
+		}
+		if _, ok, _ := l.CheckpointSeq("missing"); ok {
+			t.Fatal("missing checkpoint found")
+		}
+		after, _ := l.Since(seq)
+		if len(after) != 1 || after[0].SQL != "after" {
+			t.Fatalf("entries after checkpoint: %+v", after)
+		}
+	})
+}
+
+func TestMemoryLog(t *testing.T) {
+	testLogContract(t, func(t *testing.T) Log { return NewMemoryLog() })
+}
+
+func TestFileLog(t *testing.T) {
+	testLogContract(t, func(t *testing.T) Log {
+		l, err := OpenFileLog(filepath.Join(t.TempDir(), "recovery.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	})
+}
+
+func TestFileLogSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "recovery.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Entry{User: "u", TxID: 3, Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES ('x''y')"})
+	l.Checkpoint("cp")
+	l.Append(Entry{Class: ClassWrite, SQL: "w2"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	seq, ok, _ := l2.CheckpointSeq("cp")
+	if !ok {
+		t.Fatal("checkpoint lost on reopen")
+	}
+	after, _ := l2.Since(seq)
+	if len(after) != 1 || after[0].SQL != "w2" {
+		t.Fatalf("after reopen: %+v", after)
+	}
+	// Appending continues the sequence.
+	s, _ := l2.Append(Entry{Class: ClassWrite, SQL: "w3"})
+	if s <= seq {
+		t.Fatalf("seq restarted: %d <= %d", s, seq)
+	}
+}
+
+// engineExecutor adapts a raw engine to the SQLExecutor interface.
+type engineExecutor struct{ e *sqlengine.Engine }
+
+func (x engineExecutor) ExecSQL(sql string) (int64, error) {
+	s := x.e.NewSession()
+	defer s.Close()
+	res, err := s.ExecSQL(sql)
+	if err != nil {
+		return 0, err
+	}
+	return res.RowsAffected, nil
+}
+
+func (x engineExecutor) QuerySQL(sql string) ([]string, [][]string, error) {
+	s := x.e.NewSession()
+	defer s.Close()
+	res, err := s.ExecSQL(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = make([]string, len(r))
+		for j, v := range r {
+			rows[i][j] = v.AsString()
+		}
+	}
+	return res.Columns, rows, nil
+}
+
+func TestSQLLog(t *testing.T) {
+	testLogContract(t, func(t *testing.T) Log {
+		l, err := NewSQLLog(engineExecutor{sqlengine.New("logdb")}, "recovery_log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	})
+}
+
+func TestSQLLogEscapesQuotes(t *testing.T) {
+	l, err := NewSQLLog(engineExecutor{sqlengine.New("logdb")}, "rl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := "INSERT INTO t (s) VALUES ('it''s')"
+	if _, err := l.Append(Entry{Class: ClassWrite, SQL: sql}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Since(0)
+	if err != nil || len(got) != 1 || got[0].SQL != sql {
+		t.Fatalf("round trip: %+v, %v", got, err)
+	}
+}
+
+func mkBackend(t *testing.T, name string, seedSQL ...string) *backend.Backend {
+	t.Helper()
+	e := sqlengine.New(name)
+	s := e.NewSession()
+	for _, q := range seedSQL {
+		if _, err := s.ExecSQL(q); err != nil {
+			t.Fatalf("seed %q: %v", q, err)
+		}
+	}
+	s.Close()
+	b := backend.New(backend.Config{Name: name, Driver: &backend.EngineDriver{Engine: e}})
+	b.Enable()
+	t.Cleanup(b.Close)
+	return b
+}
+
+func TestDumpAndRestore(t *testing.T) {
+	src := mkBackend(t, "src",
+		"CREATE TABLE item (i_id INTEGER PRIMARY KEY AUTO_INCREMENT, title VARCHAR NOT NULL, cost FLOAT, added TIMESTAMP, ok BOOLEAN)",
+		"INSERT INTO item (title, cost, added, ok) VALUES ('a''quote', 1.5, '2004-06-27 10:00:00', TRUE), ('b', NULL, NULL, FALSE)",
+		"CREATE TABLE empty_table (x INTEGER)",
+	)
+	d, err := TakeDump("cp1", src.Driver().(backend.SchemaProvider))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tables) != 2 {
+		t.Fatalf("tables dumped = %d", len(d.Tables))
+	}
+
+	// JSON round trip.
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := mkBackend(t, "dst")
+	if err := Restore(d2, dst); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dst.Read(0, nil, "SELECT title, cost, ok FROM item ORDER BY i_id")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("restored rows: %v %v", res, err)
+	}
+	if res.Rows[0][0].AsString() != "a'quote" {
+		t.Errorf("escaped string: %v", res.Rows[0][0])
+	}
+	if !res.Rows[1][1].IsNull() {
+		t.Errorf("NULL not restored: %v", res.Rows[1][1])
+	}
+	if !res.Rows[0][2].AsBool() || res.Rows[1][2].AsBool() {
+		t.Errorf("bools not restored: %v", res.Rows)
+	}
+	// Auto-increment continues after restore.
+	out, err := dst.Exec(nil, "INSERT INTO item (title) VALUES ('c')")
+	if err != nil || out.LastInsertID != 3 {
+		t.Errorf("auto-inc after restore: %+v %v", out, err)
+	}
+}
+
+func TestRestoreOverwritesExisting(t *testing.T) {
+	src := mkBackend(t, "src2",
+		"CREATE TABLE t (a INTEGER)",
+		"INSERT INTO t (a) VALUES (1)")
+	d, _ := TakeDump("cp", src.Driver().(backend.SchemaProvider))
+	dst := mkBackend(t, "dst2",
+		"CREATE TABLE t (a INTEGER)",
+		"INSERT INTO t (a) VALUES (99), (98)")
+	if err := Restore(d, dst); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := dst.Read(0, nil, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("restore did not overwrite: %v", res.Rows[0][0])
+	}
+}
+
+func TestReplayAppliesOnlyCommitted(t *testing.T) {
+	l := NewMemoryLog()
+	// tx1 commits, tx2 aborts, tx3 never finishes, plus one autocommit.
+	l.Append(Entry{TxID: 1, Class: ClassBegin})
+	l.Append(Entry{TxID: 1, Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (1)"})
+	l.Append(Entry{TxID: 2, Class: ClassBegin})
+	l.Append(Entry{TxID: 2, Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (2)"})
+	l.Append(Entry{TxID: 1, Class: ClassCommit})
+	l.Append(Entry{TxID: 2, Class: ClassRollback})
+	l.Append(Entry{TxID: 0, Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (3)"})
+	l.Append(Entry{TxID: 3, Class: ClassBegin})
+	l.Append(Entry{TxID: 3, Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (4)"})
+
+	b := mkBackend(t, "rb", "CREATE TABLE t (a INTEGER)")
+	applied, err := Replay(l, 0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied = %d, want 2", applied)
+	}
+	res, _ := b.Read(0, nil, "SELECT a FROM t ORDER BY a")
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 1 || res.Rows[1][0].I != 3 {
+		t.Fatalf("replayed rows: %v", res.Rows)
+	}
+}
+
+func TestReplayFromCheckpoint(t *testing.T) {
+	l := NewMemoryLog()
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (1)"})
+	seq, _ := l.Checkpoint("cp")
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (2)"})
+
+	b := mkBackend(t, "cpb", "CREATE TABLE t (a INTEGER)")
+	applied, err := Replay(l, seq, b)
+	if err != nil || applied != 1 {
+		t.Fatalf("applied = %d, %v", applied, err)
+	}
+	res, _ := b.Read(0, nil, "SELECT a FROM t")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestReplayErrorsSurfaceSQL(t *testing.T) {
+	l := NewMemoryLog()
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO missing (a) VALUES (1)"})
+	b := mkBackend(t, "eb", "CREATE TABLE t (a INTEGER)")
+	_, err := Replay(l, 0, b)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("replay error: %v", err)
+	}
+}
+
+func TestInsertSQLBatching(t *testing.T) {
+	td := TableDump{
+		Name:    "t",
+		Columns: []ColumnDump{{Name: "a", Type: "INTEGER"}},
+	}
+	for i := 0; i < 250; i++ {
+		td.Rows = append(td.Rows, []ValueDump{{K: "i", V: fmt.Sprint(i)}})
+	}
+	stmts := td.InsertSQL(100)
+	if len(stmts) != 3 {
+		t.Fatalf("batches = %d, want 3", len(stmts))
+	}
+	if !strings.HasPrefix(stmts[0], "INSERT INTO t (a) VALUES ") {
+		t.Errorf("batch form: %s", stmts[0][:40])
+	}
+}

@@ -1,0 +1,649 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cjdbc/internal/sqlval"
+)
+
+// Errors reported by the engine.
+var (
+	// ErrLockTimeout is returned when a statement cannot acquire its table
+	// locks within the engine's lock timeout; the paper's backends would
+	// report a deadlock or lock-wait timeout the same way.
+	ErrLockTimeout = errors.New("engine: lock wait timeout (possible deadlock)")
+	// ErrNoTransaction is returned by COMMIT/ROLLBACK outside a transaction.
+	ErrNoTransaction = errors.New("engine: no transaction in progress")
+	// ErrTxInProgress is returned by BEGIN inside a transaction.
+	ErrTxInProgress = errors.New("engine: transaction already in progress")
+	// ErrClosed is returned when the engine has been shut down.
+	ErrClosed = errors.New("engine: closed")
+)
+
+// TableNotFoundError reports a reference to a missing table.
+type TableNotFoundError struct{ Table string }
+
+// Error implements the error interface.
+func (e *TableNotFoundError) Error() string {
+	return fmt.Sprintf("engine: table %q does not exist", e.Table)
+}
+
+// Engine is one database backend instance. It is safe for concurrent use by
+// multiple sessions.
+type Engine struct {
+	name string
+
+	mu     sync.Mutex // guards catalog and all table storage
+	tables map[string]*table
+	closed bool
+
+	locks       *lockManager
+	lockTimeout time.Duration
+
+	stats Stats
+}
+
+// Stats counts engine work, exported for monitoring.
+type Stats struct {
+	Statements   int64
+	Reads        int64
+	Writes       int64
+	Transactions int64
+	Aborts       int64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithLockTimeout sets how long a statement waits for table locks before
+// failing with ErrLockTimeout. Deadlocks resolve through this timeout.
+func WithLockTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.lockTimeout = d }
+}
+
+// New creates an empty database engine with the given name.
+func New(name string, opts ...Option) *Engine {
+	e := &Engine{
+		name:        name,
+		tables:      make(map[string]*table),
+		lockTimeout: 2 * time.Second,
+	}
+	e.locks = newLockManager()
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Name returns the engine's name.
+func (e *Engine) Name() string { return e.name }
+
+// StatsSnapshot returns a copy of the engine counters.
+func (e *Engine) StatsSnapshot() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close shuts the engine down; subsequent sessions fail.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+}
+
+// TableNames returns the sorted names of the catalog's tables.
+func (e *Engine) TableNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableSchema returns a copy of the named table's schema, for metadata
+// gathering (the JDBC DatabaseMetaData of the paper).
+func (e *Engine) TableSchema(name string) (*Schema, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, &TableNotFoundError{Table: name}
+	}
+	cp := *t.schema
+	cp.Columns = append([]Column(nil), t.schema.Columns...)
+	return &cp, nil
+}
+
+// RowCount returns the number of live rows in a table, for tests and dumps.
+func (e *Engine) RowCount(name string) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return 0, &TableNotFoundError{Table: name}
+	}
+	return len(t.rows), nil
+}
+
+// SnapshotTable returns the schema and all rows of a table in insertion
+// order. The recovery dump machinery uses it; rows are deep copies.
+func (e *Engine) SnapshotTable(name string) (*Schema, [][]sqlval.Value, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, nil, &TableNotFoundError{Table: name}
+	}
+	cp := *t.schema
+	cp.Columns = append([]Column(nil), t.schema.Columns...)
+	var rows [][]sqlval.Value
+	t.scan(func(_ int64, row []sqlval.Value) bool {
+		rows = append(rows, sqlval.CloneRow(row))
+		return true
+	})
+	return &cp, rows, nil
+}
+
+// Indexes returns the explicitly created index names of a table, sorted.
+func (e *Engine) Indexes(name string) ([]string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, &TableNotFoundError{Table: name}
+	}
+	var out []string
+	for n := range t.indexes {
+		if n != "__pk" {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// lockManager grants table-granularity shared/exclusive locks with
+// timeout-based deadlock resolution (strict two-phase locking: locks are
+// held until commit or rollback). Waiters are granted in FIFO order, which
+// makes the conflict-resolution order on every replica follow the cluster's
+// write submission order — the property §2.4.1's total write order needs.
+type lockManager struct {
+	mu    sync.Mutex
+	locks map[string]*tableLock
+}
+
+type lockRequest struct {
+	s         *Session
+	exclusive bool
+	ready     chan struct{} // closed when granted
+}
+
+type tableLock struct {
+	readers map[*Session]int
+	writer  *Session
+	queue   []*lockRequest
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{locks: make(map[string]*tableLock)}
+}
+
+func (lm *lockManager) get(tbl string) *tableLock {
+	l, ok := lm.locks[tbl]
+	if !ok {
+		l = &tableLock{readers: make(map[*Session]int)}
+		lm.locks[tbl] = l
+	}
+	return l
+}
+
+// grantableLocked reports whether the request is compatible with current
+// holders. Re-entrant grants (the session already holds the lock) pass.
+func (l *tableLock) grantableLocked(s *Session, exclusive bool) bool {
+	if exclusive {
+		for r := range l.readers {
+			if r != s {
+				return false
+			}
+		}
+		return l.writer == nil || l.writer == s
+	}
+	return l.writer == nil || l.writer == s
+}
+
+func (l *tableLock) grantLocked(s *Session, tbl string, exclusive bool) {
+	if exclusive {
+		l.writer = s
+	} else {
+		l.readers[s]++
+	}
+	s.held[tbl] = true
+}
+
+// pumpLocked grants queued requests in FIFO order while the head is
+// compatible; consecutive shared requests batch.
+func (l *tableLock) pumpLocked(tbl string) {
+	for len(l.queue) > 0 {
+		head := l.queue[0]
+		if !l.grantableLocked(head.s, head.exclusive) {
+			return
+		}
+		l.grantLocked(head.s, tbl, head.exclusive)
+		close(head.ready)
+		l.queue = l.queue[1:]
+	}
+}
+
+// reserve appends an exclusive lock request for s to the table's FIFO queue
+// without blocking, granting immediately when possible. The cluster's
+// scheduler calls this at dispatch time, in cluster submission order, so
+// every replica queues conflicting transactional writes identically and
+// grants them in the same order — without this, two transactions can take
+// the same lock in opposite orders on two replicas and deadlock the
+// cluster (§2.4.1's "updates are sent to all backends in the same order").
+func (lm *lockManager) reserve(s *Session, tbl string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	l := lm.get(tbl)
+	req := &lockRequest{s: s, exclusive: true, ready: make(chan struct{})}
+	// Immediate grant when compatible and either nothing is queued or the
+	// session already holds the lock (re-entrant requests may jump the
+	// queue: the holder cannot wait behind requests blocked on it).
+	if l.grantableLocked(s, true) && (len(l.queue) == 0 || l.writer == s || l.readers[s] > 0) {
+		l.grantLocked(s, tbl, true)
+		close(req.ready)
+	} else {
+		l.queue = append(l.queue, req)
+	}
+	s.reserved[tbl] = append(s.reserved[tbl], req)
+}
+
+// takeReservation pops the oldest unconsumed reservation of s on tbl.
+func (lm *lockManager) takeReservation(s *Session, tbl string) *lockRequest {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	list := s.reserved[tbl]
+	if len(list) == 0 {
+		return nil
+	}
+	req := list[0]
+	if len(list) == 1 {
+		delete(s.reserved, tbl)
+	} else {
+		s.reserved[tbl] = list[1:]
+	}
+	return req
+}
+
+// cancelReservations drops every unconsumed reservation of s on tbl (used
+// for temporary tables, which are session-private and never lock).
+func (lm *lockManager) cancelReservations(s *Session, tbl string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.dropReservationsLocked(s, tbl)
+}
+
+func (lm *lockManager) dropReservationsLocked(s *Session, tbl string) {
+	list := s.reserved[tbl]
+	if len(list) == 0 {
+		return
+	}
+	delete(s.reserved, tbl)
+	l := lm.locks[tbl]
+	if l == nil {
+		return
+	}
+	for _, req := range list {
+		select {
+		case <-req.ready:
+			// Already granted: the lock itself is released via releaseAll.
+			continue
+		default:
+		}
+		for i, q := range l.queue {
+			if q == req {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	l.pumpLocked(tbl)
+}
+
+// waitReservation blocks on a reservation until granted or the deadline.
+func (lm *lockManager) waitReservation(req *lockRequest, tbl string, deadline time.Time) error {
+	select {
+	case <-req.ready:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-req.ready:
+		return nil
+	case <-timer.C:
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	select {
+	case <-req.ready:
+		return nil
+	default:
+	}
+	if l := lm.locks[tbl]; l != nil {
+		for i, q := range l.queue {
+			if q == req {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				break
+			}
+		}
+		l.pumpLocked(tbl)
+	}
+	return ErrLockTimeout
+}
+
+// acquire blocks until the lock is granted or the deadline passes.
+func (lm *lockManager) acquire(s *Session, tbl string, exclusive bool, deadline time.Time) error {
+	lm.mu.Lock()
+	l := lm.get(tbl)
+	// Fast path: grant immediately when compatible and nobody is queued
+	// ahead (re-entrant grants may jump the queue: the holder cannot wait
+	// behind requests that are blocked on it).
+	if (len(l.queue) == 0 || s.held[tbl]) && l.grantableLocked(s, exclusive) {
+		l.grantLocked(s, tbl, exclusive)
+		lm.mu.Unlock()
+		return nil
+	}
+	req := &lockRequest{s: s, exclusive: exclusive, ready: make(chan struct{})}
+	l.queue = append(l.queue, req)
+	lm.mu.Unlock()
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-req.ready:
+		return nil
+	case <-timer.C:
+	}
+	// Timed out: remove the request unless it was granted concurrently.
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	select {
+	case <-req.ready:
+		return nil
+	default:
+	}
+	for i, q := range l.queue {
+		if q == req {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			break
+		}
+	}
+	l.pumpLocked(tbl) // our departure may unblock the new head
+	return ErrLockTimeout
+}
+
+// releaseShared drops the session's shared locks while keeping its
+// exclusive ones: shared locks live for one statement (read committed, the
+// behaviour of the paper's MySQL/InnoDB backends), while exclusive locks
+// are strict two-phase and only release at commit or rollback. Without
+// this, a long transaction's read of a hot table would serialize against
+// every writer of that table for the whole transaction.
+func (lm *lockManager) releaseShared(s *Session) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for tbl := range s.held {
+		l := lm.locks[tbl]
+		if l == nil {
+			delete(s.held, tbl)
+			continue
+		}
+		if l.writer == s {
+			// Keep the exclusive lock; drop any redundant shared count.
+			delete(l.readers, s)
+			continue
+		}
+		delete(l.readers, s)
+		delete(s.held, tbl)
+		l.pumpLocked(tbl)
+		if l.writer == nil && len(l.readers) == 0 && len(l.queue) == 0 {
+			delete(lm.locks, tbl)
+		}
+	}
+}
+
+// releaseAll drops every lock the session holds, purges its unconsumed
+// reservations, and grants waiters.
+func (lm *lockManager) releaseAll(s *Session) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for tbl := range s.reserved {
+		lm.dropReservationsLocked(s, tbl)
+	}
+	for tbl := range s.held {
+		l := lm.locks[tbl]
+		if l == nil {
+			continue
+		}
+		delete(l.readers, s)
+		if l.writer == s {
+			l.writer = nil
+		}
+		l.pumpLocked(tbl)
+		if l.writer == nil && len(l.readers) == 0 && len(l.queue) == 0 {
+			delete(lm.locks, tbl)
+		}
+	}
+	s.held = make(map[string]bool)
+}
+
+// undoOp is one entry of a transaction's undo log.
+type undoOp struct {
+	kind    uint8 // 'i' undo-insert, 'd' undo-delete, 'u' undo-update, 'c' undo-create, 'r' undo-drop, 'x' undo-create-index, 'a' autoInc restore
+	table   string
+	rowid   int64
+	row     []sqlval.Value
+	tbl     *table // for undo of DROP TABLE / CREATE TABLE
+	index   string
+	autoInc int64
+}
+
+// Session is one client connection to the engine. Sessions are not safe for
+// concurrent use; the connection manager hands each client its own.
+type Session struct {
+	engine *Engine
+
+	inTx bool
+	undo []undoOp
+
+	// held and reserved are guarded by the engine lock manager's mutex:
+	// reservations are placed by the dispatcher goroutine while statements
+	// execute on a worker goroutine.
+	held     map[string]bool
+	reserved map[string][]*lockRequest
+
+	temp map[string]*table // session-local temporary tables
+
+	closed bool
+}
+
+// NewSession opens a session on the engine.
+func (e *Engine) NewSession() *Session {
+	return &Session{
+		engine:   e,
+		held:     make(map[string]bool),
+		reserved: make(map[string][]*lockRequest),
+		temp:     make(map[string]*table),
+	}
+}
+
+// ReserveWriteLock queues an exclusive lock request for a table without
+// blocking. The clustering middleware calls it at dispatch time, in cluster
+// submission order, so that conflicting transactional writes are granted in
+// the same order on every replica. Temporary tables are session-private and
+// are not reserved.
+func (s *Session) ReserveWriteLock(table string) {
+	table = strings.ToLower(table)
+	if _, isTemp := s.temp[table]; isTemp {
+		return
+	}
+	s.engine.locks.reserve(s, table)
+}
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.inTx }
+
+// Begin starts an explicit transaction.
+func (s *Session) Begin() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.inTx {
+		return ErrTxInProgress
+	}
+	s.inTx = true
+	s.engine.mu.Lock()
+	s.engine.stats.Transactions++
+	s.engine.mu.Unlock()
+	return nil
+}
+
+// Commit makes the transaction's effects durable and releases its locks.
+func (s *Session) Commit() error {
+	if !s.inTx {
+		return ErrNoTransaction
+	}
+	s.inTx = false
+	s.undo = nil
+	s.engine.locks.releaseAll(s)
+	return nil
+}
+
+// Rollback undoes the transaction's effects and releases its locks.
+func (s *Session) Rollback() error {
+	if !s.inTx {
+		return ErrNoTransaction
+	}
+	s.inTx = false
+	s.applyUndo()
+	s.engine.locks.releaseAll(s)
+	s.engine.mu.Lock()
+	s.engine.stats.Aborts++
+	s.engine.mu.Unlock()
+	return nil
+}
+
+// applyUndo reverses the undo log (newest first) under the engine lock.
+func (s *Session) applyUndo() {
+	e := s.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		op := s.undo[i]
+		switch op.kind {
+		case 'i': // undo insert: remove the row
+			if t := s.resolveLocked(op.table); t != nil {
+				t.deleteRow(op.rowid)
+			}
+		case 'd': // undo delete: restore the row
+			if t := s.resolveLocked(op.table); t != nil {
+				t.insertRowAt(op.rowid, op.row)
+			}
+		case 'u': // undo update: restore previous image
+			if t := s.resolveLocked(op.table); t != nil {
+				// Ignore unique violations: restoring the old image cannot
+				// violate constraints that held before the update.
+				_ = t.updateRow(op.rowid, op.row)
+			}
+		case 'c': // undo create table: drop it
+			if op.tbl != nil && s.temp[op.table] == op.tbl {
+				delete(s.temp, op.table)
+			} else {
+				delete(e.tables, op.table)
+			}
+		case 'r': // undo drop table: restore it
+			e.tables[op.table] = op.tbl
+		case 'x': // undo create index
+			if t := s.resolveLocked(op.table); t != nil {
+				delete(t.indexes, op.index)
+			}
+		case 'a': // restore auto-increment counter
+			if t := s.resolveLocked(op.table); t != nil {
+				t.autoInc = op.autoInc
+			}
+		}
+	}
+	s.undo = nil
+}
+
+// resolveLocked finds a table by name, checking the session's temporary
+// namespace first. Caller holds e.mu.
+func (s *Session) resolveLocked(name string) *table {
+	if t, ok := s.temp[name]; ok {
+		return t
+	}
+	return s.engine.tables[name]
+}
+
+// Close rolls back any open transaction and drops temporary tables.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	if s.inTx {
+		_ = s.Rollback()
+	}
+	s.engine.locks.releaseAll(s)
+	s.temp = make(map[string]*table)
+	s.closed = true
+}
+
+// lockDeadline computes the lock wait deadline for one statement.
+func (s *Session) lockDeadline() time.Time {
+	return time.Now().Add(s.engine.lockTimeout)
+}
+
+// lockTable acquires a table lock for the current statement, consuming a
+// pending reservation when one exists. Temporary tables are session-private
+// and need no locks. When the session is not in an explicit transaction the
+// caller releases locks at statement end.
+func (s *Session) lockTable(name string, exclusive bool, deadline time.Time) error {
+	if _, isTemp := s.temp[name]; isTemp {
+		s.engine.locks.cancelReservations(s, name)
+		return nil
+	}
+	if exclusive {
+		if req := s.engine.locks.takeReservation(s, name); req != nil {
+			return s.engine.locks.waitReservation(req, name, deadline)
+		}
+	}
+	return s.engine.locks.acquire(s, name, exclusive, deadline)
+}
+
+// endStatement releases locks and clears undo state when the statement ran
+// outside an explicit transaction (auto-commit). Inside a transaction,
+// shared locks release now (read committed) while exclusive locks stay
+// until commit or rollback (strict 2PL for writes).
+func (s *Session) endStatement(err error) error {
+	if s.inTx {
+		s.engine.locks.releaseShared(s)
+		return err
+	}
+	if err != nil {
+		s.applyUndo()
+	} else {
+		s.undo = nil
+	}
+	s.engine.locks.releaseAll(s)
+	return err
+}

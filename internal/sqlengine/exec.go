@@ -1,0 +1,622 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cjdbc/internal/sqlparser"
+	"cjdbc/internal/sqlval"
+)
+
+// Result is the outcome of one statement: either a row set (reads) or an
+// affected-row count (writes). It is the engine-side analogue of a JDBC
+// ResultSet plus update count.
+type Result struct {
+	Columns      []string
+	Rows         [][]sqlval.Value
+	RowsAffected int64
+	LastInsertID int64
+}
+
+// ExecSQL parses and executes a statement.
+func (s *Session) ExecSQL(sql string) (*Result, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.Exec(st)
+}
+
+// Exec executes a parsed statement. Statements outside an explicit
+// transaction auto-commit; on error their partial effects are undone.
+func (s *Session) Exec(st sqlparser.Statement) (*Result, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e := s.engine
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.stats.Statements++
+	if sqlparser.Classify(st) == sqlparser.ClassRead {
+		e.stats.Reads++
+	} else if sqlparser.Classify(st) == sqlparser.ClassWrite {
+		e.stats.Writes++
+	}
+	e.mu.Unlock()
+
+	switch t := st.(type) {
+	case *sqlparser.Begin:
+		if err := s.Begin(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.Commit:
+		if err := s.Commit(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.Rollback:
+		if err := s.Rollback(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.ShowTables:
+		res := &Result{Columns: []string{"table_name"}}
+		for _, n := range s.engine.TableNames() {
+			res.Rows = append(res.Rows, []sqlval.Value{sqlval.String_(n)})
+		}
+		return res, nil
+	case *sqlparser.CreateTable:
+		return s.execWithCleanup(func() (*Result, error) { return s.execCreateTable(t) })
+	case *sqlparser.DropTable:
+		return s.execWithCleanup(func() (*Result, error) { return s.execDropTable(t) })
+	case *sqlparser.CreateIndex:
+		return s.execWithCleanup(func() (*Result, error) { return s.execCreateIndex(t) })
+	case *sqlparser.DropIndex:
+		return s.execWithCleanup(func() (*Result, error) { return s.execDropIndex(t) })
+	case *sqlparser.Insert:
+		return s.execWithCleanup(func() (*Result, error) { return s.execInsert(t) })
+	case *sqlparser.Update:
+		return s.execWithCleanup(func() (*Result, error) { return s.execUpdate(t) })
+	case *sqlparser.Delete:
+		return s.execWithCleanup(func() (*Result, error) { return s.execDelete(t) })
+	case *sqlparser.Select:
+		return s.execWithCleanup(func() (*Result, error) { return s.execSelect(t) })
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+// execWithCleanup runs one statement body and applies auto-commit cleanup.
+func (s *Session) execWithCleanup(body func() (*Result, error)) (*Result, error) {
+	res, err := body()
+	if err2 := s.endStatement(err); err2 != nil {
+		return nil, err2
+	}
+	return res, nil
+}
+
+func (s *Session) execCreateTable(ct *sqlparser.CreateTable) (*Result, error) {
+	name := strings.ToLower(ct.Table)
+	e := s.engine
+
+	var schema *Schema
+	var rows [][]sqlval.Value
+	if ct.AsSelect != nil {
+		// Evaluate the SELECT first (takes shared locks), then create.
+		sel, err := s.execSelect(ct.AsSelect)
+		if err != nil {
+			return nil, err
+		}
+		schema = &Schema{Name: name}
+		for i, col := range sel.Columns {
+			kind := sqlval.KindString
+			for _, r := range sel.Rows {
+				if !r[i].IsNull() {
+					kind = r[i].K
+					break
+				}
+			}
+			schema.Columns = append(schema.Columns, Column{Name: strings.ToLower(col), Type: kind})
+		}
+		rows = sel.Rows
+	} else {
+		schema = &Schema{Name: name}
+		for _, cd := range ct.Columns {
+			schema.Columns = append(schema.Columns, Column{
+				Name:          strings.ToLower(cd.Name),
+				Type:          cd.Type,
+				NotNull:       cd.NotNull,
+				PrimaryKey:    cd.PrimaryKey,
+				AutoIncrement: cd.AutoIncrement,
+				Default:       cd.Default,
+			})
+		}
+		for _, pk := range ct.PrimaryKey {
+			idx := schema.ColumnIndex(pk)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: PRIMARY KEY column %q not in table %s", pk, name)
+			}
+			schema.Columns[idx].PrimaryKey = true
+			schema.Columns[idx].NotNull = true
+		}
+	}
+
+	if ct.Temporary {
+		// Temporary tables are session-private: no lock needed, and any
+		// reservation placed by the dispatcher must be dropped.
+		s.engine.locks.cancelReservations(s, name)
+	} else {
+		if err := s.lockTable(name, true, s.lockDeadline()); err != nil {
+			return nil, err
+		}
+	}
+	e.mu.Lock()
+	if s.resolveLocked(name) != nil {
+		e.mu.Unlock()
+		if ct.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	tbl := newTable(schema)
+	if ct.Temporary {
+		s.temp[name] = tbl
+	} else {
+		e.tables[name] = tbl
+	}
+	s.undo = append(s.undo, undoOp{kind: 'c', table: name, tbl: tbl})
+	e.mu.Unlock()
+
+	for _, r := range rows {
+		if _, err := tbl.insertRow(r); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: int64(len(rows))}, nil
+}
+
+func (s *Session) execDropTable(dt *sqlparser.DropTable) (*Result, error) {
+	name := strings.ToLower(dt.Table)
+	e := s.engine
+	if _, isTemp := s.temp[name]; isTemp {
+		s.engine.locks.cancelReservations(s, name)
+	} else {
+		if err := s.lockTable(name, true, s.lockDeadline()); err != nil {
+			return nil, err
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := s.temp[name]; ok {
+		// Temporary tables are session-private and non-durable; dropping
+		// one is not transactional (it cannot be observed by anyone else).
+		delete(s.temp, name)
+		return &Result{}, nil
+	}
+	t, ok := e.tables[name]
+	if !ok {
+		if dt.IfExists {
+			return &Result{}, nil
+		}
+		return nil, &TableNotFoundError{Table: name}
+	}
+	delete(e.tables, name)
+	s.undo = append(s.undo, undoOp{kind: 'r', table: name, tbl: t})
+	return &Result{}, nil
+}
+
+func (s *Session) execCreateIndex(ci *sqlparser.CreateIndex) (*Result, error) {
+	name := strings.ToLower(ci.Table)
+	if err := s.lockTable(name, true, s.lockDeadline()); err != nil {
+		return nil, err
+	}
+	e := s.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := s.resolveLocked(name)
+	if t == nil {
+		return nil, &TableNotFoundError{Table: name}
+	}
+	var cols []int
+	for _, c := range ci.Columns {
+		idx := t.schema.ColumnIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in index %s", c, ci.Name)
+		}
+		cols = append(cols, idx)
+	}
+	ixName := strings.ToLower(ci.Name)
+	if err := t.addIndex(ixName, cols, ci.Unique); err != nil {
+		return nil, err
+	}
+	s.undo = append(s.undo, undoOp{kind: 'x', table: name, index: ixName})
+	return &Result{}, nil
+}
+
+func (s *Session) execDropIndex(di *sqlparser.DropIndex) (*Result, error) {
+	name := strings.ToLower(di.Table)
+	if err := s.lockTable(name, true, s.lockDeadline()); err != nil {
+		return nil, err
+	}
+	e := s.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := s.resolveLocked(name)
+	if t == nil {
+		return nil, &TableNotFoundError{Table: name}
+	}
+	ixName := strings.ToLower(di.Name)
+	if _, ok := t.indexes[ixName]; !ok {
+		return nil, fmt.Errorf("engine: index %q does not exist on %s", di.Name, name)
+	}
+	delete(t.indexes, ixName)
+	// Dropping an index is not undone (index rebuild on rollback is not
+	// supported); like MySQL, DDL here is effectively auto-committing.
+	return &Result{}, nil
+}
+
+// coerce converts v to the column's kind, returning an error when the value
+// cannot represent the column type.
+func coerce(v sqlval.Value, col *Column) (sqlval.Value, error) {
+	if v.IsNull() {
+		if col.NotNull && !col.AutoIncrement {
+			return v, fmt.Errorf("engine: NULL in NOT NULL column %q", col.Name)
+		}
+		return v, nil
+	}
+	switch col.Type {
+	case sqlval.KindInt:
+		i, err := v.AsInt()
+		if err != nil {
+			return v, err
+		}
+		return sqlval.Int(i), nil
+	case sqlval.KindFloat:
+		f, err := v.AsFloat()
+		if err != nil {
+			return v, err
+		}
+		return sqlval.Float(f), nil
+	case sqlval.KindString:
+		return sqlval.String_(v.AsString()), nil
+	case sqlval.KindBool:
+		return sqlval.Bool(v.AsBool()), nil
+	case sqlval.KindTime:
+		if v.K == sqlval.KindTime {
+			return v, nil
+		}
+		t, err := parseTime(v.AsString())
+		if err != nil {
+			return v, err
+		}
+		return sqlval.Time(t), nil
+	case sqlval.KindBytes:
+		if v.K == sqlval.KindBytes {
+			return v, nil
+		}
+		return sqlval.Bytes([]byte(v.AsString())), nil
+	}
+	return v, nil
+}
+
+func (s *Session) execInsert(ins *sqlparser.Insert) (*Result, error) {
+	name := strings.ToLower(ins.Table)
+	e := s.engine
+
+	// INSERT ... SELECT reads first (shared locks on sources).
+	var srcRows [][]sqlval.Value
+	if ins.Query != nil {
+		sel, err := s.execSelect(ins.Query)
+		if err != nil {
+			return nil, err
+		}
+		srcRows = sel.Rows
+	}
+
+	if err := s.lockTable(name, true, s.lockDeadline()); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := s.resolveLocked(name)
+	if t == nil {
+		return nil, &TableNotFoundError{Table: name}
+	}
+	schema := t.schema
+
+	// Map statement columns to schema positions.
+	var colIdx []int
+	if len(ins.Columns) > 0 {
+		for _, c := range ins.Columns {
+			idx := schema.ColumnIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q in INSERT into %s", c, name)
+			}
+			colIdx = append(colIdx, idx)
+		}
+	} else {
+		for i := range schema.Columns {
+			colIdx = append(colIdx, i)
+		}
+	}
+
+	ev := &env{}
+	buildRow := func(vals []sqlval.Value) ([]sqlval.Value, error) {
+		if len(vals) != len(colIdx) {
+			return nil, fmt.Errorf("engine: INSERT into %s: %d values for %d columns", name, len(vals), len(colIdx))
+		}
+		row := make([]sqlval.Value, len(schema.Columns))
+		set := make([]bool, len(schema.Columns))
+		for i, v := range vals {
+			row[colIdx[i]] = v
+			set[colIdx[i]] = true
+		}
+		for i := range schema.Columns {
+			col := &schema.Columns[i]
+			if !set[i] || row[i].IsNull() {
+				switch {
+				case col.AutoIncrement && (!set[i] || row[i].IsNull()):
+					t.autoInc++
+					row[i] = sqlval.Int(t.autoInc)
+					continue
+				case !set[i] && col.Default != nil:
+					dv, err := ev.eval(col.Default)
+					if err != nil {
+						return nil, err
+					}
+					row[i] = dv
+				}
+			}
+			cv, err := coerce(row[i], col)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = cv
+			if col.AutoIncrement && row[i].K == sqlval.KindInt && row[i].I > t.autoInc {
+				t.autoInc = row[i].I
+			}
+		}
+		return row, nil
+	}
+
+	autoIncBefore := t.autoInc
+	var inserted int64
+	var lastID int64
+	insertOne := func(row []sqlval.Value) error {
+		id, err := t.insertRow(row)
+		if err != nil {
+			return err
+		}
+		s.undo = append(s.undo, undoOp{kind: 'i', table: name, rowid: id})
+		inserted++
+		// LastInsertID reports the auto-increment value when one was assigned.
+		for i := range schema.Columns {
+			if schema.Columns[i].AutoIncrement {
+				lastID, _ = row[i].AsInt()
+			}
+		}
+		return nil
+	}
+
+	if ins.Query != nil {
+		for _, r := range srcRows {
+			row, err := buildRow(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := insertOne(row); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, exprRow := range ins.Rows {
+			vals := make([]sqlval.Value, len(exprRow))
+			for i, ex := range exprRow {
+				v, err := ev.eval(ex)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			row, err := buildRow(vals)
+			if err != nil {
+				return nil, err
+			}
+			if err := insertOne(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if t.autoInc != autoIncBefore {
+		s.undo = append(s.undo, undoOp{kind: 'a', table: name, autoInc: autoIncBefore})
+	}
+	return &Result{RowsAffected: inserted, LastInsertID: lastID}, nil
+}
+
+func (s *Session) execUpdate(up *sqlparser.Update) (*Result, error) {
+	name := strings.ToLower(up.Table)
+	if err := s.lockTable(name, true, s.lockDeadline()); err != nil {
+		return nil, err
+	}
+	e := s.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := s.resolveLocked(name)
+	if t == nil {
+		return nil, &TableNotFoundError{Table: name}
+	}
+	schema := t.schema
+	cols := colMapFor(schema, name, "")
+
+	var setIdx []int
+	for _, a := range up.Set {
+		idx := schema.ColumnIndex(a.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in UPDATE %s", a.Column, name)
+		}
+		setIdx = append(setIdx, idx)
+	}
+
+	ids, err := candidateIDs(t, name, up.Where)
+	if err != nil {
+		return nil, err
+	}
+	var affected int64
+	for _, id := range ids {
+		row, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		ev := &env{cols: cols, row: row}
+		if up.Where != nil {
+			m, err := ev.eval(up.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !m.AsBool() {
+				continue
+			}
+		}
+		newRow := sqlval.CloneRow(row)
+		for i, a := range up.Set {
+			v, err := ev.eval(a.Value)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, &schema.Columns[setIdx[i]])
+			if err != nil {
+				return nil, err
+			}
+			newRow[setIdx[i]] = cv
+		}
+		old := sqlval.CloneRow(row)
+		if err := t.updateRow(id, newRow); err != nil {
+			return nil, err
+		}
+		s.undo = append(s.undo, undoOp{kind: 'u', table: name, rowid: id, row: old})
+		affected++
+	}
+	return &Result{RowsAffected: affected}, nil
+}
+
+func (s *Session) execDelete(del *sqlparser.Delete) (*Result, error) {
+	name := strings.ToLower(del.Table)
+	if err := s.lockTable(name, true, s.lockDeadline()); err != nil {
+		return nil, err
+	}
+	e := s.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := s.resolveLocked(name)
+	if t == nil {
+		return nil, &TableNotFoundError{Table: name}
+	}
+	cols := colMapFor(t.schema, name, "")
+	ids, err := candidateIDs(t, name, del.Where)
+	if err != nil {
+		return nil, err
+	}
+	var affected int64
+	for _, id := range ids {
+		row, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		if del.Where != nil {
+			ev := &env{cols: cols, row: row}
+			m, err := ev.eval(del.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !m.AsBool() {
+				continue
+			}
+		}
+		saved := sqlval.CloneRow(row)
+		t.deleteRow(id)
+		s.undo = append(s.undo, undoOp{kind: 'd', table: name, rowid: id, row: saved})
+		affected++
+	}
+	return &Result{RowsAffected: affected}, nil
+}
+
+// candidateIDs returns the rowids a WHERE clause can possibly match, using a
+// hash index when the clause contains an indexed equality conjunct, and the
+// full scan order otherwise. Caller holds e.mu.
+func candidateIDs(t *table, tableName string, where *sqlparser.Expr) ([]int64, error) {
+	if where != nil {
+		if col, val, ok := indexableEquality(t, tableName, where); ok {
+			if ids, found := t.lookup(col, val); found {
+				out := append([]int64(nil), ids...)
+				return out, nil
+			}
+		}
+	}
+	out := make([]int64, 0, len(t.rows))
+	t.scan(func(id int64, _ []sqlval.Value) bool {
+		out = append(out, id)
+		return true
+	})
+	return out, nil
+}
+
+// indexableEquality finds a top-level AND conjunct of the form col = literal
+// where col belongs to the table and has an index.
+func indexableEquality(t *table, tableName string, e *sqlparser.Expr) (colIdx int, v sqlval.Value, ok bool) {
+	switch {
+	case e.Kind == sqlparser.ExprBinary && e.Op == "AND":
+		if c, v, ok := indexableEquality(t, tableName, e.Left); ok {
+			return c, v, true
+		}
+		return indexableEquality(t, tableName, e.Right)
+	case e.Kind == sqlparser.ExprBinary && e.Op == "=":
+		col, lit := e.Left, e.Right
+		if col.Kind != sqlparser.ExprColumn {
+			col, lit = lit, col
+		}
+		if col.Kind != sqlparser.ExprColumn || lit.Kind != sqlparser.ExprLiteral {
+			return 0, sqlval.Null, false
+		}
+		if col.Table != "" && col.Table != tableName {
+			return 0, sqlval.Null, false
+		}
+		idx := t.schema.ColumnIndex(col.Column)
+		if idx < 0 {
+			return 0, sqlval.Null, false
+		}
+		if _, found := t.lookup(idx, lit.Lit); !found {
+			return 0, sqlval.Null, false
+		}
+		return idx, lit.Lit, true
+	}
+	return 0, sqlval.Null, false
+}
+
+// colMapFor builds the environment column map for one table occurrence.
+func colMapFor(schema *Schema, tableName, alias string) map[string]int {
+	m := make(map[string]int, len(schema.Columns)*3)
+	for i, c := range schema.Columns {
+		m[c.Name] = i
+		m[tableName+"."+c.Name] = i
+		if alias != "" {
+			m[alias+"."+c.Name] = i
+		}
+	}
+	return m
+}
+
+func parseTime(s string) (time.Time, error) {
+	for _, layout := range []string{
+		"2006-01-02 15:04:05", "2006-01-02T15:04:05", "2006-01-02",
+		"2006-01-02 15:04:05.999999999",
+	} {
+		if tt, err := time.Parse(layout, s); err == nil {
+			return tt, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("engine: cannot parse %q as timestamp", s)
+}

@@ -1,0 +1,197 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyEngineMatchesModel runs random insert/update/delete/rollback
+// sequences against both the engine and a trivial in-memory model, checking
+// that visible state agrees after every committed operation.
+func TestPropertyEngineMatchesModel(t *testing.T) {
+	const ops = 400
+	rng := rand.New(rand.NewSource(99))
+	e := New("prop")
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE m (id INTEGER PRIMARY KEY, v INTEGER)")
+
+	model := make(map[int64]int64) // id -> v
+	var inTx bool
+	txModel := make(map[int64]int64)
+	snapshot := func() map[int64]int64 {
+		cp := make(map[int64]int64, len(model))
+		for k, v := range model {
+			cp[k] = v
+		}
+		return cp
+	}
+	cur := func() map[int64]int64 {
+		if inTx {
+			return txModel
+		}
+		return model
+	}
+
+	for i := 0; i < ops; i++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert
+			id := rng.Int63n(200)
+			v := rng.Int63n(1000)
+			_, err := s.ExecSQL(fmt.Sprintf("INSERT INTO m (id, v) VALUES (%d, %d)", id, v))
+			if _, exists := cur()[id]; exists {
+				if err == nil {
+					t.Fatalf("op %d: duplicate insert of %d accepted", i, id)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("op %d: insert: %v", i, err)
+				}
+				cur()[id] = v
+			}
+		case op < 6: // update
+			id := rng.Int63n(200)
+			v := rng.Int63n(1000)
+			res, err := s.ExecSQL(fmt.Sprintf("UPDATE m SET v = %d WHERE id = %d", v, id))
+			if err != nil {
+				t.Fatalf("op %d: update: %v", i, err)
+			}
+			if _, exists := cur()[id]; exists {
+				if res.RowsAffected != 1 {
+					t.Fatalf("op %d: update affected %d", i, res.RowsAffected)
+				}
+				cur()[id] = v
+			} else if res.RowsAffected != 0 {
+				t.Fatalf("op %d: phantom update", i)
+			}
+		case op < 7: // delete
+			id := rng.Int63n(200)
+			res, err := s.ExecSQL(fmt.Sprintf("DELETE FROM m WHERE id = %d", id))
+			if err != nil {
+				t.Fatalf("op %d: delete: %v", i, err)
+			}
+			_, exists := cur()[id]
+			if exists != (res.RowsAffected == 1) {
+				t.Fatalf("op %d: delete mismatch", i)
+			}
+			delete(cur(), id)
+		case op < 8 && !inTx: // begin
+			mustExec(t, s, "BEGIN")
+			inTx = true
+			txModel = snapshot()
+		case op < 9 && inTx: // commit
+			mustExec(t, s, "COMMIT")
+			model = txModel
+			inTx = false
+		case inTx: // rollback
+			mustExec(t, s, "ROLLBACK")
+			inTx = false
+		}
+		// Verify visible state.
+		res := mustExec(t, s, "SELECT id, v FROM m ORDER BY id")
+		want := cur()
+		if len(res.Rows) != len(want) {
+			t.Fatalf("op %d: %d rows, model has %d", i, len(res.Rows), len(want))
+		}
+		for _, row := range res.Rows {
+			id, v := row[0].I, row[1].I
+			if mv, ok := want[id]; !ok || mv != v {
+				t.Fatalf("op %d: row (%d,%d) vs model %v", i, id, v, want[id])
+			}
+		}
+	}
+}
+
+// Property: the sum of values is invariant under any interleaving of
+// balanced transfer transactions (each moves an amount between two rows and
+// commits or aborts).
+func TestPropertyTransfersPreserveSum(t *testing.T) {
+	e := New("bank")
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)")
+	const accounts = 8
+	for i := 0; i < accounts; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO acct (id, bal) VALUES (%d, 100)", i))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 150; i++ {
+		a, b := rng.Intn(accounts), rng.Intn(accounts)
+		amt := rng.Intn(50)
+		mustExec(t, s, "BEGIN")
+		mustExec(t, s, fmt.Sprintf("UPDATE acct SET bal = bal - %d WHERE id = %d", amt, a))
+		mustExec(t, s, fmt.Sprintf("UPDATE acct SET bal = bal + %d WHERE id = %d", amt, b))
+		if rng.Intn(3) == 0 {
+			mustExec(t, s, "ROLLBACK")
+		} else {
+			mustExec(t, s, "COMMIT")
+		}
+		res := mustExec(t, s, "SELECT SUM(bal) FROM acct")
+		if res.Rows[0][0].I != accounts*100 {
+			t.Fatalf("iteration %d: sum = %v", i, res.Rows[0][0])
+		}
+	}
+}
+
+// Property (testing/quick): inserting any batch of distinct int pairs and
+// reading them back returns exactly the batch.
+func TestQuickInsertReadBack(t *testing.T) {
+	f := func(vals []int16) bool {
+		e := New("q")
+		s := e.NewSession()
+		if _, err := s.ExecSQL("CREATE TABLE q (id INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+			return false
+		}
+		want := make(map[int64]int64)
+		for i, v := range vals {
+			want[int64(i)] = int64(v)
+			if _, err := s.ExecSQL(fmt.Sprintf("INSERT INTO q (id, v) VALUES (%d, %d)", i, v)); err != nil {
+				return false
+			}
+		}
+		res, err := s.ExecSQL("SELECT id, v FROM q")
+		if err != nil || len(res.Rows) != len(want) {
+			return false
+		}
+		for _, row := range res.Rows {
+			if want[row[0].I] != row[1].I {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): WHERE range predicates agree with a direct scan
+// of the model for arbitrary thresholds.
+func TestQuickRangePredicates(t *testing.T) {
+	e := New("q2")
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE r (id INTEGER PRIMARY KEY, v INTEGER)")
+	vals := make(map[int64]int64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		v := rng.Int63n(1000) - 500
+		vals[int64(i)] = v
+		mustExec(t, s, fmt.Sprintf("INSERT INTO r (id, v) VALUES (%d, %d)", i, v))
+	}
+	f := func(threshold int16) bool {
+		res, err := s.ExecSQL(fmt.Sprintf("SELECT COUNT(*) FROM r WHERE v >= %d", threshold))
+		if err != nil {
+			return false
+		}
+		want := int64(0)
+		for _, v := range vals {
+			if v >= int64(threshold) {
+				want++
+			}
+		}
+		return res.Rows[0][0].I == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

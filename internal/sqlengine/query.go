@@ -1,0 +1,668 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cjdbc/internal/sqlparser"
+	"cjdbc/internal/sqlval"
+)
+
+// srcTable is one resolved FROM entry.
+type srcTable struct {
+	t      *table
+	name   string // table name, lower-cased
+	alias  string // alias or name
+	offset int    // column offset in the combined row
+}
+
+// outRow pairs a projected row with the environment it was produced from,
+// so ORDER BY can reference non-projected columns.
+type outRow struct {
+	vals []sqlval.Value
+	ev   *env
+}
+
+func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
+	if len(sel.From) == 0 {
+		return s.selectNoFrom(sel)
+	}
+
+	// Reads take no table locks: like the consistent nonblocking reads of
+	// the paper's InnoDB backends, readers never block writers and never
+	// participate in deadlock cycles. Statement-level atomicity comes from
+	// the engine mutex; a reader may observe another transaction's
+	// uncommitted rows, which the clustering middleware tolerates exactly
+	// as C-JDBC tolerates its backends' isolation levels.
+	e := s.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Resolve sources and build the combined column map.
+	srcs := make([]srcTable, len(sel.From))
+	cols := make(map[string]int)
+	offset := 0
+	for i, tr := range sel.From {
+		name := strings.ToLower(tr.Table)
+		t := s.resolveLocked(name)
+		if t == nil {
+			return nil, &TableNotFoundError{Table: tr.Table}
+		}
+		alias := strings.ToLower(tr.Alias)
+		if alias == "" {
+			alias = name
+		}
+		srcs[i] = srcTable{t: t, name: name, alias: alias, offset: offset}
+		for j, c := range t.schema.Columns {
+			if _, dup := cols[c.Name]; !dup {
+				cols[c.Name] = offset + j
+			}
+			cols[alias+"."+c.Name] = offset + j
+			if _, dup := cols[name+"."+c.Name]; !dup {
+				cols[name+"."+c.Name] = offset + j
+			}
+		}
+		offset += len(t.schema.Columns)
+	}
+	totalCols := offset
+
+	rows, err := s.joinRows(sel, srcs, cols, totalCols)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE filter.
+	if sel.Where != nil {
+		filtered := rows[:0]
+		for _, r := range rows {
+			ev := &env{cols: cols, row: r}
+			m, err := ev.eval(sel.Where)
+			if err != nil {
+				return nil, err
+			}
+			if m.AsBool() {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	// Collect aggregate expressions referenced anywhere in the query.
+	var aggExprs []*sqlparser.Expr
+	collect := func(ex *sqlparser.Expr) {
+		if ex == nil {
+			return
+		}
+		ex.Walk(func(n *sqlparser.Expr) {
+			if n.Kind == sqlparser.ExprFunc && sqlparser.IsAggregate(n.Func) {
+				aggExprs = append(aggExprs, n)
+			}
+		})
+	}
+	for _, it := range sel.Items {
+		collect(it.Expr)
+	}
+	collect(sel.Having)
+	for _, o := range sel.OrderBy {
+		collect(o.Expr)
+	}
+
+	var out []outRow
+	if len(sel.GroupBy) > 0 || len(aggExprs) > 0 {
+		out, err = s.groupedRows(sel, rows, cols, aggExprs)
+	} else {
+		out, err = s.projectRows(sel, rows, cols)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	outCols, err := outputColumns(sel, srcs)
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		seen := make(map[string]bool, len(out))
+		dedup := out[:0]
+		for _, r := range out {
+			k := rowKey(r.vals)
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, r)
+			}
+		}
+		out = dedup
+	}
+
+	if len(sel.OrderBy) > 0 {
+		if err := orderRows(sel, out, outCols); err != nil {
+			return nil, err
+		}
+	}
+
+	out, err = applyLimit(sel, out)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Columns: outCols, Rows: make([][]sqlval.Value, len(out))}
+	for i, r := range out {
+		res.Rows[i] = r.vals
+	}
+	return res, nil
+}
+
+// selectNoFrom evaluates a FROM-less select (SELECT 1, SELECT NOW()).
+func (s *Session) selectNoFrom(sel *sqlparser.Select) (*Result, error) {
+	ev := &env{}
+	res := &Result{}
+	row := make([]sqlval.Value, 0, len(sel.Items))
+	for i, it := range sel.Items {
+		if it.Star {
+			return nil, fmt.Errorf("engine: SELECT * requires FROM")
+		}
+		v, err := ev.eval(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		res.Columns = append(res.Columns, itemName(it, i))
+	}
+	res.Rows = [][]sqlval.Value{row}
+	return res, nil
+}
+
+// joinRows materializes the FROM clause with nested-loop joins, using a hash
+// index for equi-joins when one is available.
+func (s *Session) joinRows(sel *sqlparser.Select, srcs []srcTable, cols map[string]int, totalCols int) ([][]sqlval.Value, error) {
+	// Seed with the first table's rows, padded to the full width so that
+	// the environment map works at every stage.
+	var rows [][]sqlval.Value
+	srcs[0].t.scan(func(_ int64, r []sqlval.Value) bool {
+		combined := make([]sqlval.Value, totalCols)
+		copy(combined[srcs[0].offset:], r)
+		rows = append(rows, combined)
+		return true
+	})
+
+	for i := 1; i < len(srcs); i++ {
+		src := srcs[i]
+		tr := sel.From[i]
+		var next [][]sqlval.Value
+
+		// Try an indexed equi-join: ON left.col = right.col with the new
+		// table's column indexed.
+		probe, buildCol, useIndex := equiJoinPlan(tr.On, src, cols)
+
+		for _, left := range rows {
+			matched := false
+			tryRow := func(r []sqlval.Value) error {
+				combined := make([]sqlval.Value, totalCols)
+				copy(combined, left)
+				copy(combined[src.offset:], r)
+				if tr.On != nil {
+					ev := &env{cols: cols, row: combined}
+					m, err := ev.eval(tr.On)
+					if err != nil {
+						return err
+					}
+					if !m.AsBool() {
+						return nil
+					}
+				}
+				matched = true
+				next = append(next, combined)
+				return nil
+			}
+			if useIndex {
+				v := left[probe]
+				ids, _ := src.t.lookup(buildCol, v)
+				for _, id := range ids {
+					if r, ok := src.t.rows[id]; ok {
+						if err := tryRow(r); err != nil {
+							return nil, err
+						}
+					}
+				}
+			} else {
+				var scanErr error
+				src.t.scan(func(_ int64, r []sqlval.Value) bool {
+					if err := tryRow(r); err != nil {
+						scanErr = err
+						return false
+					}
+					return true
+				})
+				if scanErr != nil {
+					return nil, scanErr
+				}
+			}
+			if !matched && tr.Join == sqlparser.JoinLeft {
+				// LEFT JOIN: keep the left row with NULLs on the right.
+				combined := make([]sqlval.Value, totalCols)
+				copy(combined, left)
+				next = append(next, combined)
+			}
+		}
+		rows = next
+	}
+	return rows, nil
+}
+
+// equiJoinPlan inspects an ON clause for left.col = right.col where the
+// right (new) table has an index, returning the probe position in the
+// combined row and the build column in the new table.
+func equiJoinPlan(on *sqlparser.Expr, src srcTable, cols map[string]int) (probe, buildCol int, ok bool) {
+	if on == nil || on.Kind != sqlparser.ExprBinary || on.Op != "=" {
+		return 0, 0, false
+	}
+	l, r := on.Left, on.Right
+	if l.Kind != sqlparser.ExprColumn || r.Kind != sqlparser.ExprColumn {
+		return 0, 0, false
+	}
+	// Determine which side belongs to the new table.
+	inNew := func(e *sqlparser.Expr) (int, bool) {
+		if e.Table != "" && e.Table != src.alias && e.Table != src.name {
+			return 0, false
+		}
+		idx := src.t.schema.ColumnIndex(e.Column)
+		if idx < 0 {
+			return 0, false
+		}
+		return idx, true
+	}
+	envPos := func(e *sqlparser.Expr) (int, bool) {
+		key := e.Column
+		if e.Table != "" {
+			key = e.Table + "." + e.Column
+		}
+		p, found := cols[key]
+		return p, found
+	}
+	if bc, isNew := inNew(r); isNew {
+		if p, found := envPos(l); found && (p < src.offset || p >= src.offset+len(src.t.schema.Columns)) {
+			if _, indexed := src.t.lookup(bc, sqlval.Null); indexed {
+				return p, bc, true
+			}
+		}
+	}
+	if bc, isNew := inNew(l); isNew {
+		if p, found := envPos(r); found && (p < src.offset || p >= src.offset+len(src.t.schema.Columns)) {
+			if _, indexed := src.t.lookup(bc, sqlval.Null); indexed {
+				return p, bc, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// projectRows evaluates the select list for each row of a non-grouped query.
+func (s *Session) projectRows(sel *sqlparser.Select, rows [][]sqlval.Value, cols map[string]int) ([]outRow, error) {
+	out := make([]outRow, 0, len(rows))
+	for _, r := range rows {
+		ev := &env{cols: cols, row: r}
+		vals, err := projectOne(sel, ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, outRow{vals: vals, ev: ev})
+	}
+	return out, nil
+}
+
+// groupedRows implements GROUP BY / aggregate evaluation.
+func (s *Session) groupedRows(sel *sqlparser.Select, rows [][]sqlval.Value, cols map[string]int, aggExprs []*sqlparser.Expr) ([]outRow, error) {
+	type group struct {
+		first []sqlval.Value
+		rows  [][]sqlval.Value
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range rows {
+		ev := &env{cols: cols, row: r}
+		var key strings.Builder
+		for _, g := range sel.GroupBy {
+			v, err := ev.eval(g)
+			if err != nil {
+				return nil, err
+			}
+			key.WriteString(v.Key())
+			key.WriteByte(0x1f)
+		}
+		k := key.String()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{first: r}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		grp.rows = append(grp.rows, r)
+	}
+	// A query with aggregates but no GROUP BY forms one group, even when
+	// there are no input rows (COUNT(*) of an empty table is 0).
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{first: make([]sqlval.Value, 0)}
+		order = append(order, "")
+	}
+
+	out := make([]outRow, 0, len(groups))
+	for _, k := range order {
+		grp := groups[k]
+		aggs := make(map[*sqlparser.Expr]sqlval.Value, len(aggExprs))
+		for _, ae := range aggExprs {
+			v, err := computeAggregate(ae, grp.rows, cols)
+			if err != nil {
+				return nil, err
+			}
+			aggs[ae] = v
+		}
+		first := grp.first
+		if len(first) == 0 && len(grp.rows) > 0 {
+			first = grp.rows[0]
+		}
+		ev := &env{cols: cols, row: first, aggs: aggs}
+		if sel.Having != nil {
+			m, err := ev.eval(sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !m.AsBool() {
+				continue
+			}
+		}
+		vals, err := projectOne(sel, ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, outRow{vals: vals, ev: ev})
+	}
+	return out, nil
+}
+
+// computeAggregate evaluates one aggregate call over the rows of a group.
+func computeAggregate(ae *sqlparser.Expr, rows [][]sqlval.Value, cols map[string]int) (sqlval.Value, error) {
+	isStar := len(ae.Args) == 1 && ae.Args[0].Kind == sqlparser.ExprStar
+	if ae.Func == "COUNT" && (len(ae.Args) == 0 || isStar) {
+		return sqlval.Int(int64(len(rows))), nil
+	}
+	if len(ae.Args) != 1 {
+		return sqlval.Null, fmt.Errorf("engine: %s expects one argument", ae.Func)
+	}
+	var (
+		count   int64
+		sum     float64
+		sumInt  int64
+		allInt  = true
+		minV    sqlval.Value
+		maxV    sqlval.Value
+		seen    map[string]bool
+		started bool
+	)
+	if ae.Distinct {
+		seen = make(map[string]bool)
+	}
+	for _, r := range rows {
+		ev := &env{cols: cols, row: r}
+		v, err := ev.eval(ae.Args[0])
+		if err != nil {
+			return sqlval.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if ae.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		count++
+		switch ae.Func {
+		case "SUM", "AVG":
+			f, err := v.AsFloat()
+			if err != nil {
+				return sqlval.Null, err
+			}
+			sum += f
+			if v.K == sqlval.KindInt {
+				sumInt += v.I
+			} else {
+				allInt = false
+			}
+		case "MIN":
+			if !started || sqlval.Compare(v, minV) < 0 {
+				minV = v
+			}
+		case "MAX":
+			if !started || sqlval.Compare(v, maxV) > 0 {
+				maxV = v
+			}
+		}
+		started = true
+	}
+	switch ae.Func {
+	case "COUNT":
+		return sqlval.Int(count), nil
+	case "SUM":
+		if count == 0 {
+			return sqlval.Null, nil
+		}
+		if allInt {
+			return sqlval.Int(sumInt), nil
+		}
+		return sqlval.Float(sum), nil
+	case "AVG":
+		if count == 0 {
+			return sqlval.Null, nil
+		}
+		return sqlval.Float(sum / float64(count)), nil
+	case "MIN":
+		if !started {
+			return sqlval.Null, nil
+		}
+		return minV, nil
+	case "MAX":
+		if !started {
+			return sqlval.Null, nil
+		}
+		return maxV, nil
+	}
+	return sqlval.Null, fmt.Errorf("engine: unknown aggregate %s", ae.Func)
+}
+
+// projectOne evaluates the select list in one environment.
+func projectOne(sel *sqlparser.Select, ev *env) ([]sqlval.Value, error) {
+	var vals []sqlval.Value
+	for _, it := range sel.Items {
+		if it.Star {
+			// Stars copy the underlying combined row directly; for
+			// qualified stars (t.*) the output columns are computed by
+			// outputColumns, and values are selected by position there.
+			// Here we append every environment column in order.
+			vals = append(vals, starValues(it, ev)...)
+			continue
+		}
+		v, err := ev.eval(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// starValues returns the row values a star item expands to. The environment
+// row is the concatenation of all source tables, so a bare * is the whole
+// row. Qualified stars use the column map prefix positions.
+func starValues(it sqlparser.SelectItem, ev *env) []sqlval.Value {
+	if it.Table == "" {
+		return ev.row
+	}
+	prefix := strings.ToLower(it.Table) + "."
+	// Collect positions with that prefix, ordered.
+	var idxs []int
+	for k, pos := range ev.cols {
+		if strings.HasPrefix(k, prefix) {
+			idxs = append(idxs, pos)
+		}
+	}
+	sort.Ints(idxs)
+	out := make([]sqlval.Value, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, ev.row[i])
+	}
+	return out
+}
+
+// outputColumns computes the result column names.
+func outputColumns(sel *sqlparser.Select, srcs []srcTable) ([]string, error) {
+	var out []string
+	for i, it := range sel.Items {
+		switch {
+		case it.Star && it.Table == "":
+			for _, src := range srcs {
+				out = append(out, src.t.schema.ColumnNames()...)
+			}
+		case it.Star:
+			want := strings.ToLower(it.Table)
+			found := false
+			for _, src := range srcs {
+				if src.alias == want || src.name == want {
+					out = append(out, src.t.schema.ColumnNames()...)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("engine: unknown table %q in %s.*", it.Table, it.Table)
+			}
+		default:
+			out = append(out, itemName(it, i))
+		}
+	}
+	return out, nil
+}
+
+func itemName(it sqlparser.SelectItem, i int) string {
+	if it.Alias != "" {
+		return strings.ToLower(it.Alias)
+	}
+	if it.Expr != nil && it.Expr.Kind == sqlparser.ExprColumn {
+		return it.Expr.Column
+	}
+	return fmt.Sprintf("column%d", i+1)
+}
+
+// orderRows sorts out in place according to ORDER BY. Keys resolve first to
+// output aliases, then to positional integers, then evaluate in the source
+// environment.
+func orderRows(sel *sqlparser.Select, out []outRow, outCols []string) error {
+	type keyFn func(r outRow) (sqlval.Value, error)
+	keys := make([]keyFn, len(sel.OrderBy))
+	for i, oi := range sel.OrderBy {
+		ex := oi.Expr
+		switch {
+		case ex.Kind == sqlparser.ExprLiteral && ex.Lit.K == sqlval.KindInt:
+			pos := int(ex.Lit.I) - 1
+			if pos < 0 || pos >= len(outCols) {
+				return fmt.Errorf("engine: ORDER BY position %d out of range", ex.Lit.I)
+			}
+			keys[i] = func(r outRow) (sqlval.Value, error) { return r.vals[pos], nil }
+		case ex.Kind == sqlparser.ExprColumn && ex.Table == "":
+			// Prefer an output column of the same name (alias reference).
+			pos := -1
+			for j, c := range outCols {
+				if c == ex.Column {
+					pos = j
+					break
+				}
+			}
+			if pos >= 0 {
+				p := pos
+				keys[i] = func(r outRow) (sqlval.Value, error) { return r.vals[p], nil }
+			} else {
+				e := ex
+				keys[i] = func(r outRow) (sqlval.Value, error) { return r.ev.eval(e) }
+			}
+		default:
+			e := ex
+			keys[i] = func(r outRow) (sqlval.Value, error) { return r.ev.eval(e) }
+		}
+	}
+	var sortErr error
+	sort.SliceStable(out, func(a, b int) bool {
+		for i := range keys {
+			va, err := keys[i](out[a])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vb, err := keys[i](out[b])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c := sqlval.Compare(va, vb)
+			if c == 0 {
+				continue
+			}
+			if sel.OrderBy[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}
+
+// applyLimit applies LIMIT/OFFSET.
+func applyLimit(sel *sqlparser.Select, out []outRow) ([]outRow, error) {
+	if sel.Limit == nil {
+		return out, nil
+	}
+	ev := &env{}
+	lv, err := ev.eval(sel.Limit)
+	if err != nil {
+		return nil, err
+	}
+	limit, err := lv.AsInt()
+	if err != nil {
+		return nil, err
+	}
+	var offset int64
+	if sel.Offset != nil {
+		ov, err := ev.eval(sel.Offset)
+		if err != nil {
+			return nil, err
+		}
+		offset, err = ov.AsInt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= int64(len(out)) {
+		return nil, nil
+	}
+	out = out[offset:]
+	if limit >= 0 && int64(len(out)) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// rowKey builds a hash key over a projected row for DISTINCT.
+func rowKey(vals []sqlval.Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(v.Key())
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}

@@ -1,0 +1,261 @@
+// Package sqlengine implements the database backend engine the cluster
+// replicates: an in-memory relational engine with a catalog, typed rows,
+// hash indexes, strict two-phase table locking and undo-log transactions.
+// It plays the role MySQL/PostgreSQL/Firebird play in the paper: a black box
+// behind a driver interface that executes SQL statements transactionally.
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"cjdbc/internal/sqlparser"
+	"cjdbc/internal/sqlval"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name          string // lower-cased
+	Type          sqlval.Kind
+	NotNull       bool
+	PrimaryKey    bool
+	AutoIncrement bool
+	Default       *sqlparser.Expr
+}
+
+// Schema is the ordered column list of a table.
+type Schema struct {
+	Name    string // lower-cased table name
+	Columns []Column
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	name = strings.ToLower(name)
+	for i := range s.Columns {
+		if s.Columns[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the column names in declaration order.
+func (s *Schema) ColumnNames() []string {
+	out := make([]string, len(s.Columns))
+	for i := range s.Columns {
+		out[i] = s.Columns[i].Name
+	}
+	return out
+}
+
+// index is a hash index over one or more columns.
+type index struct {
+	name    string
+	columns []int // column positions
+	unique  bool
+	m       map[string][]int64 // value key -> rowids
+}
+
+func (ix *index) keyFor(row []sqlval.Value) string {
+	if len(ix.columns) == 1 {
+		return row[ix.columns[0]].Key()
+	}
+	var b strings.Builder
+	for _, c := range ix.columns {
+		b.WriteString(row[c].Key())
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+func (ix *index) insert(rowid int64, row []sqlval.Value) error {
+	k := ix.keyFor(row)
+	if ix.unique && len(ix.m[k]) > 0 {
+		return fmt.Errorf("unique constraint violation on index %s", ix.name)
+	}
+	ix.m[k] = append(ix.m[k], rowid)
+	return nil
+}
+
+func (ix *index) remove(rowid int64, row []sqlval.Value) {
+	k := ix.keyFor(row)
+	ids := ix.m[k]
+	for i, id := range ids {
+		if id == rowid {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.m, k)
+	} else {
+		ix.m[k] = ids
+	}
+}
+
+// table is the storage for one table: schema, rows keyed by rowid, an
+// append-only scan order, and indexes.
+type table struct {
+	schema  *Schema
+	rows    map[int64][]sqlval.Value
+	order   []int64 // insertion order; may contain ids of deleted rows
+	nextID  int64
+	autoInc int64
+	indexes map[string]*index
+}
+
+func newTable(schema *Schema) *table {
+	t := &table{
+		schema:  schema,
+		rows:    make(map[int64][]sqlval.Value),
+		indexes: make(map[string]*index),
+	}
+	// Implicit unique index on the primary key column(s).
+	var pkCols []int
+	for i, c := range schema.Columns {
+		if c.PrimaryKey {
+			pkCols = append(pkCols, i)
+		}
+	}
+	if len(pkCols) > 0 {
+		t.indexes["__pk"] = &index{name: "__pk", columns: pkCols, unique: true, m: map[string][]int64{}}
+	}
+	return t
+}
+
+// insertRow adds a row and maintains all indexes, returning its rowid.
+func (t *table) insertRow(row []sqlval.Value) (int64, error) {
+	id := t.nextID
+	// Check all unique indexes before mutating any.
+	for _, ix := range t.indexes {
+		if ix.unique {
+			if len(ix.m[ix.keyFor(row)]) > 0 {
+				return 0, fmt.Errorf("engine: unique constraint violation on %s.%s", t.schema.Name, ix.name)
+			}
+		}
+	}
+	for _, ix := range t.indexes {
+		if err := ix.insert(id, row); err != nil {
+			return 0, err
+		}
+	}
+	t.nextID++
+	t.rows[id] = row
+	t.order = append(t.order, id)
+	return id, nil
+}
+
+// insertRowAt re-inserts a row under a known rowid (undo of delete).
+// deleteRow leaves a tombstone in the scan order, so the id may still be
+// present there; appending it again would make the row scan twice.
+func (t *table) insertRowAt(id int64, row []sqlval.Value) {
+	for _, ix := range t.indexes {
+		ix.m[ix.keyFor(row)] = append(ix.m[ix.keyFor(row)], id)
+	}
+	t.rows[id] = row
+	present := false
+	for _, oid := range t.order {
+		if oid == id {
+			present = true
+			break
+		}
+	}
+	if !present {
+		t.order = append(t.order, id)
+	}
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+}
+
+// deleteRow removes a row by id and maintains indexes.
+func (t *table) deleteRow(id int64) {
+	row, ok := t.rows[id]
+	if !ok {
+		return
+	}
+	for _, ix := range t.indexes {
+		ix.remove(id, row)
+	}
+	delete(t.rows, id)
+	t.maybeCompact()
+}
+
+// updateRow replaces the row stored under id, maintaining indexes and
+// checking unique constraints against other rows.
+func (t *table) updateRow(id int64, newRow []sqlval.Value) error {
+	old := t.rows[id]
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		nk := ix.keyFor(newRow)
+		if nk == ix.keyFor(old) {
+			continue
+		}
+		if len(ix.m[nk]) > 0 {
+			return fmt.Errorf("engine: unique constraint violation on %s.%s", t.schema.Name, ix.name)
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.remove(id, old)
+		ix.m[ix.keyFor(newRow)] = append(ix.m[ix.keyFor(newRow)], id)
+	}
+	t.rows[id] = newRow
+	return nil
+}
+
+func (t *table) maybeCompact() {
+	if len(t.order) < 64 || len(t.order) < 2*len(t.rows) {
+		return
+	}
+	live := t.order[:0]
+	for _, id := range t.order {
+		if _, ok := t.rows[id]; ok {
+			live = append(live, id)
+		}
+	}
+	t.order = live
+}
+
+// scan calls f for each live row in insertion order; f returning false
+// stops the scan.
+func (t *table) scan(f func(id int64, row []sqlval.Value) bool) {
+	for _, id := range t.order {
+		row, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		if !f(id, row) {
+			return
+		}
+	}
+}
+
+// lookup returns the rowids matching a single-column equality using the
+// first usable index, and ok=false when no index covers the column.
+func (t *table) lookup(colIdx int, v sqlval.Value) (ids []int64, ok bool) {
+	for _, ix := range t.indexes {
+		if len(ix.columns) == 1 && ix.columns[0] == colIdx {
+			return ix.m[v.Key()], true
+		}
+	}
+	return nil, false
+}
+
+// addIndex builds a new index over existing rows.
+func (t *table) addIndex(name string, cols []int, unique bool) error {
+	if _, dup := t.indexes[name]; dup {
+		return fmt.Errorf("engine: index %s already exists on %s", name, t.schema.Name)
+	}
+	ix := &index{name: name, columns: cols, unique: unique, m: map[string][]int64{}}
+	for id, row := range t.rows {
+		if err := ix.insert(id, row); err != nil {
+			return err
+		}
+	}
+	t.indexes[name] = ix
+	return nil
+}

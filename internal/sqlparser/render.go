@@ -1,0 +1,338 @@
+package sqlparser
+
+import (
+	"strings"
+
+	"cjdbc/internal/sqlval"
+)
+
+// Render turns a parsed statement back into SQL text. The output is
+// accepted by Parse (round-trip property), which the recovery log, the wire
+// protocol and macro rewriting rely on.
+func Render(st Statement) string {
+	var b strings.Builder
+	renderStmt(&b, st)
+	return b.String()
+}
+
+func renderStmt(b *strings.Builder, st Statement) {
+	switch s := st.(type) {
+	case *CreateTable:
+		b.WriteString("CREATE ")
+		if s.Temporary {
+			b.WriteString("TEMPORARY ")
+		}
+		b.WriteString("TABLE ")
+		if s.IfNotExists {
+			b.WriteString("IF NOT EXISTS ")
+		}
+		b.WriteString(s.Table)
+		if s.AsSelect != nil {
+			b.WriteString(" AS ")
+			renderStmt(b, s.AsSelect)
+			return
+		}
+		b.WriteString(" (")
+		for i, c := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.Name)
+			b.WriteByte(' ')
+			b.WriteString(typeName(c.Type))
+			if c.PrimaryKey {
+				b.WriteString(" PRIMARY KEY")
+			} else if c.NotNull {
+				b.WriteString(" NOT NULL")
+			}
+			if c.AutoIncrement {
+				b.WriteString(" AUTO_INCREMENT")
+			}
+			if c.Default != nil {
+				b.WriteString(" DEFAULT ")
+				renderExpr(b, c.Default)
+			}
+		}
+		if len(s.PrimaryKey) > 0 {
+			b.WriteString(", PRIMARY KEY (")
+			b.WriteString(strings.Join(s.PrimaryKey, ", "))
+			b.WriteString(")")
+		}
+		b.WriteString(")")
+	case *DropTable:
+		b.WriteString("DROP TABLE ")
+		if s.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(s.Table)
+	case *CreateIndex:
+		b.WriteString("CREATE ")
+		if s.Unique {
+			b.WriteString("UNIQUE ")
+		}
+		b.WriteString("INDEX ")
+		b.WriteString(s.Name)
+		b.WriteString(" ON ")
+		b.WriteString(s.Table)
+		b.WriteString(" (")
+		b.WriteString(strings.Join(s.Columns, ", "))
+		b.WriteString(")")
+	case *DropIndex:
+		b.WriteString("DROP INDEX ")
+		b.WriteString(s.Name)
+		b.WriteString(" ON ")
+		b.WriteString(s.Table)
+	case *Insert:
+		b.WriteString("INSERT INTO ")
+		b.WriteString(s.Table)
+		if len(s.Columns) > 0 {
+			b.WriteString(" (")
+			b.WriteString(strings.Join(s.Columns, ", "))
+			b.WriteString(")")
+		}
+		if s.Query != nil {
+			b.WriteByte(' ')
+			renderStmt(b, s.Query)
+			return
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range s.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(")
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				renderExpr(b, e)
+			}
+			b.WriteString(")")
+		}
+	case *Update:
+		b.WriteString("UPDATE ")
+		b.WriteString(s.Table)
+		b.WriteString(" SET ")
+		for i, a := range s.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.Column)
+			b.WriteString(" = ")
+			renderExpr(b, a.Value)
+		}
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			renderExpr(b, s.Where)
+		}
+	case *Delete:
+		b.WriteString("DELETE FROM ")
+		b.WriteString(s.Table)
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			renderExpr(b, s.Where)
+		}
+	case *Select:
+		renderSelect(b, s)
+	case *Begin:
+		b.WriteString("BEGIN")
+	case *Commit:
+		b.WriteString("COMMIT")
+	case *Rollback:
+		b.WriteString("ROLLBACK")
+	case *ShowTables:
+		b.WriteString("SHOW TABLES")
+	}
+}
+
+func typeName(k sqlval.Kind) string {
+	switch k {
+	case sqlval.KindInt:
+		return "INTEGER"
+	case sqlval.KindFloat:
+		return "FLOAT"
+	case sqlval.KindString:
+		return "VARCHAR"
+	case sqlval.KindBool:
+		return "BOOLEAN"
+	case sqlval.KindTime:
+		return "TIMESTAMP"
+	case sqlval.KindBytes:
+		return "BLOB"
+	}
+	return "VARCHAR"
+}
+
+func renderSelect(b *strings.Builder, s *Select) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			if it.Table != "" {
+				b.WriteString(it.Table)
+				b.WriteString(".")
+			}
+			b.WriteString("*")
+			continue
+		}
+		renderExpr(b, it.Expr)
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	for i, tr := range s.From {
+		if i == 0 {
+			b.WriteString(" FROM ")
+		} else {
+			switch tr.Join {
+			case JoinCross:
+				b.WriteString(" CROSS JOIN ")
+			case JoinLeft:
+				b.WriteString(" LEFT JOIN ")
+			default:
+				b.WriteString(" JOIN ")
+			}
+		}
+		b.WriteString(tr.Table)
+		if tr.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(tr.Alias)
+		}
+		if tr.On != nil {
+			b.WriteString(" ON ")
+			renderExpr(b, tr.On)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		renderExpr(b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, g)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		renderExpr(b, s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		renderExpr(b, s.Limit)
+		if s.Offset != nil {
+			b.WriteString(" OFFSET ")
+			renderExpr(b, s.Offset)
+		}
+	}
+}
+
+func renderExpr(b *strings.Builder, e *Expr) {
+	if e == nil {
+		return
+	}
+	switch e.Kind {
+	case ExprLiteral:
+		b.WriteString(e.Lit.SQLLiteral())
+	case ExprColumn:
+		if e.Table != "" {
+			b.WriteString(e.Table)
+			b.WriteString(".")
+		}
+		b.WriteString(e.Column)
+	case ExprParam:
+		b.WriteString("?")
+	case ExprStar:
+		b.WriteString("*")
+	case ExprUnary:
+		if e.Op == "NOT" {
+			b.WriteString("NOT (")
+			renderExpr(b, e.Left)
+			b.WriteString(")")
+		} else {
+			b.WriteString(e.Op)
+			b.WriteString("(")
+			renderExpr(b, e.Left)
+			b.WriteString(")")
+		}
+	case ExprBinary:
+		b.WriteString("(")
+		renderExpr(b, e.Left)
+		b.WriteString(" ")
+		if e.Not && e.Op == "LIKE" {
+			b.WriteString("NOT ")
+		}
+		b.WriteString(e.Op)
+		b.WriteString(" ")
+		renderExpr(b, e.Right)
+		b.WriteString(")")
+	case ExprFunc:
+		b.WriteString(e.Func)
+		b.WriteString("(")
+		if e.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, a)
+		}
+		b.WriteString(")")
+	case ExprIn:
+		b.WriteString("(")
+		renderExpr(b, e.Left)
+		if e.Not {
+			b.WriteString(" NOT IN (")
+		} else {
+			b.WriteString(" IN (")
+		}
+		for i, a := range e.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, a)
+		}
+		b.WriteString("))")
+	case ExprBetween:
+		b.WriteString("(")
+		renderExpr(b, e.Left)
+		if e.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		renderExpr(b, e.Low)
+		b.WriteString(" AND ")
+		renderExpr(b, e.High)
+		b.WriteString(")")
+	case ExprIsNull:
+		b.WriteString("(")
+		renderExpr(b, e.Left)
+		if e.Not {
+			b.WriteString(" IS NOT NULL)")
+		} else {
+			b.WriteString(" IS NULL)")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"cjdbc/internal/workload/rubis"
+	"cjdbc/internal/workload/tpcw"
+)
+
+// quickCfg shrinks the sweep so the shape checks run in CI time.
+func quickCfg(mix tpcw.Mix) TPCWConfig {
+	cfg := DefaultTPCWConfig(mix)
+	cfg.Scale = tpcw.Scale{Items: 60, Customers: 60, Authors: 12}
+	cfg.Warmup = 100 * time.Millisecond
+	cfg.Duration = 500 * time.Millisecond
+	return cfg
+}
+
+func TestTPCWThroughputScalesWithBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	cfg := quickCfg(tpcw.Shopping)
+	p1, err := RunTPCWPoint(cfg, "full", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := RunTPCWPoint(cfg, "full", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("1 node: %.0f rq/min, 4 nodes: %.0f rq/min", p1.ThroughputRPM, p4.ThroughputRPM)
+	if p4.ThroughputRPM < p1.ThroughputRPM*2 {
+		t.Errorf("shopping mix did not scale: 1 node %.0f, 4 nodes %.0f rq/min",
+			p1.ThroughputRPM, p4.ThroughputRPM)
+	}
+	if p1.Errors > p1.Interactions/10 || p4.Errors > p4.Interactions/10 {
+		t.Errorf("too many errors: %d/%d and %d/%d",
+			p1.Errors, p1.Interactions, p4.Errors, p4.Interactions)
+	}
+}
+
+func TestTPCWPartialBeatsFullOnBrowsing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	// Figure 10's claim: with the best-seller temporary table confined to
+	// two backends, partial replication outperforms full replication.
+	cfg := quickCfg(tpcw.Browsing)
+	full, err := RunTPCWPoint(cfg, "full", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := RunTPCWPoint(cfg, "partial", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full: %.0f rq/min, partial: %.0f rq/min", full.ThroughputRPM, partial.ThroughputRPM)
+	if partial.ThroughputRPM <= full.ThroughputRPM {
+		t.Errorf("partial (%.0f) should beat full (%.0f) on the browsing mix",
+			partial.ThroughputRPM, full.ThroughputRPM)
+	}
+}
+
+func TestTPCWSingleBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	cfg := quickCfg(tpcw.Shopping)
+	p, err := runTPCWSingle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replication != "single" || p.ThroughputRPM <= 0 {
+		t.Fatalf("baseline: %+v", p)
+	}
+	if p.Errors > p.Interactions/10 {
+		t.Errorf("baseline errors: %d/%d", p.Errors, p.Interactions)
+	}
+}
+
+func TestTable1CacheShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	cfg := DefaultTable1Config()
+	cfg.Scale = rubis.Scale{Users: 50, Items: 100, Categories: 8, Regions: 4}
+	cfg.Clients = 30
+	cfg.Warmup = 80 * time.Millisecond
+	cfg.Duration = 400 * time.Millisecond
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	no, coh, rel := rows[0], rows[1], rows[2]
+	t.Logf("no cache: %.0f rq/min %.2f ms DB %.0f%%", no.ThroughputRPM, no.AvgResponseMs, no.BackendLoad*100)
+	t.Logf("coherent: %.0f rq/min %.2f ms DB %.0f%% ctrl %.0f%%", coh.ThroughputRPM, coh.AvgResponseMs, coh.BackendLoad*100, coh.CtrlLoad*100)
+	t.Logf("relaxed:  %.0f rq/min %.2f ms DB %.0f%% ctrl %.0f%%", rel.ThroughputRPM, rel.AvgResponseMs, rel.BackendLoad*100, rel.CtrlLoad*100)
+
+	// Table 1 shape: with a fixed offered load (think time), caching must
+	// not lose throughput, must cut response time, and must offload the
+	// database — hardest with the relaxed cache.
+	if coh.ThroughputRPM < no.ThroughputRPM*0.9 {
+		t.Errorf("coherent cache lowered throughput: %.0f < %.0f", coh.ThroughputRPM, no.ThroughputRPM)
+	}
+	if coh.AvgResponseMs > no.AvgResponseMs {
+		t.Errorf("coherent cache slower than no cache: %.2f > %.2f ms", coh.AvgResponseMs, no.AvgResponseMs)
+	}
+	if rel.AvgResponseMs > coh.AvgResponseMs {
+		t.Errorf("relaxed cache slower than coherent: %.2f > %.2f ms", rel.AvgResponseMs, coh.AvgResponseMs)
+	}
+	if rel.BackendLoad >= no.BackendLoad {
+		t.Errorf("relaxed cache did not offload the DB: %.2f >= %.2f", rel.BackendLoad, no.BackendLoad)
+	}
+	if coh.BackendLoad >= no.BackendLoad {
+		t.Errorf("coherent cache did not offload the DB: %.2f >= %.2f", coh.BackendLoad, no.BackendLoad)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	pts := []TPCWPoint{{Replication: "full", Nodes: 2}}
+	if s := FormatTPCWPoints(tpcw.Browsing, pts); len(s) == 0 {
+		t.Error("empty figure format")
+	}
+	rows := []Table1Row{{Config: "no cache"}}
+	if s := FormatTable1(rows); len(s) == 0 {
+		t.Error("empty table format")
+	}
+}

@@ -1,0 +1,204 @@
+// Package harness drives closed-loop emulated clients against a virtual
+// database and measures what the paper's evaluation reports: throughput in
+// SQL requests per minute, mean interaction response time, and CPU-load
+// proxies for the database backends and the controller (§6).
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cjdbc"
+	"cjdbc/internal/backend"
+	"cjdbc/internal/controller"
+)
+
+// Interactor performs one emulated-browser interaction, returning the
+// number of SQL requests it issued.
+type Interactor interface {
+	Interaction() (int, error)
+}
+
+// ClientFactory builds the per-client session and interactor.
+type ClientFactory func(id int, rng *rand.Rand) (Interactor, func(), error)
+
+// Config configures a measurement run.
+type Config struct {
+	Clients  int
+	Warmup   time.Duration
+	Duration time.Duration
+	Seed     int64
+	// ThinkTime is the emulated-browser pause between interactions. With
+	// it the offered load is roughly Clients/(ThinkTime+latency), which is
+	// how the paper's 450 RUBiS clients present a fixed demand; without it
+	// clients saturate whatever resource is slowest.
+	ThinkTime time.Duration
+}
+
+// Result is one measurement.
+type Result struct {
+	Requests     int64         // SQL requests completed in the window
+	Interactions int64         // interactions completed in the window
+	Errors       int64         // failed interactions (e.g. lock timeouts)
+	Elapsed      time.Duration // measurement window
+	// ThroughputRPM is SQL requests per minute, the paper's unit.
+	ThroughputRPM float64
+	// AvgResponseMs is the mean interaction latency in milliseconds.
+	AvgResponseMs float64
+	// BackendLoad is the mean backend CPU-load proxy in [0,1]: simulated
+	// busy time divided by (window x pool size).
+	BackendLoad float64
+	// CtrlLoad is the controller CPU-load proxy in [0,1].
+	CtrlLoad float64
+	// FirstError samples one interaction failure for diagnostics.
+	FirstError error
+}
+
+// Run drives cfg.Clients concurrent closed-loop clients. Backends and vdb
+// are observed for the load proxies; vdb may be nil when clients bypass the
+// controller (the single-database baseline).
+func Run(cfg Config, vdb *controller.VirtualDatabase, backends []*backend.Backend, factory ClientFactory) (Result, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	type clientState struct {
+		in      Interactor
+		cleanup func()
+	}
+	clients := make([]clientState, cfg.Clients)
+	for i := range clients {
+		in, cleanup, err := factory(i, rand.New(rand.NewSource(cfg.Seed+int64(i)*7919)))
+		if err != nil {
+			for j := 0; j < i; j++ {
+				clients[j].cleanup()
+			}
+			return Result{}, fmt.Errorf("harness: client %d: %w", i, err)
+		}
+		clients[i] = clientState{in: in, cleanup: cleanup}
+	}
+	defer func() {
+		for _, c := range clients {
+			if c.cleanup != nil {
+				c.cleanup()
+			}
+		}
+	}()
+
+	var (
+		measuring  atomic.Bool
+		stop       atomic.Bool
+		requests   atomic.Int64
+		iacts      atomic.Int64
+		errs       atomic.Int64
+		latencyNs  atomic.Int64
+		latencyCnt atomic.Int64
+		firstErr   atomic.Value
+	)
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func(cs clientState) {
+			defer wg.Done()
+			for !stop.Load() {
+				start := time.Now()
+				n, err := cs.in.Interaction()
+				if !measuring.Load() {
+					if cfg.ThinkTime > 0 {
+						time.Sleep(cfg.ThinkTime)
+					}
+					continue
+				}
+				if err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				requests.Add(int64(n))
+				iacts.Add(1)
+				latencyNs.Add(int64(time.Since(start)))
+				latencyCnt.Add(1)
+				if cfg.ThinkTime > 0 {
+					time.Sleep(cfg.ThinkTime)
+				}
+			}
+		}(clients[i])
+	}
+
+	time.Sleep(cfg.Warmup)
+	busy0 := totalBusy(backends)
+	var ctrl0 int64
+	if vdb != nil {
+		ctrl0 = vdb.CtrlBusyNanos()
+	}
+	t0 := time.Now()
+	measuring.Store(true)
+	time.Sleep(cfg.Duration)
+	measuring.Store(false)
+	elapsed := time.Since(t0)
+	busy1 := totalBusy(backends)
+	var ctrl1 int64
+	if vdb != nil {
+		ctrl1 = vdb.CtrlBusyNanos()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	res := Result{
+		Requests:     requests.Load(),
+		Interactions: iacts.Load(),
+		Errors:       errs.Load(),
+		Elapsed:      elapsed,
+	}
+	res.ThroughputRPM = float64(res.Requests) / elapsed.Minutes()
+	if e, ok := firstErr.Load().(error); ok {
+		res.FirstError = e
+	}
+	if n := latencyCnt.Load(); n > 0 {
+		res.AvgResponseMs = float64(latencyNs.Load()) / float64(n) / 1e6
+	}
+	if len(backends) > 0 {
+		capacity := float64(elapsed) * float64(len(backends)) * float64(CostParallelism)
+		res.BackendLoad = clamp01(float64(busy1-busy0) / capacity)
+	}
+	if vdb != nil {
+		res.CtrlLoad = clamp01(float64(ctrl1-ctrl0) / float64(elapsed))
+	}
+	return res, nil
+}
+
+// CostParallelism is the service parallelism the sweeps configure on every
+// backend; it models one database machine's CPU/disk parallelism and
+// normalizes the CPU-load proxy.
+const CostParallelism = 2
+
+func totalBusy(backends []*backend.Backend) int64 {
+	var total int64
+	for _, b := range backends {
+		total += b.BusyNanos()
+	}
+	return total
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// SessionFactory adapts a vdb into a session-per-client provider.
+func SessionFactory(vdb *cjdbc.VirtualDatabase) func() (cjdbc.Session, func(), error) {
+	return func() (cjdbc.Session, func(), error) {
+		s, err := vdb.OpenSession("bench", "")
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, func() { s.Close() }, nil
+	}
+}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cjdbc"
+	"cjdbc/internal/backend"
+	"cjdbc/internal/sqlengine"
+)
+
+// fakeInteractor counts invocations and optionally fails.
+type fakeInteractor struct {
+	n      int
+	reqs   int
+	delay  time.Duration
+	failAt int
+}
+
+func (f *fakeInteractor) Interaction() (int, error) {
+	f.n++
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.failAt > 0 && f.n%f.failAt == 0 {
+		return 0, errors.New("synthetic failure")
+	}
+	f.reqs += 2
+	return 2, nil
+}
+
+func TestRunCountsRequestsAndThroughput(t *testing.T) {
+	factory := func(id int, rng *rand.Rand) (Interactor, func(), error) {
+		return &fakeInteractor{delay: time.Millisecond}, func() {}, nil
+	}
+	res, err := Run(Config{Clients: 4, Warmup: 20 * time.Millisecond, Duration: 150 * time.Millisecond},
+		nil, nil, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interactions == 0 || res.Requests != res.Interactions*2 {
+		t.Fatalf("counts: %+v", res)
+	}
+	wantRPM := float64(res.Requests) / res.Elapsed.Minutes()
+	if res.ThroughputRPM < wantRPM*0.99 || res.ThroughputRPM > wantRPM*1.01 {
+		t.Errorf("rpm = %f, want %f", res.ThroughputRPM, wantRPM)
+	}
+	if res.AvgResponseMs < 0.5 {
+		t.Errorf("latency = %f ms, expected >= 1ms delay", res.AvgResponseMs)
+	}
+}
+
+func TestRunRecordsErrors(t *testing.T) {
+	factory := func(id int, rng *rand.Rand) (Interactor, func(), error) {
+		return &fakeInteractor{failAt: 3}, func() {}, nil
+	}
+	res, err := Run(Config{Clients: 2, Warmup: 10 * time.Millisecond, Duration: 60 * time.Millisecond},
+		nil, nil, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 || res.FirstError == nil {
+		t.Fatalf("errors not recorded: %+v", res)
+	}
+}
+
+func TestRunPropagatesFactoryError(t *testing.T) {
+	boom := errors.New("no session")
+	cleaned := 0
+	factory := func(id int, rng *rand.Rand) (Interactor, func(), error) {
+		if id == 2 {
+			return nil, nil, boom
+		}
+		return &fakeInteractor{}, func() { cleaned++ }, nil
+	}
+	_, err := Run(Config{Clients: 4, Duration: 10 * time.Millisecond}, nil, nil, factory)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if cleaned != 2 {
+		t.Errorf("cleanups = %d, want 2 (clients before the failing one)", cleaned)
+	}
+}
+
+func TestThinkTimeLimitsOfferedLoad(t *testing.T) {
+	factory := func(id int, rng *rand.Rand) (Interactor, func(), error) {
+		return &fakeInteractor{}, func() {}, nil
+	}
+	res, err := Run(Config{
+		Clients: 2, Warmup: 10 * time.Millisecond, Duration: 200 * time.Millisecond,
+		ThinkTime: 50 * time.Millisecond,
+	}, nil, nil, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 clients with 50ms think time can do at most ~2*200/50 = 8
+	// interactions in the window (plus boundary effects).
+	if res.Interactions > 12 {
+		t.Errorf("think time ignored: %d interactions", res.Interactions)
+	}
+}
+
+func TestBackendLoadProxy(t *testing.T) {
+	e := sqlengine.New("db")
+	s := e.NewSession()
+	s.ExecSQL("CREATE TABLE t (a INTEGER)")
+	s.Close()
+	b := backend.New(backend.Config{
+		Name:            "db",
+		Driver:          &backend.EngineDriver{Engine: e},
+		Cost:            backend.DefaultCostModel(500 * time.Microsecond),
+		CostParallelism: CostParallelism,
+	})
+	b.Enable()
+	defer b.Close()
+
+	factory := func(id int, rng *rand.Rand) (Interactor, func(), error) {
+		return interactorFunc(func() (int, error) {
+			_, err := b.Read(0, nil, "SELECT * FROM t")
+			return 1, err
+		}), func() {}, nil
+	}
+	res, err := Run(Config{Clients: 8, Warmup: 30 * time.Millisecond, Duration: 200 * time.Millisecond},
+		nil, []*backend.Backend{b}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 clients of 3-unit reads (1.5ms) against 2 slots: saturated.
+	if res.BackendLoad < 0.5 {
+		t.Errorf("backend load = %.2f, expected saturation", res.BackendLoad)
+	}
+}
+
+type interactorFunc func() (int, error)
+
+func (f interactorFunc) Interaction() (int, error) { return f() }
+
+func TestSessionFactory(t *testing.T) {
+	ctrl := cjdbc.NewController("h", 1)
+	defer ctrl.Close()
+	vdb, err := ctrl.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdb.AddInMemoryBackend("db0")
+	open := SessionFactory(vdb)
+	s, cleanup, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if _, err := s.Exec("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+}

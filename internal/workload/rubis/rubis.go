@@ -1,0 +1,219 @@
+// Package rubis implements the database side of the RUBiS auction-site
+// benchmark (§6.6): an eBay-like schema, a scaled-down loader, and the SQL
+// of the bidding mix (80 % read-only, 20 % read-write interactions) used
+// to evaluate the query result cache in Table 1.
+package rubis
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"cjdbc"
+)
+
+// Scale controls the generated database size.
+type Scale struct {
+	Users      int
+	Items      int
+	Categories int
+	Regions    int
+}
+
+// DefaultScale is the scaled-down default.
+func DefaultScale() Scale { return Scale{Users: 100, Items: 200, Categories: 10, Regions: 5} }
+
+// Tables lists the RUBiS tables.
+var Tables = []string{"users", "items", "categories", "regions", "bids", "comments"}
+
+// SchemaSQL returns the DDL creating the RUBiS schema.
+func SchemaSQL() []string {
+	return []string{
+		`CREATE TABLE regions (r_id INTEGER PRIMARY KEY, r_name VARCHAR)`,
+		`CREATE TABLE categories (cat_id INTEGER PRIMARY KEY, cat_name VARCHAR)`,
+		`CREATE TABLE users (
+			u_id INTEGER PRIMARY KEY,
+			u_nickname VARCHAR NOT NULL,
+			u_password VARCHAR,
+			u_email VARCHAR,
+			u_rating INTEGER,
+			u_balance FLOAT,
+			u_r_id INTEGER)`,
+		`CREATE TABLE items (
+			it_id INTEGER PRIMARY KEY,
+			it_name VARCHAR NOT NULL,
+			it_description VARCHAR,
+			it_seller INTEGER,
+			it_cat_id INTEGER,
+			it_initial_price FLOAT,
+			it_max_bid FLOAT,
+			it_nb_bids INTEGER,
+			it_end_date TIMESTAMP)`,
+		`CREATE TABLE bids (
+			b_id INTEGER PRIMARY KEY,
+			b_u_id INTEGER,
+			b_it_id INTEGER,
+			b_qty INTEGER,
+			b_bid FLOAT,
+			b_date TIMESTAMP)`,
+		`CREATE TABLE comments (
+			cm_id INTEGER PRIMARY KEY,
+			cm_from INTEGER,
+			cm_to INTEGER,
+			cm_rating INTEGER,
+			cm_text VARCHAR)`,
+		`CREATE INDEX idx_items_cat ON items (it_cat_id)`,
+		`CREATE INDEX idx_bids_item ON bids (b_it_id)`,
+		`CREATE INDEX idx_users_region ON users (u_r_id)`,
+	}
+}
+
+// Load populates the virtual database through a session.
+func Load(sess cjdbc.Session, sc Scale, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for _, ddl := range SchemaSQL() {
+		if _, err := sess.Exec(ddl); err != nil {
+			return fmt.Errorf("rubis: schema: %w", err)
+		}
+	}
+	batch := func(prefix string, n int, row func(i int) string) error {
+		const chunk = 50
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			sql := prefix
+			for i := lo; i < hi; i++ {
+				if i > lo {
+					sql += ", "
+				}
+				sql += row(i)
+			}
+			if _, err := sess.Exec(sql); err != nil {
+				return fmt.Errorf("rubis: load: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := batch("INSERT INTO regions (r_id, r_name) VALUES ", sc.Regions, func(i int) string {
+		return fmt.Sprintf("(%d, 'region%d')", i+1, i+1)
+	}); err != nil {
+		return err
+	}
+	if err := batch("INSERT INTO categories (cat_id, cat_name) VALUES ", sc.Categories, func(i int) string {
+		return fmt.Sprintf("(%d, 'category%d')", i+1, i+1)
+	}); err != nil {
+		return err
+	}
+	if err := batch("INSERT INTO users (u_id, u_nickname, u_password, u_email, u_rating, u_balance, u_r_id) VALUES ", sc.Users, func(i int) string {
+		return fmt.Sprintf("(%d, 'nick%d', 'pw', 'u%d@rubis.org', %d, 0, %d)",
+			i+1, i+1, i+1, rng.Intn(10), i%sc.Regions+1)
+	}); err != nil {
+		return err
+	}
+	if err := batch("INSERT INTO items (it_id, it_name, it_description, it_seller, it_cat_id, it_initial_price, it_max_bid, it_nb_bids, it_end_date) VALUES ", sc.Items, func(i int) string {
+		return fmt.Sprintf("(%d, 'item%d', 'a fine item %d', %d, %d, %g, %g, %d, '2004-12-31 00:00:00')",
+			i+1, i+1, i+1, rng.Intn(sc.Users)+1, i%sc.Categories+1,
+			float64(5+i%50), float64(5+i%50), 0)
+	}); err != nil {
+		return err
+	}
+	nBids := sc.Items * 3
+	if err := batch("INSERT INTO bids (b_id, b_u_id, b_it_id, b_qty, b_bid, b_date) VALUES ", nBids, func(i int) string {
+		return fmt.Sprintf("(%d, %d, %d, 1, %g, '2004-06-01 00:00:00')",
+			i+1, rng.Intn(sc.Users)+1, i/3+1, float64(6+i%60))
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Client drives the RUBiS bidding mix against one session.
+type Client struct {
+	sess    cjdbc.Session
+	scale   Scale
+	rng     *rand.Rand
+	idAlloc *atomic.Int64
+}
+
+// NewIDAllocator creates the shared id source for a run.
+func NewIDAllocator(start int64) *atomic.Int64 {
+	a := &atomic.Int64{}
+	a.Store(start)
+	return a
+}
+
+// NewClient builds a bidding-mix client.
+func NewClient(sess cjdbc.Session, sc Scale, rng *rand.Rand, alloc *atomic.Int64) *Client {
+	return &Client{sess: sess, scale: sc, rng: rng, idAlloc: alloc}
+}
+
+// Interaction runs one interaction of the bidding mix (80 % read-only) and
+// returns the number of SQL requests issued.
+func (c *Client) Interaction() (int, error) {
+	x := c.rng.Float64() * 100
+	switch {
+	case x < 12: // browse categories
+		return c.one("SELECT cat_id, cat_name FROM categories ORDER BY cat_name")
+	case x < 32: // search items in category
+		return c.one("SELECT it_id, it_name, it_max_bid, it_nb_bids FROM items WHERE it_cat_id = ? ORDER BY it_end_date LIMIT 25",
+			c.rng.Intn(c.scale.Categories)+1)
+	case x < 57: // view item
+		return c.one("SELECT it_name, it_description, it_initial_price, it_max_bid, it_nb_bids, u_nickname FROM items JOIN users ON it_seller = u_id WHERE it_id = ?",
+			c.randItem())
+	case x < 70: // view user info + comments
+		n, err := c.one("SELECT u_nickname, u_rating FROM users WHERE u_id = ?", c.randUser())
+		if err != nil {
+			return n, err
+		}
+		m, err := c.one("SELECT cm_rating, cm_text FROM comments WHERE cm_to = ? LIMIT 10", c.randUser())
+		return n + m, err
+	case x < 80: // view bid history
+		return c.one("SELECT b_bid, b_date, u_nickname FROM bids JOIN users ON b_u_id = u_id WHERE b_it_id = ? ORDER BY b_bid DESC LIMIT 10",
+			c.randItem())
+	case x < 91: // store bid (read item, insert bid, bump counters)
+		return c.storeBid()
+	case x < 96: // store comment
+		return c.one("INSERT INTO comments (cm_id, cm_from, cm_to, cm_rating, cm_text) VALUES (?, ?, ?, ?, 'nice')",
+			c.idAlloc.Add(1), c.randUser(), c.randUser(), c.rng.Intn(5)+1)
+	case x < 99: // register item
+		return c.one("INSERT INTO items (it_id, it_name, it_description, it_seller, it_cat_id, it_initial_price, it_max_bid, it_nb_bids, it_end_date) VALUES (?, ?, 'fresh', ?, ?, ?, ?, 0, '2004-12-31 00:00:00')",
+			c.idAlloc.Add(1), fmt.Sprintf("item-new-%d", c.idAlloc.Add(1)), c.randUser(),
+			c.rng.Intn(c.scale.Categories)+1, 10.0, 10.0)
+	default: // register user
+		id := c.idAlloc.Add(1)
+		return c.one("INSERT INTO users (u_id, u_nickname, u_password, u_email, u_rating, u_balance, u_r_id) VALUES (?, ?, 'pw', ?, 0, 0, ?)",
+			id, fmt.Sprintf("nick-new-%d", id), fmt.Sprintf("n%d@rubis.org", id), c.rng.Intn(c.scale.Regions)+1)
+	}
+}
+
+func (c *Client) one(sql string, args ...any) (int, error) {
+	if _, err := c.sess.Exec(sql, args...); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+func (c *Client) randItem() int { return c.rng.Intn(c.scale.Items) + 1 }
+func (c *Client) randUser() int { return c.rng.Intn(c.scale.Users) + 1 }
+
+func (c *Client) storeBid() (int, error) {
+	n := 0
+	it := c.randItem()
+	if _, err := c.sess.Query("SELECT it_max_bid, it_nb_bids FROM items WHERE it_id = ?", it); err != nil {
+		return n, err
+	}
+	n++
+	bid := 10 + c.rng.Float64()*90
+	if _, err := c.sess.Exec("INSERT INTO bids (b_id, b_u_id, b_it_id, b_qty, b_bid, b_date) VALUES (?, ?, ?, 1, ?, NOW())",
+		c.idAlloc.Add(1), c.randUser(), it, bid); err != nil {
+		return n, err
+	}
+	n++
+	if _, err := c.sess.Exec("UPDATE items SET it_max_bid = ?, it_nb_bids = it_nb_bids + 1 WHERE it_id = ?", bid, it); err != nil {
+		return n, err
+	}
+	n++
+	return n, nil
+}

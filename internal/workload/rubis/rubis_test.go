@@ -1,0 +1,114 @@
+package rubis
+
+import (
+	"math/rand"
+	"testing"
+
+	"cjdbc"
+)
+
+func newVDB(t *testing.T) *cjdbc.VirtualDatabase {
+	t.Helper()
+	ctrl := cjdbc.NewController("rubis-test", 1)
+	t.Cleanup(ctrl.Close)
+	vdb, err := ctrl.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{Name: "rubis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vdb.AddInMemoryBackend("db0"); err != nil {
+		t.Fatal(err)
+	}
+	return vdb
+}
+
+func TestLoadPopulatesTables(t *testing.T) {
+	vdb := newVDB(t)
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	sc := Scale{Users: 20, Items: 40, Categories: 5, Regions: 3}
+	if err := Load(sess, sc, 1); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{
+		"users": 20, "items": 40, "categories": 5, "regions": 3, "bids": 120,
+	}
+	for table, want := range counts {
+		rows, err := sess.Query("SELECT COUNT(*) FROM " + table)
+		if err != nil {
+			t.Fatalf("count %s: %v", table, err)
+		}
+		rows.Next()
+		var n int64
+		rows.Scan(&n)
+		if n != want {
+			t.Errorf("%s rows = %d, want %d", table, n, want)
+		}
+	}
+}
+
+func TestBiddingMixRuns(t *testing.T) {
+	vdb := newVDB(t)
+	loader, _ := vdb.OpenSession("u", "")
+	sc := Scale{Users: 20, Items: 40, Categories: 5, Regions: 3}
+	if err := Load(loader, sc, 1); err != nil {
+		t.Fatal(err)
+	}
+	loader.Close()
+
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	c := NewClient(sess, sc, rand.New(rand.NewSource(9)), NewIDAllocator(10000))
+	total := 0
+	for i := 0; i < 300; i++ {
+		n, err := c.Interaction()
+		if err != nil {
+			t.Fatalf("interaction %d: %v", i, err)
+		}
+		total += n
+	}
+	if total < 300 {
+		t.Errorf("requests = %d", total)
+	}
+	// Bids were stored and counters bumped.
+	rows, _ := sess.Query("SELECT COUNT(*) FROM bids")
+	rows.Next()
+	var bids int64
+	rows.Scan(&bids)
+	if bids <= 120 {
+		t.Errorf("no new bids stored: %d", bids)
+	}
+	rows, _ = sess.Query("SELECT MAX(it_nb_bids) FROM items")
+	rows.Next()
+	var maxBids int64
+	rows.Scan(&maxBids)
+	if maxBids == 0 {
+		t.Error("bid counters never bumped")
+	}
+}
+
+func TestStoreBidConsistency(t *testing.T) {
+	vdb := newVDB(t)
+	loader, _ := vdb.OpenSession("u", "")
+	sc := Scale{Users: 5, Items: 5, Categories: 2, Regions: 2}
+	if err := Load(loader, sc, 1); err != nil {
+		t.Fatal(err)
+	}
+	loader.Close()
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	c := NewClient(sess, sc, rand.New(rand.NewSource(1)), NewIDAllocator(1000))
+	before, _ := sess.Query("SELECT COUNT(*) FROM bids")
+	before.Next()
+	var nb int64
+	before.Scan(&nb)
+	if _, err := c.storeBid(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := sess.Query("SELECT COUNT(*) FROM bids")
+	after.Next()
+	var na int64
+	after.Scan(&na)
+	if na != nb+1 {
+		t.Errorf("bids %d -> %d", nb, na)
+	}
+}

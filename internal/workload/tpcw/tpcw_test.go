@@ -1,0 +1,184 @@
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cjdbc"
+)
+
+func newVDB(t *testing.T) *cjdbc.VirtualDatabase {
+	t.Helper()
+	ctrl := cjdbc.NewController("tpcw-test", 1)
+	t.Cleanup(ctrl.Close)
+	vdb, err := ctrl.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{Name: "tpcw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := vdb.AddInMemoryBackend(fmt.Sprintf("db%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return vdb
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	vdb := newVDB(t)
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	sc := Scale{Items: 30, Customers: 20, Authors: 5}
+	if err := Load(sess, sc, 1); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{
+		"item": 30, "customer": 20, "author": 5, "address": 20,
+		"orders": int64(sc.Orders()), "order_line": int64(sc.Orders() * 3),
+		"cc_xacts": int64(sc.Orders()),
+	}
+	for table, want := range counts {
+		rows, err := sess.Query("SELECT COUNT(*) FROM " + table)
+		if err != nil {
+			t.Fatalf("count %s: %v", table, err)
+		}
+		rows.Next()
+		var n int64
+		rows.Scan(&n)
+		if n != want {
+			t.Errorf("%s rows = %d, want %d", table, n, want)
+		}
+	}
+}
+
+func TestAllInteractionsExecute(t *testing.T) {
+	vdb := newVDB(t)
+	loader, _ := vdb.OpenSession("u", "")
+	sc := Scale{Items: 30, Customers: 20, Authors: 5}
+	if err := Load(loader, sc, 1); err != nil {
+		t.Fatal(err)
+	}
+	loader.Close()
+
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	alloc := NewIDAllocator(10000)
+	c := NewClient(0, sess, sc, Shopping, rand.New(rand.NewSource(2)), alloc)
+
+	// Force every interaction type at least once.
+	runs := []struct {
+		name string
+		f    func() (int, error)
+	}{
+		{"home", c.home},
+		{"newProducts", c.newProducts},
+		{"bestSellers", c.bestSellers},
+		{"productDetail", c.productDetail},
+		{"search", c.search},
+		{"orderInquiry", c.orderInquiry},
+		{"shoppingCart", c.shoppingCart},
+		{"customerRegistration", c.customerRegistration},
+		{"buyRequest", c.buyRequest},
+		{"buyConfirm", c.buyConfirm},
+		{"adminUpdate", c.adminUpdate},
+	}
+	for _, r := range runs {
+		n, err := r.f()
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if n == 0 {
+			t.Errorf("%s issued no SQL requests", r.name)
+		}
+	}
+	// The buyConfirm left a consistent order behind.
+	rows, err := sess.Query("SELECT COUNT(*) FROM orders WHERE o_status = 'pending'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	var pending int64
+	rows.Scan(&pending)
+	if pending != 1 {
+		t.Errorf("pending orders = %d", pending)
+	}
+}
+
+func TestMixReadOnlyFractions(t *testing.T) {
+	cases := map[Mix]float64{Browsing: 0.95, Shopping: 0.80, Ordering: 0.50}
+	for mix, want := range cases {
+		got := mix.ReadOnlyFraction()
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("%s read-only fraction = %.3f, want ~%.2f", mix, got, want)
+		}
+	}
+}
+
+func TestMixDrawsFollowWeights(t *testing.T) {
+	vdb := newVDB(t)
+	sess, _ := vdb.OpenSession("u", "")
+	defer sess.Close()
+	c := NewClient(0, sess, DefaultScale(), Browsing, rand.New(rand.NewSource(3)), NewIDAllocator(1))
+	counts := make(map[interaction]int)
+	for i := 0; i < 20000; i++ {
+		counts[c.pick()]++
+	}
+	// Home should be ~29% of browsing draws.
+	frac := float64(counts[iHome]) / 20000
+	if frac < 0.26 || frac > 0.32 {
+		t.Errorf("home fraction = %.3f, want ~0.29", frac)
+	}
+	// Best sellers ~11%.
+	frac = float64(counts[iBestSellers]) / 20000
+	if frac < 0.08 || frac > 0.14 {
+		t.Errorf("best-seller fraction = %.3f, want ~0.11", frac)
+	}
+}
+
+func TestInteractionsKeepReplicasConsistent(t *testing.T) {
+	vdb := newVDB(t)
+	loader, _ := vdb.OpenSession("u", "")
+	sc := Scale{Items: 20, Customers: 10, Authors: 4}
+	if err := Load(loader, sc, 1); err != nil {
+		t.Fatal(err)
+	}
+	loader.Close()
+
+	sess, _ := vdb.OpenSession("u", "")
+	alloc := NewIDAllocator(10000)
+	c := NewClient(0, sess, sc, Ordering, rand.New(rand.NewSource(4)), alloc)
+	for i := 0; i < 120; i++ {
+		if _, err := c.Interaction(); err != nil {
+			t.Fatalf("interaction %d: %v", i, err)
+		}
+	}
+	sess.Close()
+
+	// Compare row counts of every table across the two backends.
+	bs := vdb.Internal().Backends()
+	for _, table := range Tables {
+		var counts []int64
+		for _, b := range bs {
+			res, err := b.Read(0, nil, "SELECT COUNT(*) FROM "+table)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", table, b.Name(), err)
+			}
+			counts = append(counts, res.Rows[0][0].I)
+		}
+		if counts[0] != counts[1] {
+			t.Errorf("table %s diverged: %v", table, counts)
+		}
+	}
+}
+
+func TestIDAllocatorUnique(t *testing.T) {
+	a := NewIDAllocator(100)
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		id := a.Next()
+		if id <= 100 || seen[id] {
+			t.Fatalf("bad id %d", id)
+		}
+		seen[id] = true
+	}
+}

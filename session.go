@@ -1,0 +1,217 @@
+package cjdbc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/sqlval"
+)
+
+// Rows is a fully materialized result set. Like the paper's serialized
+// ResultSet, it is browsed locally by the client after one round trip.
+type Rows struct {
+	Columns      []string
+	RowsAffected int64
+	LastInsertID int64
+	rows         [][]sqlval.Value
+	pos          int
+}
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// Next advances the cursor, returning false past the last row.
+func (r *Rows) Next() bool {
+	if r.pos >= len(r.rows) {
+		return false
+	}
+	r.pos++
+	return true
+}
+
+// Reset rewinds the cursor.
+func (r *Rows) Reset() { r.pos = 0 }
+
+// Scan copies the current row into dest pointers (*int64, *float64,
+// *string, *bool, *time.Time, *[]byte, or *any).
+func (r *Rows) Scan(dest ...any) error {
+	if r.pos == 0 || r.pos > len(r.rows) {
+		return errors.New("cjdbc: Scan called without Next")
+	}
+	row := r.rows[r.pos-1]
+	if len(dest) > len(row) {
+		return fmt.Errorf("cjdbc: Scan of %d values into row of %d columns", len(dest), len(row))
+	}
+	for i, d := range dest {
+		v := row[i]
+		switch p := d.(type) {
+		case *int64:
+			n, err := v.AsInt()
+			if err != nil {
+				return err
+			}
+			*p = n
+		case *int:
+			n, err := v.AsInt()
+			if err != nil {
+				return err
+			}
+			*p = int(n)
+		case *float64:
+			f, err := v.AsFloat()
+			if err != nil {
+				return err
+			}
+			*p = f
+		case *string:
+			*p = v.AsString()
+		case *bool:
+			*p = v.AsBool()
+		case *time.Time:
+			*p = v.T
+		case *[]byte:
+			*p = append([]byte(nil), v.B...)
+		case *any:
+			*p = valueToAny(v)
+		default:
+			return fmt.Errorf("cjdbc: unsupported Scan destination %T", d)
+		}
+	}
+	return nil
+}
+
+// Value returns the current row's i-th column as a generic value.
+func (r *Rows) Value(i int) any {
+	if r.pos == 0 || r.pos > len(r.rows) {
+		return nil
+	}
+	return valueToAny(r.rows[r.pos-1][i])
+}
+
+func valueToAny(v sqlval.Value) any {
+	switch v.K {
+	case sqlval.KindNull:
+		return nil
+	case sqlval.KindInt:
+		return v.I
+	case sqlval.KindFloat:
+		return v.F
+	case sqlval.KindBool:
+		return v.I != 0
+	case sqlval.KindTime:
+		return v.T
+	case sqlval.KindBytes:
+		return v.B
+	default:
+		return v.S
+	}
+}
+
+// toValues converts driver arguments to SQL values.
+func toValues(args []any) ([]sqlval.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]sqlval.Value, len(args))
+	for i, a := range args {
+		switch x := a.(type) {
+		case nil:
+			out[i] = sqlval.Null
+		case int:
+			out[i] = sqlval.Int(int64(x))
+		case int32:
+			out[i] = sqlval.Int(int64(x))
+		case int64:
+			out[i] = sqlval.Int(x)
+		case uint64:
+			out[i] = sqlval.Int(int64(x))
+		case float32:
+			out[i] = sqlval.Float(float64(x))
+		case float64:
+			out[i] = sqlval.Float(x)
+		case string:
+			out[i] = sqlval.String_(x)
+		case bool:
+			out[i] = sqlval.Bool(x)
+		case time.Time:
+			out[i] = sqlval.Time(x)
+		case []byte:
+			out[i] = sqlval.Bytes(x)
+		case sqlval.Value:
+			out[i] = x
+		default:
+			return nil, fmt.Errorf("cjdbc: unsupported argument type %T", a)
+		}
+	}
+	return out, nil
+}
+
+// NewRows wraps a raw backend result into the public Rows type. It exists
+// for the in-module benchmark harness; application code receives Rows from
+// Session methods and never needs it.
+func NewRows(res *backend.Result) *Rows { return wrapResult(res) }
+
+func wrapResult(res *backend.Result) *Rows {
+	if res == nil {
+		return &Rows{}
+	}
+	return &Rows{
+		Columns:      res.Columns,
+		RowsAffected: res.RowsAffected,
+		LastInsertID: res.LastInsertID,
+		rows:         res.Rows,
+	}
+}
+
+// Session is one client connection to a virtual database, local or remote,
+// the analogue of a JDBC Connection. Sessions are not safe for concurrent
+// use; open one per goroutine.
+type Session interface {
+	// Exec runs any SQL statement with optional ? parameters.
+	Exec(sql string, args ...any) (*Rows, error)
+	// Query is Exec restricted to reads, for readability at call sites.
+	Query(sql string, args ...any) (*Rows, error)
+	// Begin/Commit/Rollback demarcate a transaction.
+	Begin() error
+	Commit() error
+	Rollback() error
+	// Close releases the session, rolling back any open transaction.
+	Close() error
+}
+
+// OpenSession opens an in-process session on the virtual database (the
+// type-4 "local" flavour of the driver).
+func (v *VirtualDatabase) OpenSession(user, password string) (Session, error) {
+	s, err := v.inner.NewSession(user, password)
+	if err != nil {
+		return nil, err
+	}
+	return &localSession{s: s}, nil
+}
+
+type localSession struct {
+	s interface {
+		Exec(sql string, params []sqlval.Value) (*backend.Result, error)
+		Close()
+	}
+}
+
+func (l *localSession) Exec(sql string, args ...any) (*Rows, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := l.s.Exec(sql, params)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+func (l *localSession) Query(sql string, args ...any) (*Rows, error) { return l.Exec(sql, args...) }
+func (l *localSession) Begin() error                                 { _, err := l.Exec("BEGIN"); return err }
+func (l *localSession) Commit() error                                { _, err := l.Exec("COMMIT"); return err }
+func (l *localSession) Rollback() error                              { _, err := l.Exec("ROLLBACK"); return err }
+func (l *localSession) Close() error                                 { l.s.Close(); return nil }
