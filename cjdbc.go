@@ -71,6 +71,11 @@ type VirtualDatabaseConfig struct {
 	// Cache enables the query result cache when non-nil.
 	Cache *CacheConfig
 
+	// PlanCacheSize bounds the parsing cache, which reuses parsed
+	// statements across executions (§2.4.2): 0 means the default capacity
+	// (4096 plans), negative disables it so every request re-parses.
+	PlanCacheSize int
+
 	// RecoveryLogPath stores the recovery log in a flat file; "memory"
 	// keeps it in process memory; "" disables logging (and with it
 	// checkpointing).
@@ -170,6 +175,7 @@ func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualD
 		EarlyResponse: early,
 		ParallelTx:    !cfg.DisableParallelTransactions,
 		Auth:          auth,
+		PlanCacheSize: cfg.PlanCacheSize,
 		CtrlCost: controller.CtrlCost{
 			PerRequest:      cfg.CtrlCostPerRequest,
 			PerCacheHit:     cfg.CtrlCostPerCacheHit,

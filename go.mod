@@ -1,0 +1,3 @@
+module cjdbc
+
+go 1.21

@@ -120,7 +120,7 @@ type writeTask struct {
 	class sqlparser.StatementClass
 	st    sqlparser.Statement
 	sql   string
-	done  chan WriteOutcome
+	done  chan<- WriteOutcome
 }
 
 // WriteOutcome is the terminal result of an asynchronous write.
@@ -128,6 +128,22 @@ type WriteOutcome struct {
 	Backend *Backend
 	Res     *Result
 	Err     error
+}
+
+// Outcomes aggregates the outcomes of one cluster-wide write operation on a
+// single shared channel allocated at enqueue time. Each of the N involved
+// backends delivers exactly one WriteOutcome; the channel's capacity is N,
+// so senders never block and a waiter applying an early-response policy may
+// simply abandon the channel once satisfied — no fan-in goroutines, no
+// drain goroutine.
+type Outcomes struct {
+	C chan WriteOutcome
+	N int
+}
+
+// NewOutcomes allocates the shared channel for n backends.
+func NewOutcomes(n int) Outcomes {
+	return Outcomes{C: make(chan WriteOutcome, n), N: n}
 }
 
 // New creates a backend in the disabled state.
@@ -443,14 +459,24 @@ func (b *Backend) HasTx(txID uint64) bool {
 // order, which is what keeps replicas identical (§2.4.1).
 func (b *Backend) EnqueueWrite(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement, sql string) <-chan WriteOutcome {
 	done := make(chan WriteOutcome, 1)
+	b.EnqueueWriteTo(txID, class, st, sql, done)
+	return done
+}
+
+// EnqueueWriteTo is EnqueueWrite delivering into a caller-supplied channel,
+// so one cluster-wide operation spanning several backends shares a single
+// buffered channel instead of one channel (and one fan-in goroutine) per
+// backend. done must have spare capacity for one outcome per enqueued
+// backend: exactly one WriteOutcome is sent, and the send must never block.
+func (b *Backend) EnqueueWriteTo(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement, sql string, done chan<- WriteOutcome) {
 	t := &writeTask{txID: txID, class: class, st: st, sql: sql, done: done}
 
-	reply := func(res *Result, err error) <-chan WriteOutcome {
+	reply := func(res *Result, err error) {
 		done <- WriteOutcome{Backend: b, Res: res, Err: err}
-		return done
 	}
 	if !b.Enabled() {
-		return reply(nil, ErrDisabled)
+		reply(nil, ErrDisabled)
+		return
 	}
 
 	if txID != 0 {
@@ -458,12 +484,14 @@ func (b *Backend) EnqueueWrite(txID uint64, class sqlparser.StatementClass, st s
 		case sqlparser.ClassWrite:
 			tc, err := b.txConnFor(txID)
 			if err != nil {
-				return reply(nil, err)
+				reply(nil, err)
+				return
 			}
 			b.mu.Lock()
 			if tc.ending {
 				b.mu.Unlock()
-				return reply(nil, fmt.Errorf("backend %s: transaction %d already ended", b.name, txID))
+				reply(nil, fmt.Errorf("backend %s: transaction %d already ended", b.name, txID))
+				return
 			}
 			tc.wrote.Add(1)
 			b.pending.Add(1)
@@ -477,7 +505,7 @@ func (b *Backend) EnqueueWrite(txID uint64, class sqlparser.StatementClass, st s
 				}
 			}
 			tc.queue <- t
-			return done
+			return
 		case sqlparser.ClassCommit, sqlparser.ClassRollback:
 			b.mu.Lock()
 			tc, ok := b.txs[txID]
@@ -485,13 +513,14 @@ func (b *Backend) EnqueueWrite(txID uint64, class sqlparser.StatementClass, st s
 				b.mu.Unlock()
 				// Lazy begin: the transaction never touched this backend
 				// (or its end was already delivered).
-				return reply(&Result{}, nil)
+				reply(&Result{}, nil)
+				return
 			}
 			tc.ending = true
 			b.pending.Add(1)
 			b.mu.Unlock()
 			tc.queue <- t
-			return done
+			return
 		}
 	}
 
@@ -501,9 +530,8 @@ func (b *Backend) EnqueueWrite(txID uint64, class sqlparser.StatementClass, st s
 	case b.autoQ <- t:
 	case <-b.closed:
 		b.pending.Add(-1)
-		return reply(nil, ErrClosed)
+		reply(nil, ErrClosed)
 	}
-	return done
 }
 
 // autoLoop executes auto-commit writes strictly in order, one at a time.

@@ -4,15 +4,24 @@
 // stale data when an update executes, supports invalidation granularities
 // from database-wide to table- and column-based, and can relax consistency
 // with a staleness limit.
+//
+// The cache is sharded by key hash: each shard has its own mutex, LRU list
+// and table index, so concurrent readers on the controller hot path do not
+// serialize on a single lock. Statistics are atomic counters read without
+// locking. Writes invalidate across all shards while holding one shard lock
+// at a time; the scheduler's total write order already serializes writes, so
+// shard-by-shard invalidation cannot reorder conflicting updates.
 package cache
 
 import (
 	"container/list"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cjdbc/internal/backend"
+	"cjdbc/internal/shardutil"
 	"cjdbc/internal/sqlparser"
 )
 
@@ -65,13 +74,23 @@ type Stats struct {
 
 // ResultCache is a strongly or loosely consistent query result cache.
 type ResultCache struct {
-	cfg Config
+	cfg    Config
+	shards []rcShard
+	mask   uint32
 
+	hits          atomic.Int64
+	misses        atomic.Int64
+	puts          atomic.Int64
+	invalidations atomic.Int64
+	evictions     atomic.Int64
+}
+
+type rcShard struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	lru     *list.List // front = most recent
 	byTable map[string]map[*entry]bool
-	stats   Stats
+	max     int
 }
 
 type entry struct {
@@ -92,36 +111,49 @@ func New(cfg Config) *ResultCache {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &ResultCache{
-		cfg:     cfg,
-		entries: make(map[string]*entry),
-		lru:     list.New(),
-		byTable: make(map[string]map[*entry]bool),
+	n := shardutil.Count(cfg.MaxEntries)
+	perShard := (cfg.MaxEntries + n - 1) / n
+	c := &ResultCache{cfg: cfg, shards: make([]rcShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.entries = make(map[string]*entry)
+		s.lru = list.New()
+		s.byTable = make(map[string]map[*entry]bool)
+		s.max = perShard
 	}
+	return c
 }
 
 // Key normalizes a SQL string into a cache key.
 func Key(sql string) string { return strings.TrimSpace(sql) }
 
+func (c *ResultCache) shardFor(key string) *rcShard {
+	return &c.shards[shardutil.Hash(key)&c.mask]
+}
+
 // Get returns the cached result for a read, or nil on miss. Under a
 // staleness limit, entries older than the limit are dropped here.
 func (c *ResultCache) Get(sql string) *backend.Result {
 	k := Key(sql)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[k]
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
 	if !ok {
-		c.stats.Misses++
+		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil
 	}
 	if c.cfg.Staleness > 0 && c.cfg.Clock().Sub(e.created) > c.cfg.Staleness {
-		c.removeLocked(e)
-		c.stats.Misses++
+		s.removeLocked(e)
+		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil
 	}
-	c.lru.MoveToFront(e.lruElem)
-	c.stats.Hits++
-	return e.res
+	s.lru.MoveToFront(e.lruElem)
+	res := e.res
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return res
 }
 
 // Put stores a read's result. The statement provides the table and column
@@ -130,94 +162,146 @@ func (c *ResultCache) Put(sql string, st sqlparser.Statement, res *backend.Resul
 	if res == nil || sqlparser.Classify(st) != sqlparser.ClassRead {
 		return
 	}
-	k := Key(sql)
 	cols, colsOK := sqlparser.ReadColumns(st)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if old, dup := c.entries[k]; dup {
-		c.removeLocked(old)
+	c.PutFootprint(sql, st.Tables(), cols, colsOK, res)
+}
+
+// PutFootprint stores a read's result with a precomputed invalidation
+// footprint, letting callers that hold a cached plan skip re-analyzing the
+// statement. tables and cols must be lower-cased; colsOK=false means the
+// read's columns cannot be enumerated (SELECT *), so any write to a read
+// table invalidates the entry.
+func (c *ResultCache) PutFootprint(sql string, tables, cols []string, colsOK bool, res *backend.Result) {
+	if res == nil {
+		return
+	}
+	k := Key(sql)
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if old, dup := s.entries[k]; dup {
+		s.removeLocked(old)
 	}
 	e := &entry{
 		key:     k,
 		res:     res,
-		tables:  st.Tables(),
+		tables:  tables,
 		cols:    cols,
 		colsOK:  colsOK,
 		created: c.cfg.Clock(),
 	}
-	e.lruElem = c.lru.PushFront(e)
-	c.entries[k] = e
+	e.lruElem = s.lru.PushFront(e)
+	s.entries[k] = e
 	for _, t := range e.tables {
-		set := c.byTable[t]
+		set := s.byTable[t]
 		if set == nil {
 			set = make(map[*entry]bool)
-			c.byTable[t] = set
+			s.byTable[t] = set
 		}
 		set[e] = true
 	}
-	c.stats.Puts++
-	for len(c.entries) > c.cfg.MaxEntries {
-		oldest := c.lru.Back()
+	var evicted int64
+	for len(s.entries) > s.max {
+		oldest := s.lru.Back()
 		if oldest == nil {
 			break
 		}
-		c.removeLocked(oldest.Value.(*entry))
-		c.stats.Evictions++
+		s.removeLocked(oldest.Value.(*entry))
+		evicted++
+	}
+	s.mu.Unlock()
+	c.puts.Add(1)
+	if evicted > 0 {
+		c.evictions.Add(evicted)
 	}
 }
 
 // InvalidateWrite drops the entries a write may have made stale, honouring
-// the configured granularity. Under a staleness limit nothing is dropped:
-// entries expire by age instead (§2.4.2 relaxed consistency).
-func (c *ResultCache) InvalidateWrite(st sqlparser.Statement) {
+// the configured granularity, and returns how many entries were dropped.
+// Under a staleness limit nothing is dropped: entries expire by age instead
+// (§2.4.2 relaxed consistency).
+func (c *ResultCache) InvalidateWrite(st sqlparser.Statement) int {
 	if c.cfg.Staleness > 0 {
-		return
+		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	var dropped int64
 	switch c.cfg.Granularity {
 	case GranDatabase:
-		if len(c.entries) > 0 {
-			c.stats.Invalidations += int64(len(c.entries))
-			c.entries = make(map[string]*entry)
-			c.lru.Init()
-			c.byTable = make(map[string]map[*entry]bool)
+		for i := range c.shards {
+			s := &c.shards[i]
+			s.mu.Lock()
+			n := len(s.entries)
+			if n > 0 {
+				s.reset()
+				dropped += int64(n)
+			}
+			s.mu.Unlock()
 		}
 	case GranTable:
 		for _, t := range st.Tables() {
-			c.invalidateTableLocked(t, nil)
+			dropped += c.invalidateTableCols(t, nil, nil)
 		}
 	case GranColumn:
 		written := sqlparser.WrittenColumns(st)
+		var writtenSet map[string]bool
+		if len(written) > 2 {
+			writtenSet = make(map[string]bool, len(written))
+			for _, w := range written {
+				writtenSet[w] = true
+			}
+		}
 		for _, t := range st.Tables() {
-			c.invalidateTableLocked(t, written)
+			dropped += c.invalidateTableCols(t, written, writtenSet)
 		}
 	}
+	if dropped > 0 {
+		c.invalidations.Add(dropped)
+	}
+	return int(dropped)
 }
 
-// invalidateTableLocked drops entries reading table t. When writtenCols is
-// non-nil, only entries whose read columns intersect it (or whose columns
-// cannot be enumerated) are dropped.
-func (c *ResultCache) invalidateTableLocked(t string, writtenCols []string) {
-	set := c.byTable[t]
-	if len(set) == 0 {
-		return
-	}
-	var victims []*entry
-	for e := range set {
-		if writtenCols == nil || !e.colsOK || intersects(e.cols, writtenCols) {
-			victims = append(victims, e)
+// invalidateTableCols drops entries reading table t. When written (or its
+// map form writtenSet, preferred for non-trivial column sets) is non-empty,
+// only entries whose read columns intersect the written columns — or whose
+// columns cannot be enumerated — are dropped.
+func (c *ResultCache) invalidateTableCols(t string, written []string, writtenSet map[string]bool) int64 {
+	var dropped int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		set := s.byTable[t]
+		if len(set) == 0 {
+			s.mu.Unlock()
+			continue
 		}
+		var victims []*entry
+		for e := range set {
+			if written == nil && writtenSet == nil || !e.colsOK || colsIntersect(e.cols, written, writtenSet) {
+				victims = append(victims, e)
+			}
+		}
+		for _, e := range victims {
+			s.removeLocked(e)
+			dropped++
+		}
+		s.mu.Unlock()
 	}
-	for _, e := range victims {
-		c.removeLocked(e)
-		c.stats.Invalidations++
-	}
+	return dropped
 }
 
-func intersects(a, b []string) bool {
-	for _, x := range a {
-		for _, y := range b {
+// colsIntersect reports whether any read column was written. Small sets use
+// the direct O(n·m) scan (cheaper than hashing); larger written sets are
+// probed through the prebuilt map.
+func colsIntersect(cols, written []string, writtenSet map[string]bool) bool {
+	if writtenSet != nil {
+		for _, c := range cols {
+			if writtenSet[c] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, x := range cols {
+		for _, y := range written {
 			if x == y {
 				return true
 			}
@@ -228,35 +312,51 @@ func intersects(a, b []string) bool {
 
 // Flush empties the cache.
 func (c *ResultCache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*entry)
-	c.lru.Init()
-	c.byTable = make(map[string]map[*entry]bool)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.reset()
+		s.mu.Unlock()
+	}
+}
+
+func (s *rcShard) reset() {
+	s.entries = make(map[string]*entry)
+	s.lru.Init()
+	s.byTable = make(map[string]map[*entry]bool)
 }
 
 // Len returns the number of cached entries.
 func (c *ResultCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // StatsSnapshot returns a copy of the counters.
 func (c *ResultCache) StatsSnapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Puts:          c.puts.Load(),
+		Invalidations: c.invalidations.Load(),
+		Evictions:     c.evictions.Load(),
+	}
 }
 
-func (c *ResultCache) removeLocked(e *entry) {
-	delete(c.entries, e.key)
-	c.lru.Remove(e.lruElem)
+func (s *rcShard) removeLocked(e *entry) {
+	delete(s.entries, e.key)
+	s.lru.Remove(e.lruElem)
 	for _, t := range e.tables {
-		if set := c.byTable[t]; set != nil {
+		if set := s.byTable[t]; set != nil {
 			delete(set, e)
 			if len(set) == 0 {
-				delete(c.byTable, t)
+				delete(s.byTable, t)
 			}
 		}
 	}

@@ -2,10 +2,12 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"cjdbc/internal/backend"
+	"cjdbc/internal/shardutil"
 	"cjdbc/internal/sqlparser"
 	"cjdbc/internal/sqlval"
 )
@@ -203,5 +205,96 @@ func TestPutReplacesExisting(t *testing.T) {
 func TestGranularityString(t *testing.T) {
 	if GranDatabase.String() != "database" || GranTable.String() != "table" || GranColumn.String() != "column" {
 		t.Error("granularity names")
+	}
+}
+
+func TestInvalidateWriteReturnsCount(t *testing.T) {
+	c := New(Config{Granularity: GranTable})
+	c.Put("SELECT a FROM t", stmt(t, "SELECT a FROM t"), res(1))
+	c.Put("SELECT b FROM t", stmt(t, "SELECT b FROM t"), res(1))
+	c.Put("SELECT b FROM u", stmt(t, "SELECT b FROM u"), res(1))
+	if n := c.InvalidateWrite(stmt(t, "UPDATE t SET a = 1")); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if n := c.InvalidateWrite(stmt(t, "UPDATE t SET a = 1")); n != 0 {
+		t.Fatalf("second invalidation dropped %d", n)
+	}
+	if st := c.StatsSnapshot(); st.Invalidations != 2 {
+		t.Errorf("invalidation counter = %d", st.Invalidations)
+	}
+}
+
+func TestColumnGranularityManyColumnsUsesMapPath(t *testing.T) {
+	// More than two written columns exercises the map-probe intersection.
+	c := New(Config{Granularity: GranColumn})
+	c.Put("SELECT c3 FROM t", stmt(t, "SELECT c3 FROM t"), res(1))
+	c.Put("SELECT z FROM t", stmt(t, "SELECT z FROM t"), res(1))
+	n := c.InvalidateWrite(stmt(t, "UPDATE t SET c1 = 1, c2 = 2, c3 = 3, c4 = 4"))
+	if n != 1 {
+		t.Fatalf("invalidated %d, want 1", n)
+	}
+	if c.Get("SELECT z FROM t") == nil {
+		t.Error("column-disjoint entry invalidated")
+	}
+}
+
+func TestShardedCapacityBound(t *testing.T) {
+	// Large capacity spreads over shards; total entries stay bounded by the
+	// configured capacity plus per-shard rounding.
+	c := New(Config{Granularity: GranTable, MaxEntries: 1024})
+	for i := 0; i < 3000; i++ {
+		q := fmt.Sprintf("SELECT a FROM t WHERE id = %d", i)
+		c.Put(q, stmt(t, q), res(1))
+	}
+	if n := c.Len(); n > 1024+shardutil.MaxShards {
+		t.Fatalf("len = %d exceeds capacity", n)
+	}
+}
+
+// TestConcurrentStress hammers the sharded cache from 16 goroutines mixing
+// Get, Put and InvalidateWrite; run with -race.
+func TestConcurrentStress(t *testing.T) {
+	c := New(Config{Granularity: GranColumn, MaxEntries: 512})
+	tables := []string{"t0", "t1", "t2", "t3"}
+	reads := make([]sqlparser.Statement, 64)
+	readSQL := make([]string, 64)
+	for i := range reads {
+		readSQL[i] = fmt.Sprintf("SELECT a, b FROM %s WHERE id = %d", tables[i%len(tables)], i)
+		reads[i] = stmt(t, readSQL[i])
+	}
+	writes := make([]sqlparser.Statement, len(tables))
+	for i, tb := range tables {
+		writes[i] = stmt(t, fmt.Sprintf("UPDATE %s SET a = 1 WHERE id = 0", tb))
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (g*37 + i) % len(reads)
+				switch {
+				case i%19 == 0:
+					c.InvalidateWrite(writes[(g+i)%len(writes)])
+				case c.Get(readSQL[k]) == nil:
+					c.Put(readSQL[k], reads[k], res(1))
+				}
+				if i%101 == 0 {
+					_ = c.Len()
+					_ = c.StatsSnapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Strong consistency after the dust settles: a write to each table must
+	// leave no entry reading it.
+	for _, w := range writes {
+		c.InvalidateWrite(w)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("%d entries survived invalidation of every table", c.Len())
 	}
 }

@@ -118,13 +118,14 @@ func (s *Scheduler) EndRead() {
 	}
 }
 
-// WaitOutcomes applies the early-response policy to the per-backend write
-// outcome channels: it blocks until enough backends answered, and keeps
-// draining the rest in the background so failures still disable backends.
-// It returns the first successful result; if every backend failed, it
-// returns the first error.
-func (s *Scheduler) WaitOutcomes(policy ResponsePolicy, outs []<-chan backend.WriteOutcome) (*backend.Result, error) {
-	n := len(outs)
+// WaitOutcomes applies the early-response policy to a cluster write's
+// shared outcome channel: it blocks until enough backends answered and
+// returns the first successful result; if every backend failed, it returns
+// the first error. The channel is buffered for one outcome per backend, so
+// stragglers complete without a drain goroutine — their failures still
+// disable backends through the backends' own failure callbacks.
+func (s *Scheduler) WaitOutcomes(policy ResponsePolicy, outs backend.Outcomes) (*backend.Result, error) {
+	n := outs.N
 	if n == 0 {
 		return nil, ErrNoWriteTarget
 	}
@@ -136,18 +137,11 @@ func (s *Scheduler) WaitOutcomes(policy ResponsePolicy, outs []<-chan backend.Wr
 		need = n/2 + 1
 	}
 
-	agg := make(chan backend.WriteOutcome, n)
-	for _, ch := range outs {
-		ch := ch
-		go func() { agg <- <-ch }()
-	}
-
 	var firstRes *backend.Result
 	var firstErr error
-	successes, received := 0, 0
-	for received < n {
-		o := <-agg
-		received++
+	successes := 0
+	for received := 0; received < n; received++ {
+		o := <-outs.C
 		if o.Err == nil {
 			successes++
 			if firstRes == nil {
@@ -157,16 +151,6 @@ func (s *Scheduler) WaitOutcomes(policy ResponsePolicy, outs []<-chan backend.Wr
 			firstErr = o.Err
 		}
 		if successes >= need {
-			// Drain the stragglers asynchronously; backend failure
-			// callbacks handle any late errors.
-			remaining := n - received
-			if remaining > 0 {
-				go func() {
-					for i := 0; i < remaining; i++ {
-						<-agg
-					}
-				}()
-			}
 			return firstRes, nil
 		}
 	}

@@ -9,28 +9,38 @@ import (
 	"cjdbc/internal/backend"
 )
 
-// outcomeChan builds a pre-resolved outcome channel.
-func outcomeChan(res *backend.Result, err error, after time.Duration) <-chan backend.WriteOutcome {
-	ch := make(chan backend.WriteOutcome, 1)
-	if after == 0 {
-		ch <- backend.WriteOutcome{Res: res, Err: err}
-	} else {
-		go func() {
-			time.Sleep(after)
-			ch <- backend.WriteOutcome{Res: res, Err: err}
-		}()
+// outcomeSpec describes one backend's simulated outcome.
+type outcomeSpec struct {
+	res   *backend.Result
+	err   error
+	after time.Duration
+}
+
+// outcomesFrom builds the shared outcome channel of one cluster write:
+// immediate outcomes are pre-buffered in order, delayed ones arrive later.
+func outcomesFrom(specs ...outcomeSpec) backend.Outcomes {
+	outs := backend.NewOutcomes(len(specs))
+	for _, sp := range specs {
+		if sp.after == 0 {
+			outs.C <- backend.WriteOutcome{Res: sp.res, Err: sp.err}
+		} else {
+			go func(sp outcomeSpec) {
+				time.Sleep(sp.after)
+				outs.C <- backend.WriteOutcome{Res: sp.res, Err: sp.err}
+			}(sp)
+		}
 	}
-	return ch
+	return outs
 }
 
 func TestWaitOutcomesAllWaitsForEveryBackend(t *testing.T) {
 	s := NewScheduler(1, ResponseAll, true)
 	slow := 30 * time.Millisecond
 	start := time.Now()
-	res, err := s.WaitOutcomes(ResponseAll, []<-chan backend.WriteOutcome{
-		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 0),
-		outcomeChan(&backend.Result{RowsAffected: 1}, nil, slow),
-	})
+	res, err := s.WaitOutcomes(ResponseAll, outcomesFrom(
+		outcomeSpec{res: &backend.Result{RowsAffected: 1}},
+		outcomeSpec{res: &backend.Result{RowsAffected: 1}, after: slow},
+	))
 	if err != nil || res.RowsAffected != 1 {
 		t.Fatalf("res=%+v err=%v", res, err)
 	}
@@ -42,10 +52,10 @@ func TestWaitOutcomesAllWaitsForEveryBackend(t *testing.T) {
 func TestWaitOutcomesFirstReturnsEarly(t *testing.T) {
 	s := NewScheduler(1, ResponseFirst, true)
 	start := time.Now()
-	res, err := s.WaitOutcomes(ResponseFirst, []<-chan backend.WriteOutcome{
-		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 0),
-		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 200*time.Millisecond),
-	})
+	res, err := s.WaitOutcomes(ResponseFirst, outcomesFrom(
+		outcomeSpec{res: &backend.Result{RowsAffected: 1}},
+		outcomeSpec{res: &backend.Result{RowsAffected: 1}, after: 200 * time.Millisecond},
+	))
 	if err != nil || res == nil {
 		t.Fatalf("res=%v err=%v", res, err)
 	}
@@ -57,11 +67,11 @@ func TestWaitOutcomesFirstReturnsEarly(t *testing.T) {
 func TestWaitOutcomesMajority(t *testing.T) {
 	s := NewScheduler(1, ResponseMajority, true)
 	start := time.Now()
-	_, err := s.WaitOutcomes(ResponseMajority, []<-chan backend.WriteOutcome{
-		outcomeChan(&backend.Result{}, nil, 0),
-		outcomeChan(&backend.Result{}, nil, 10*time.Millisecond),
-		outcomeChan(&backend.Result{}, nil, 300*time.Millisecond),
-	})
+	_, err := s.WaitOutcomes(ResponseMajority, outcomesFrom(
+		outcomeSpec{res: &backend.Result{}},
+		outcomeSpec{res: &backend.Result{}, after: 10 * time.Millisecond},
+		outcomeSpec{res: &backend.Result{}, after: 300 * time.Millisecond},
+	))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,10 +84,10 @@ func TestWaitOutcomesPartialFailureSucceeds(t *testing.T) {
 	// No 2PC (§2.4.1): a failed backend gets disabled, the operation
 	// stands on the survivors.
 	s := NewScheduler(1, ResponseAll, true)
-	res, err := s.WaitOutcomes(ResponseAll, []<-chan backend.WriteOutcome{
-		outcomeChan(nil, errors.New("disk died"), 0),
-		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 0),
-	})
+	res, err := s.WaitOutcomes(ResponseAll, outcomesFrom(
+		outcomeSpec{err: errors.New("disk died")},
+		outcomeSpec{res: &backend.Result{RowsAffected: 1}},
+	))
 	if err != nil || res == nil {
 		t.Fatalf("partial failure: res=%v err=%v", res, err)
 	}
@@ -86,14 +96,14 @@ func TestWaitOutcomesPartialFailureSucceeds(t *testing.T) {
 func TestWaitOutcomesTotalFailureFails(t *testing.T) {
 	s := NewScheduler(1, ResponseAll, true)
 	boom := errors.New("boom")
-	_, err := s.WaitOutcomes(ResponseAll, []<-chan backend.WriteOutcome{
-		outcomeChan(nil, boom, 0),
-		outcomeChan(nil, boom, 0),
-	})
+	_, err := s.WaitOutcomes(ResponseAll, outcomesFrom(
+		outcomeSpec{err: boom},
+		outcomeSpec{err: boom},
+	))
 	if !errors.Is(err, boom) {
 		t.Fatalf("total failure: %v", err)
 	}
-	if _, err := s.WaitOutcomes(ResponseAll, nil); !errors.Is(err, ErrNoWriteTarget) {
+	if _, err := s.WaitOutcomes(ResponseAll, backend.Outcomes{}); !errors.Is(err, ErrNoWriteTarget) {
 		t.Fatalf("empty targets: %v", err)
 	}
 }
@@ -101,10 +111,10 @@ func TestWaitOutcomesTotalFailureFails(t *testing.T) {
 func TestWaitOutcomesFirstSkipsEarlyError(t *testing.T) {
 	// With ResponseFirst, an early failure must not mask a later success.
 	s := NewScheduler(1, ResponseFirst, true)
-	res, err := s.WaitOutcomes(ResponseFirst, []<-chan backend.WriteOutcome{
-		outcomeChan(nil, errors.New("bad disk"), 0),
-		outcomeChan(&backend.Result{RowsAffected: 1}, nil, 10*time.Millisecond),
-	})
+	res, err := s.WaitOutcomes(ResponseFirst, outcomesFrom(
+		outcomeSpec{err: errors.New("bad disk")},
+		outcomeSpec{res: &backend.Result{RowsAffected: 1}, after: 10 * time.Millisecond},
+	))
 	if err != nil || res == nil {
 		t.Fatalf("first-with-error: res=%v err=%v", res, err)
 	}

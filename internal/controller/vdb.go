@@ -12,6 +12,7 @@ import (
 	"cjdbc/internal/backend"
 	"cjdbc/internal/balancer"
 	"cjdbc/internal/cache"
+	"cjdbc/internal/plancache"
 	"cjdbc/internal/recovery"
 	"cjdbc/internal/sqlparser"
 	"cjdbc/internal/sqlval"
@@ -50,6 +51,9 @@ type VDBConfig struct {
 	ParallelTx    bool                 // §2.4.4 parallel transactions
 	CtrlCost      CtrlCost             // controller CPU accounting
 	Auth          *AuthManager         // nil accepts everyone
+	// PlanCacheSize bounds the parsing cache (§2.4.2): 0 means the default
+	// capacity, negative disables the cache (every request re-parses).
+	PlanCacheSize int
 }
 
 // Stats counts virtual database activity.
@@ -72,6 +76,7 @@ type VirtualDatabase struct {
 	repl  balancer.Replication
 	bal   balancer.Balancer
 	cache *cache.ResultCache
+	plans *plancache.Cache
 	log   recovery.Log
 	sched *Scheduler
 	cost  CtrlCost
@@ -116,12 +121,17 @@ func NewVirtualDatabase(cfg VDBConfig) *VirtualDatabase {
 	if auth == nil {
 		auth = NewAuthManager()
 	}
+	var plans *plancache.Cache
+	if cfg.PlanCacheSize >= 0 {
+		plans = plancache.New(cfg.PlanCacheSize)
+	}
 	return &VirtualDatabase{
 		name:  cfg.Name,
 		auth:  auth,
 		repl:  repl,
 		bal:   bal,
 		cache: cfg.Cache,
+		plans: plans,
 		log:   cfg.RecoveryLog,
 		sched: NewScheduler(cfg.ControllerID, cfg.EarlyResponse, cfg.ParallelTx),
 		cost:  cfg.CtrlCost,
@@ -139,6 +149,9 @@ func (v *VirtualDatabase) Scheduler() *Scheduler { return v.sched }
 
 // Cache returns the result cache, or nil.
 func (v *VirtualDatabase) Cache() *cache.ResultCache { return v.cache }
+
+// PlanCache returns the parsing cache, or nil when disabled.
+func (v *VirtualDatabase) PlanCache() *plancache.Cache { return v.plans }
 
 // RecoveryLog returns the recovery log, or nil.
 func (v *VirtualDatabase) RecoveryLog() recovery.Log { return v.log }
@@ -281,25 +294,35 @@ func (s *Session) Close() {
 // Exec runs one SQL statement with optional positional parameters, routing
 // it per §2.4.1: begin/commit/abort to all backends, reads to one backend
 // chosen by the load balancer, updates to all backends hosting the affected
-// tables.
+// tables. Repeat statements skip parsing and analysis entirely via the
+// parsing cache (§2.4.2): the cached plan carries the parsed tree plus its
+// precomputed class, table list, read columns and placeholder count.
 func (s *Session) Exec(sql string, params []sqlval.Value) (*backend.Result, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
 	v := s.vdb
-	st, err := sqlparser.Parse(sql)
+	plan, err := v.planFor(sql)
 	if err != nil {
 		return nil, err
 	}
-	if len(params) > 0 || sqlparser.NumParams(st) > 0 {
+	// st is the cached shared tree until a mutating step (parameter
+	// binding, macro rewriting) clones it; owned tracks that transition.
+	st := plan.Stmt
+	owned := false
+	if len(params) > 0 || plan.NumParams > 0 {
+		st = st.Clone()
+		owned = true
 		if err := sqlparser.BindParams(st, params); err != nil {
 			return nil, err
 		}
 		sql = sqlparser.Render(st)
+	} else {
+		sql = plan.SQL
 	}
 	v.chargeCtrl(v.cost.PerRequest)
 
-	switch sqlparser.Classify(st) {
+	switch plan.Class {
 	case sqlparser.ClassBegin:
 		return s.execBegin()
 	case sqlparser.ClassCommit:
@@ -307,10 +330,30 @@ func (s *Session) Exec(sql string, params []sqlval.Value) (*backend.Result, erro
 	case sqlparser.ClassRollback:
 		return s.execEndTx(sqlparser.ClassRollback, st)
 	case sqlparser.ClassRead:
-		return v.execRead(s.txID, st, sql)
+		return v.execRead(s.txID, plan, st, sql)
 	default:
-		return s.execWrite(st, sql)
+		return s.execWrite(plan, st, sql, owned)
 	}
+}
+
+// planFor returns the plan for a statement text, parsing and admitting it
+// into the parsing cache on miss.
+func (v *VirtualDatabase) planFor(sql string) (*plancache.Plan, error) {
+	key := plancache.Normalize(sql)
+	if v.plans != nil {
+		if p := v.plans.Get(key); p != nil {
+			return p, nil
+		}
+	}
+	st, err := sqlparser.Parse(key)
+	if err != nil {
+		return nil, err
+	}
+	p := plancache.Build(key, st)
+	if v.plans != nil {
+		v.plans.Put(p)
+	}
+	return p, nil
 }
 
 // execBegin starts a transaction lazily: no backend is contacted until the
@@ -369,32 +412,39 @@ func (s *Session) execEndTx(class sqlparser.StatementClass, st sqlparser.Stateme
 	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
 }
 
-// dispatchEndTx enqueues the demarcation on every backend. Must run inside
-// the total-order critical section (or the distributed applier).
-func (v *VirtualDatabase) dispatchEndTx(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement) []<-chan backend.WriteOutcome {
+// dispatchEndTx enqueues the demarcation on every backend, delivering all
+// outcomes on one shared channel. Must run inside the total-order critical
+// section (or the distributed applier).
+func (v *VirtualDatabase) dispatchEndTx(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement) backend.Outcomes {
 	bs := v.Backends()
-	outs := make([]<-chan backend.WriteOutcome, 0, len(bs))
+	outs := backend.Outcomes{C: make(chan backend.WriteOutcome, len(bs))}
+	sql := "COMMIT"
+	if class == sqlparser.ClassRollback {
+		sql = "ROLLBACK"
+	}
 	for _, b := range bs {
 		if !b.Enabled() {
 			continue
 		}
-		sql := "COMMIT"
-		if class == sqlparser.ClassRollback {
-			sql = "ROLLBACK"
-		}
-		outs = append(outs, b.EnqueueWrite(txID, class, st, sql))
+		b.EnqueueWriteTo(txID, class, st, sql, outs.C)
+		outs.N++
 	}
 	return outs
 }
 
 // execWrite is the update path: macro rewriting, recovery logging, ordered
 // dispatch to all backends hosting the affected tables, cache invalidation,
-// then the early-response wait.
-func (s *Session) execWrite(st sqlparser.Statement, sql string) (*backend.Result, error) {
+// then the early-response wait. owned reports whether st is already a
+// private clone of the cached plan (after parameter binding); macro
+// rewriting mutates the tree, so a shared tree is cloned first.
+func (s *Session) execWrite(plan *plancache.Plan, st sqlparser.Statement, sql string, owned bool) (*backend.Result, error) {
 	v := s.vdb
 	v.writes.Add(1)
 
-	if sqlparser.HasMacros(st) {
+	if plan.HasMacros {
+		if !owned {
+			st = st.Clone()
+		}
 		v.sched.RewriteMacros(st)
 		sql = sqlparser.Render(st)
 	}
@@ -419,20 +469,21 @@ func (s *Session) execWrite(st sqlparser.Statement, sql string) (*backend.Result
 }
 
 // dispatchWrite enqueues a write on every backend hosting the affected
-// tables and maintains the dynamic schema and the cache. Must run inside
-// the total-order critical section (or the distributed applier).
-func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql string) ([]<-chan backend.WriteOutcome, error) {
+// tables and maintains the dynamic schema and the cache, delivering all
+// outcomes on one shared channel. Must run inside the total-order critical
+// section (or the distributed applier).
+func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql string) (backend.Outcomes, error) {
 	tables := st.Tables()
 	targets := v.repl.WriteTargets(tables, v.Backends())
 	if len(targets) == 0 {
-		return nil, ErrNoWriteTarget
+		return backend.Outcomes{}, ErrNoWriteTarget
 	}
 	// Deterministic dispatch order keeps logs and traces comparable.
 	sort.Slice(targets, func(i, j int) bool { return targets[i].Name() < targets[j].Name() })
 
-	outs := make([]<-chan backend.WriteOutcome, 0, len(targets))
+	outs := backend.NewOutcomes(len(targets))
 	for _, b := range targets {
-		outs = append(outs, b.EnqueueWrite(txID, sqlparser.ClassWrite, st, sql))
+		b.EnqueueWriteTo(txID, sqlparser.ClassWrite, st, sql, outs.C)
 	}
 
 	// Dynamic schema maintenance (§2.4.3: updated on each create or drop).
@@ -448,10 +499,8 @@ func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql
 	}
 
 	if v.cache != nil {
-		nInv := v.cache.StatsSnapshot().Invalidations
-		v.cache.InvalidateWrite(st)
-		if d := v.cost.PerInvalidation; d > 0 {
-			inv := v.cache.StatsSnapshot().Invalidations - nInv
+		inv := v.cache.InvalidateWrite(st)
+		if d := v.cost.PerInvalidation; d > 0 && inv > 0 {
 			v.chargeCtrl(time.Duration(inv) * d)
 		}
 	}
@@ -459,7 +508,9 @@ func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql
 }
 
 // execRead is the read path: result cache, then load-balanced read-one.
-func (v *VirtualDatabase) execRead(txID uint64, st sqlparser.Statement, sql string) (*backend.Result, error) {
+// The plan supplies the precomputed table and column footprint, so a cache
+// admission does not re-analyze the statement.
+func (v *VirtualDatabase) execRead(txID uint64, plan *plancache.Plan, st sqlparser.Statement, sql string) (*backend.Result, error) {
 	v.reads.Add(1)
 	if v.cache != nil && txID == 0 {
 		if res := v.cache.Get(sql); res != nil {
@@ -473,7 +524,7 @@ func (v *VirtualDatabase) execRead(txID uint64, st sqlparser.Statement, sql stri
 	v.sched.BeginRead()
 	defer v.sched.EndRead()
 
-	tables := st.Tables()
+	tables := plan.Tables
 	var lastErr error
 	// Retry on backend failure: the read fails over to another candidate
 	// (the failed backend is disabled by its callback or explicitly here).
@@ -489,7 +540,7 @@ func (v *VirtualDatabase) execRead(txID uint64, st sqlparser.Statement, sql stri
 		res, err := b.Read(txID, st, sql)
 		if err == nil {
 			if v.cache != nil && txID == 0 {
-				v.cache.Put(sql, st, res)
+				v.cache.PutFootprint(sql, plan.Tables, plan.ReadCols, plan.ReadColsOK, res)
 			}
 			return res, nil
 		}
@@ -529,14 +580,26 @@ func (v *VirtualDatabase) distributorSnapshot() Distributor {
 // DispatchOrdered is the entry point the distributed request manager uses
 // when a totally ordered write is delivered: it logs and enqueues exactly
 // like the local path, but the caller supplies the ordering (deliveries are
-// processed sequentially) and waits on the returned outcome channels
-// itself. It never blocks on backend execution, so a transactional write
-// waiting on database locks cannot stall the delivery of the commit that
-// would release them.
-func (v *VirtualDatabase) DispatchOrdered(txID uint64, class sqlparser.StatementClass, sql string, user string) ([]<-chan backend.WriteOutcome, error) {
-	st, err := sqlparser.Parse(sql)
-	if err != nil {
-		return nil, err
+// processed sequentially) and waits on the returned outcome channel itself.
+// It never blocks on backend execution, so a transactional write waiting on
+// database locks cannot stall the delivery of the commit that would release
+// them. The parsing cache is consulted but not populated here: ordered
+// writes arrive with parameters already rendered as literals, so their
+// texts rarely repeat and would only churn the LRU.
+func (v *VirtualDatabase) DispatchOrdered(txID uint64, class sqlparser.StatementClass, sql string, user string) (backend.Outcomes, error) {
+	var st sqlparser.Statement
+	key := plancache.Normalize(sql)
+	if v.plans != nil {
+		if p := v.plans.Get(key); p != nil {
+			st = p.Stmt
+		}
+	}
+	if st == nil {
+		var err error
+		st, err = sqlparser.Parse(key)
+		if err != nil {
+			return backend.Outcomes{}, err
+		}
 	}
 	if v.log != nil {
 		lc := recovery.ClassWrite
@@ -547,7 +610,7 @@ func (v *VirtualDatabase) DispatchOrdered(txID uint64, class sqlparser.Statement
 			lc = recovery.ClassRollback
 		}
 		if _, err := v.log.Append(recovery.Entry{User: user, TxID: txID, Class: lc, SQL: sql}); err != nil {
-			return nil, err
+			return backend.Outcomes{}, err
 		}
 	}
 	if class == sqlparser.ClassWrite {
@@ -566,9 +629,10 @@ func (v *VirtualDatabase) ApplyOrderedWrite(txID uint64, class sqlparser.Stateme
 	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
 }
 
-// WaitPolicy applies the virtual database's early-response policy to a set
-// of outcome channels (exported for the distributed request manager).
-func (v *VirtualDatabase) WaitPolicy(outs []<-chan backend.WriteOutcome) (*backend.Result, error) {
+// WaitPolicy applies the virtual database's early-response policy to a
+// cluster write's shared outcome channel (exported for the distributed
+// request manager).
+func (v *VirtualDatabase) WaitPolicy(outs backend.Outcomes) (*backend.Result, error) {
 	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
 }
 

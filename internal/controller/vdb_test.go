@@ -680,3 +680,131 @@ func TestSessionCloseRollsBackClusterWide(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanCacheHitsSkipReparsing checks the parsing cache is active on the
+// session hot path and that repeated statements hit it.
+func TestPlanCacheHitsSkipReparsing(t *testing.T) {
+	v, _ := mkVDB(t, 2, VDBConfig{ParallelTx: true}, seedSchema...)
+	if v.PlanCache() == nil {
+		t.Fatal("plan cache should be on by default")
+	}
+	s := openSession(t, v)
+	for i := 0; i < 5; i++ {
+		exec(t, s, "SELECT i_title FROM item WHERE i_id = 1")
+	}
+	st := v.PlanCache().StatsSnapshot()
+	if st.Hits < 4 {
+		t.Errorf("plan cache hits = %d, want >= 4 (stats %+v)", st.Hits, st)
+	}
+
+	// Disabled plan cache still works.
+	v2, _ := mkVDB(t, 1, VDBConfig{ParallelTx: true, PlanCacheSize: -1}, seedSchema...)
+	if v2.PlanCache() != nil {
+		t.Fatal("plan cache should be disabled")
+	}
+	s2 := openSession(t, v2)
+	res, err := s2.Exec("SELECT i_title FROM item WHERE i_id = 2", nil)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+// TestPlanCacheHitNeverBypassesInvalidation is the strong-consistency
+// acceptance check: a read served through the parsing cache must still go
+// through the result cache, and a write must invalidate it, so the next
+// read sees the new data — never a stale cached result.
+func TestPlanCacheHitNeverBypassesInvalidation(t *testing.T) {
+	for _, gran := range []cache.Granularity{cache.GranDatabase, cache.GranTable, cache.GranColumn} {
+		rc := cache.New(cache.Config{Granularity: gran})
+		v, _ := mkVDB(t, 2, VDBConfig{ParallelTx: true, Cache: rc}, seedSchema...)
+		s := openSession(t, v)
+
+		q := "SELECT i_title FROM item WHERE i_id = 1"
+		if got := exec(t, s, q).Rows[0][0].AsString(); got != "a" {
+			t.Fatalf("[%v] first read: %q", gran, got)
+		}
+		// Repeat until both caches are warm: plan hit + result hit.
+		exec(t, s, q)
+		if v.StatsSnapshot().CacheHits == 0 {
+			t.Fatalf("[%v] result cache never hit", gran)
+		}
+
+		exec(t, s, "UPDATE item SET i_title = 'z' WHERE i_id = 1")
+		if got := exec(t, s, q).Rows[0][0].AsString(); got != "z" {
+			t.Errorf("[%v] stale read after write through plan cache: %q", gran, got)
+		}
+
+		// Parameterized form: same plan template, different bindings must
+		// produce distinct results and respect invalidation too.
+		pq := "SELECT i_title FROM item WHERE i_id = ?"
+		for i := 0; i < 2; i++ {
+			r1, err := s.Exec(pq, []sqlval.Value{sqlval.Int(2)})
+			if err != nil || r1.Rows[0][0].AsString() != "b" {
+				t.Fatalf("[%v] param read 2: %+v %v", gran, r1, err)
+			}
+			r2, err := s.Exec(pq, []sqlval.Value{sqlval.Int(3)})
+			if err != nil || r2.Rows[0][0].AsString() != "c" {
+				t.Fatalf("[%v] param read 3: %+v %v", gran, r2, err)
+			}
+		}
+		if _, err := s.Exec("UPDATE item SET i_title = ? WHERE i_id = ?",
+			[]sqlval.Value{sqlval.String_("q"), sqlval.Int(2)}); err != nil {
+			t.Fatal(err)
+		}
+		r1, err := s.Exec(pq, []sqlval.Value{sqlval.Int(2)})
+		if err != nil || r1.Rows[0][0].AsString() != "q" {
+			t.Errorf("[%v] stale parameterized read after write: %+v %v", gran, r1, err)
+		}
+	}
+}
+
+// TestPlanCacheConcurrentSessions drives 16 sessions through the full
+// controller path sharing one plan cache and one result cache; run with
+// -race. Mixing reads, parameterized reads and writes exercises
+// clone-on-bind under concurrency.
+func TestPlanCacheConcurrentSessions(t *testing.T) {
+	rc := cache.New(cache.Config{Granularity: cache.GranTable})
+	v, _ := mkVDB(t, 3, VDBConfig{ParallelTx: true, Cache: rc}, seedSchema...)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := v.NewSession("user", "pw")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					if _, err := s.Exec("SELECT i_title FROM item WHERE i_id = 1", nil); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					id := int64(1 + (g+i)%3)
+					res, err := s.Exec("SELECT i_cost FROM item WHERE i_id = ?", []sqlval.Value{sqlval.Int(id)})
+					if err != nil || len(res.Rows) != 1 {
+						t.Errorf("param read: %v", err)
+						return
+					}
+				case 2:
+					if _, err := s.Exec("UPDATE item SET i_cost = ? WHERE i_id = ?",
+						[]sqlval.Value{sqlval.Float(float64(i)), sqlval.Int(int64(1 + i%3))}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					if _, err := s.Exec("SELECT COUNT(*) FROM item", nil); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,185 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cjdbc/internal/shardutil"
+	"cjdbc/internal/sqlparser"
+	"cjdbc/internal/sqlval"
+)
+
+func plan(t *testing.T, sql string) *Plan {
+	t.Helper()
+	key := Normalize(sql)
+	st, err := sqlparser.Parse(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(key, st)
+}
+
+func TestBuildMetadata(t *testing.T) {
+	p := plan(t, "SELECT a, b FROM t JOIN u ON t.id = u.id WHERE c = ?")
+	if p.Class != sqlparser.ClassRead {
+		t.Errorf("class = %v", p.Class)
+	}
+	if len(p.Tables) != 2 {
+		t.Errorf("tables = %v", p.Tables)
+	}
+	if p.NumParams != 1 {
+		t.Errorf("params = %d", p.NumParams)
+	}
+	if !p.ReadColsOK || len(p.ReadCols) == 0 {
+		t.Errorf("read cols = %v ok=%v", p.ReadCols, p.ReadColsOK)
+	}
+	if p.HasMacros {
+		t.Error("no macros expected")
+	}
+
+	w := plan(t, "INSERT INTO t (a, ts) VALUES (1, NOW())")
+	if w.Class != sqlparser.ClassWrite || !w.HasMacros {
+		t.Errorf("write plan: class=%v macros=%v", w.Class, w.HasMacros)
+	}
+}
+
+func TestHitMissStats(t *testing.T) {
+	c := New(0)
+	q := "SELECT a FROM t"
+	if c.Get(q) != nil {
+		t.Fatal("unexpected hit")
+	}
+	c.Put(plan(t, q))
+	if c.Get(q) == nil {
+		t.Fatal("expected hit")
+	}
+	st := c.StatsSnapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestNormalizeSharedWithResultCacheKey(t *testing.T) {
+	c := New(0)
+	c.Put(plan(t, "SELECT a FROM t"))
+	if c.Get(Normalize("  SELECT a FROM t  ")) == nil {
+		t.Fatal("normalized key should hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Small capacity stays on one shard: eviction is exact global LRU.
+	c := New(3)
+	for i := 0; i < 5; i++ {
+		c.Put(plan(t, fmt.Sprintf("SELECT a FROM t WHERE id = %d", i)))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if c.Get("SELECT a FROM t WHERE id = 0") != nil {
+		t.Error("oldest entry survived")
+	}
+	if c.Get("SELECT a FROM t WHERE id = 4") == nil {
+		t.Error("newest entry evicted")
+	}
+	if st := c.StatsSnapshot(); st.Evictions != 2 {
+		t.Errorf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestShardedCapacity(t *testing.T) {
+	// Large capacity spreads over shards; total admissions stay bounded by
+	// roughly the configured capacity (per-shard rounding allowed).
+	c := New(2048)
+	for i := 0; i < 4096; i++ {
+		c.Put(plan(t, fmt.Sprintf("SELECT a FROM t WHERE id = %d", i)))
+	}
+	if n := c.Len(); n > 2048+shardutil.MaxShards {
+		t.Fatalf("len = %d exceeds capacity", n)
+	}
+}
+
+func TestPutRefreshesDuplicate(t *testing.T) {
+	c := New(0)
+	q := "SELECT a FROM t"
+	c.Put(plan(t, q))
+	c.Put(plan(t, q))
+	if c.Len() != 1 {
+		t.Fatalf("duplicate admitted twice: len=%d", c.Len())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(0)
+	c.Put(plan(t, "SELECT a FROM t"))
+	c.Flush()
+	if c.Len() != 0 || c.Get("SELECT a FROM t") != nil {
+		t.Fatal("flush incomplete")
+	}
+}
+
+// TestCachedPlanNotMutatedByBinding is the immutability contract: binding
+// parameters into a clone of the cached tree must never change the cached
+// plan, which other goroutines may be reading concurrently.
+func TestCachedPlanNotMutatedByBinding(t *testing.T) {
+	c := New(0)
+	q := "SELECT a FROM t WHERE id = ? AND v = ?"
+	c.Put(plan(t, q))
+	p := c.Get(q)
+	before := sqlparser.Render(p.Stmt)
+
+	for i := 0; i < 10; i++ {
+		cl := p.Stmt.Clone()
+		if err := sqlparser.BindParams(cl, []sqlval.Value{sqlval.Int(int64(i)), sqlval.String_("x")}); err != nil {
+			t.Fatal(err)
+		}
+		bound := sqlparser.Render(cl)
+		if bound == before {
+			t.Fatal("binding had no effect on the clone")
+		}
+	}
+	if after := sqlparser.Render(c.Get(q).Stmt); after != before {
+		t.Fatalf("cached plan mutated by binding:\n before %s\n after  %s", before, after)
+	}
+	if got := sqlparser.NumParams(c.Get(q).Stmt); got != 2 {
+		t.Fatalf("cached plan lost its placeholders: %d", got)
+	}
+}
+
+// TestConcurrentStress hammers the cache from 16 goroutines; run with -race.
+func TestConcurrentStress(t *testing.T) {
+	c := New(256)
+	queries := make([]*Plan, 64)
+	for i := range queries {
+		queries[i] = plan(t, fmt.Sprintf("SELECT a FROM t%d WHERE id = ?", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				p := queries[(g*31+i)%len(queries)]
+				if got := c.Get(p.SQL); got == nil {
+					c.Put(p)
+				} else {
+					// Bind into a clone, as the request manager does.
+					cl := got.Stmt.Clone()
+					if err := sqlparser.BindParams(cl, []sqlval.Value{sqlval.Int(int64(i))}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%97 == 0 {
+					_ = c.Len()
+					_ = c.StatsSnapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

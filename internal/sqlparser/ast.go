@@ -13,6 +13,10 @@ type Statement interface {
 	// lower-cased, without duplicates. Used for routing, partial
 	// replication and cache invalidation.
 	Tables() []string
+	// Clone returns a deep copy of the statement. The parsing cache shares
+	// one parsed tree across executions; mutating operations (parameter
+	// binding, macro rewriting) work on a clone.
+	Clone() Statement
 }
 
 // ColumnDef describes one column of CREATE TABLE.
