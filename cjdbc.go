@@ -101,6 +101,10 @@ type CacheConfig struct {
 	Granularity string
 	// MaxEntries bounds the cache (default 4096).
 	MaxEntries int
+	// MaxRows bounds the cache by total result rows, so one huge result
+	// set cannot monopolize it (default MaxEntries*64; negative disables
+	// row accounting).
+	MaxRows int
 	// Staleness relaxes consistency: entries may serve stale data for up
 	// to this duration; 0 keeps strong consistency.
 	Staleness time.Duration
@@ -137,6 +141,7 @@ func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualD
 		rc = cache.New(cache.Config{
 			Granularity: gran,
 			MaxEntries:  cfg.Cache.MaxEntries,
+			MaxRows:     cfg.Cache.MaxRows,
 			Staleness:   cfg.Cache.Staleness,
 		})
 	}

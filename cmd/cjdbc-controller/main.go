@@ -64,6 +64,7 @@ type vdbFileConfig struct {
 type cacheFileConfig struct {
 	Granularity string `json:"granularity"`
 	MaxEntries  int    `json:"maxEntries"`
+	MaxRows     int    `json:"maxRows"`
 	StalenessMS int    `json:"stalenessMs"`
 }
 
@@ -104,6 +105,7 @@ func main() {
 			vcfg.Cache = &cjdbc.CacheConfig{
 				Granularity: vc.Cache.Granularity,
 				MaxEntries:  vc.Cache.MaxEntries,
+				MaxRows:     vc.Cache.MaxRows,
 				Staleness:   time.Duration(vc.Cache.StalenessMS) * time.Millisecond,
 			}
 		}

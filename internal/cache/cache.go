@@ -56,6 +56,13 @@ func (g Granularity) String() string {
 type Config struct {
 	Granularity Granularity
 	MaxEntries  int // LRU capacity; 0 means 4096
+	// MaxRows bounds the cache by weight: every entry charges
+	// max(1, result rows), so one huge result set cannot monopolize a
+	// shard that entry-count accounting would happily hand it. 0 derives a
+	// budget of 64 rows per entry slot (MaxEntries*64); negative disables
+	// weight accounting. Results heavier than a whole shard's budget are
+	// not admitted at all.
+	MaxRows int
 	// Staleness relaxes consistency: entries stay valid for this long
 	// regardless of updates (0 keeps the cache strongly consistent).
 	Staleness time.Duration
@@ -91,6 +98,8 @@ type rcShard struct {
 	lru     *list.List // front = most recent
 	byTable map[string]map[*entry]bool
 	max     int
+	weight  int // sum of entry weights (rows)
+	maxW    int // row budget; 0 disables weight accounting
 }
 
 type entry struct {
@@ -99,6 +108,7 @@ type entry struct {
 	tables  []string
 	cols    []string // read columns, when enumerable
 	colsOK  bool
+	weight  int // max(1, rows) charged against the shard's row budget
 	created time.Time
 	lruElem *list.Element
 }
@@ -108,11 +118,18 @@ func New(cfg Config) *ResultCache {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 4096
 	}
+	if cfg.MaxRows == 0 {
+		cfg.MaxRows = cfg.MaxEntries * 64
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
 	n := shardutil.Count(cfg.MaxEntries)
 	perShard := (cfg.MaxEntries + n - 1) / n
+	perShardRows := 0
+	if cfg.MaxRows > 0 {
+		perShardRows = (cfg.MaxRows + n - 1) / n
+	}
 	c := &ResultCache{cfg: cfg, shards: make([]rcShard, n), mask: uint32(n - 1)}
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -120,6 +137,7 @@ func New(cfg Config) *ResultCache {
 		s.lru = list.New()
 		s.byTable = make(map[string]map[*entry]bool)
 		s.max = perShard
+		s.maxW = perShardRows
 	}
 	return c
 }
@@ -177,7 +195,17 @@ func (c *ResultCache) PutFootprint(sql string, tables, cols []string, colsOK boo
 	}
 	k := Key(sql)
 	s := c.shardFor(k)
+	w := len(res.Rows)
+	if w < 1 {
+		w = 1
+	}
 	s.mu.Lock()
+	if s.maxW > 0 && w > s.maxW {
+		// Heavier than the shard's whole row budget: admitting it would
+		// evict everything else and still overflow, so skip caching.
+		s.mu.Unlock()
+		return
+	}
 	if old, dup := s.entries[k]; dup {
 		s.removeLocked(old)
 	}
@@ -187,10 +215,12 @@ func (c *ResultCache) PutFootprint(sql string, tables, cols []string, colsOK boo
 		tables:  tables,
 		cols:    cols,
 		colsOK:  colsOK,
+		weight:  w,
 		created: c.cfg.Clock(),
 	}
 	e.lruElem = s.lru.PushFront(e)
 	s.entries[k] = e
+	s.weight += w
 	for _, t := range e.tables {
 		set := s.byTable[t]
 		if set == nil {
@@ -200,7 +230,7 @@ func (c *ResultCache) PutFootprint(sql string, tables, cols []string, colsOK boo
 		set[e] = true
 	}
 	var evicted int64
-	for len(s.entries) > s.max {
+	for len(s.entries) > s.max || (s.maxW > 0 && s.weight > s.maxW) {
 		oldest := s.lru.Back()
 		if oldest == nil {
 			break
@@ -324,6 +354,20 @@ func (s *rcShard) reset() {
 	s.entries = make(map[string]*entry)
 	s.lru.Init()
 	s.byTable = make(map[string]map[*entry]bool)
+	s.weight = 0
+}
+
+// RowWeight returns the summed row weight of all cached entries, the
+// quantity bounded by Config.MaxRows.
+func (c *ResultCache) RowWeight() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.weight
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Len returns the number of cached entries.
@@ -352,6 +396,7 @@ func (c *ResultCache) StatsSnapshot() Stats {
 func (s *rcShard) removeLocked(e *entry) {
 	delete(s.entries, e.key)
 	s.lru.Remove(e.lruElem)
+	s.weight -= e.weight
 	for _, t := range e.tables {
 		if set := s.byTable[t]; set != nil {
 			delete(set, e)

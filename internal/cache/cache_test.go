@@ -298,3 +298,71 @@ func TestConcurrentStress(t *testing.T) {
 		t.Fatalf("%d entries survived invalidation of every table", c.Len())
 	}
 }
+
+// TestRowWeightEviction: with a row budget, admitting a heavy result evicts
+// older entries until the summed row weight fits again.
+func TestRowWeightEviction(t *testing.T) {
+	// Small MaxEntries keeps the cache on one shard with an exact budget.
+	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxRows: 50})
+	for i := 0; i < 10; i++ {
+		q := fmt.Sprintf("SELECT a FROM t WHERE id = %d", i)
+		c.Put(q, stmt(t, q), res(4)) // weight 40 total
+	}
+	if c.Len() != 10 || c.RowWeight() != 40 {
+		t.Fatalf("len=%d weight=%d, want 10/40", c.Len(), c.RowWeight())
+	}
+	// A 30-row result must push out the oldest entries (LRU), not fail.
+	big := "SELECT a FROM t WHERE id < 1000"
+	c.Put(big, stmt(t, big), res(30))
+	if c.RowWeight() > 50 {
+		t.Fatalf("weight = %d exceeds budget", c.RowWeight())
+	}
+	if c.Get(big) == nil {
+		t.Fatal("heavy entry not admitted")
+	}
+	if c.Get("SELECT a FROM t WHERE id = 0") != nil {
+		t.Error("oldest entry should have been evicted by weight")
+	}
+	if c.StatsSnapshot().Evictions == 0 {
+		t.Error("weight evictions not counted")
+	}
+}
+
+// TestRowWeightOversizedBypass: a result heavier than the whole budget is
+// not admitted and does not wipe the cache to make room.
+func TestRowWeightOversizedBypass(t *testing.T) {
+	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxRows: 50})
+	q := "SELECT a FROM t WHERE id = 1"
+	c.Put(q, stmt(t, q), res(1))
+	huge := "SELECT a FROM t"
+	c.Put(huge, stmt(t, huge), res(500))
+	if c.Get(huge) != nil {
+		t.Fatal("oversized entry admitted")
+	}
+	if c.Get(q) == nil {
+		t.Fatal("oversized put evicted existing entries")
+	}
+}
+
+// TestRowWeightDisabled: a negative MaxRows turns row accounting off.
+func TestRowWeightDisabled(t *testing.T) {
+	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxRows: -1})
+	huge := "SELECT a FROM t"
+	c.Put(huge, stmt(t, huge), res(100000))
+	if c.Get(huge) == nil {
+		t.Fatal("entry rejected with weight accounting disabled")
+	}
+}
+
+// TestRowWeightEmptyResultChargesOne: zero-row results still charge one
+// unit, so unbounded numbers of empty results cannot pile up.
+func TestRowWeightEmptyResultChargesOne(t *testing.T) {
+	c := New(Config{Granularity: GranTable, MaxEntries: 1 << 20, MaxRows: 64})
+	for i := 0; i < 200; i++ {
+		q := fmt.Sprintf("SELECT a FROM t WHERE id = %d", i)
+		c.Put(q, stmt(t, q), res(0))
+	}
+	if w := c.RowWeight(); w > 64+shardutil.MaxShards {
+		t.Fatalf("weight = %d exceeds budget", w)
+	}
+}

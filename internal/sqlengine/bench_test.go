@@ -1,0 +1,152 @@
+package sqlengine
+
+import (
+	"fmt"
+	"testing"
+
+	"cjdbc/internal/sqlparser"
+)
+
+// benchEngine builds a 10k-row table with a primary-key index on id and a
+// secondary index on cat, the shape of the RUBiS/TPC-W point-query hot path.
+func benchEngine(b *testing.B) (*Engine, *Session) {
+	b.Helper()
+	e := New("bench")
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE items (id INTEGER PRIMARY KEY, cat INTEGER, name VARCHAR)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.ExecSQL("CREATE INDEX items_cat ON items (cat)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		sql := fmt.Sprintf("INSERT INTO items (id, cat, name) VALUES (%d, %d, 'item-%d')", i, i%100, i)
+		if _, err := s.ExecSQL(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, s
+}
+
+// mustParse parses one statement for reuse across iterations, so benchmarks
+// measure the engine and not the parser (the controller's plan cache already
+// amortizes parsing).
+func mustParse(b *testing.B, sql string) sqlparser.Statement {
+	b.Helper()
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkPointSelect measures a primary-key point query on a 10k-row
+// table: the engine's ability to answer WHERE id = k from the hash index
+// instead of a full scan.
+func BenchmarkPointSelect(b *testing.B) {
+	_, s := benchEngine(b)
+	stmts := make([]sqlparser.Statement, 64)
+	for i := range stmts {
+		stmts[i] = mustParse(b, fmt.Sprintf("SELECT id, cat, name FROM items WHERE id = %d", (i*157)%10000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec(stmts[i%len(stmts)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkPointSelectFullScan is the same query with index planning
+// disabled: the pre-PR behaviour, kept as the comparison baseline.
+func BenchmarkPointSelectFullScan(b *testing.B) {
+	e, s := benchEngine(b)
+	e.noIndexPlan = true
+	st := mustParse(b, "SELECT id, cat, name FROM items WHERE id = 4711")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkSecondaryIndexSelect measures an equality on a non-unique
+// secondary index (100 matching rows of 10k).
+func BenchmarkSecondaryIndexSelect(b *testing.B) {
+	_, s := benchEngine(b)
+	st := mustParse(b, "SELECT id, name FROM items WHERE cat = 42")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 100 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkParallelEngineRead runs point selects from concurrent sessions.
+// With the engine's read path under an RWMutex, throughput should scale
+// with GOMAXPROCS instead of flattening on a global mutex.
+func BenchmarkParallelEngineRead(b *testing.B) {
+	e, _ := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Only Error/Errorf here: Fatal must not be called from the
+		// goroutines RunParallel spawns.
+		s := e.NewSession()
+		defer s.Close()
+		st, err := sqlparser.Parse("SELECT id, cat, name FROM items WHERE id = 4711")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			res, err := s.Exec(st)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(res.Rows) != 1 {
+				b.Errorf("rows = %d", len(res.Rows))
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkInsertIndexed measures the write path's per-row index
+// maintenance cost (two indexes), the target of the byte-scratch key work.
+func BenchmarkInsertIndexed(b *testing.B) {
+	e := New("bench-ins")
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE w (id INTEGER PRIMARY KEY, cat INTEGER, name VARCHAR)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.ExecSQL("CREATE INDEX w_cat ON w (cat)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf("INSERT INTO w (id, cat, name) VALUES (%d, %d, 'n%d')", i, i%100, i)
+		if _, err := s.ExecSQL(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cjdbc/internal/sqlval"
@@ -35,17 +36,30 @@ func (e *TableNotFoundError) Error() string {
 
 // Engine is one database backend instance. It is safe for concurrent use by
 // multiple sessions.
+//
+// Concurrency model: mu is a sharded read/write lock over the catalog and
+// all table storage. Reads (SELECT and the metadata accessors) hold one
+// shard shared, so any number of readers execute concurrently on one
+// backend without even sharing a lock cache line; writes, DDL and undo
+// replay hold every shard exclusively and serialize against everything.
+// Stats counters are sharded atomics so the read path never takes the
+// exclusive lock and sessions do not contend on one counter.
 type Engine struct {
 	name string
 
-	mu     sync.Mutex // guards catalog and all table storage
+	mu     brwMutex // guards catalog and all table storage
 	tables map[string]*table
-	closed bool
+	closed atomic.Bool
 
 	locks       *lockManager
 	lockTimeout time.Duration
 
-	stats Stats
+	// noIndexPlan forces full scans in the access planner. Tests use it to
+	// prove index-planned execution equivalent to scanning.
+	noIndexPlan bool
+
+	sessionSeq atomic.Uint32 // round-robins sessions over lock/stat shards
+	stats      []statShard
 }
 
 // Stats counts engine work, exported for monitoring.
@@ -70,9 +84,11 @@ func WithLockTimeout(d time.Duration) Option {
 func New(name string, opts ...Option) *Engine {
 	e := &Engine{
 		name:        name,
+		mu:          newBRWMutex(),
 		tables:      make(map[string]*table),
 		lockTimeout: 2 * time.Second,
 	}
+	e.stats = make([]statShard, len(e.mu.shards))
 	e.locks = newLockManager()
 	for _, o := range opts {
 		o(e)
@@ -83,24 +99,35 @@ func New(name string, opts ...Option) *Engine {
 // Name returns the engine's name.
 func (e *Engine) Name() string { return e.name }
 
+// rshard picks a lock shard for engine-level (sessionless) readers like the
+// metadata accessors, rotating so concurrent calls spread over shards
+// instead of piling onto one reader count.
+func (e *Engine) rshard() uint32 { return e.sessionSeq.Add(1) }
+
 // StatsSnapshot returns a copy of the engine counters.
 func (e *Engine) StatsSnapshot() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	var out Stats
+	for i := range e.stats {
+		sh := &e.stats[i]
+		out.Statements += sh.statements.Load()
+		out.Reads += sh.reads.Load()
+		out.Writes += sh.writes.Load()
+		out.Transactions += sh.transactions.Load()
+		out.Aborts += sh.aborts.Load()
+	}
+	return out
 }
 
 // Close shuts the engine down; subsequent sessions fail.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	e.closed = true
-	e.mu.Unlock()
+	e.closed.Store(true)
 }
 
 // TableNames returns the sorted names of the catalog's tables.
 func (e *Engine) TableNames() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sh := e.rshard()
+	e.mu.RLock(sh)
+	defer e.mu.RUnlock(sh)
 	out := make([]string, 0, len(e.tables))
 	for n := range e.tables {
 		out = append(out, n)
@@ -112,8 +139,9 @@ func (e *Engine) TableNames() []string {
 // TableSchema returns a copy of the named table's schema, for metadata
 // gathering (the JDBC DatabaseMetaData of the paper).
 func (e *Engine) TableSchema(name string) (*Schema, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sh := e.rshard()
+	e.mu.RLock(sh)
+	defer e.mu.RUnlock(sh)
 	t, ok := e.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, &TableNotFoundError{Table: name}
@@ -125,8 +153,9 @@ func (e *Engine) TableSchema(name string) (*Schema, error) {
 
 // RowCount returns the number of live rows in a table, for tests and dumps.
 func (e *Engine) RowCount(name string) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sh := e.rshard()
+	e.mu.RLock(sh)
+	defer e.mu.RUnlock(sh)
 	t, ok := e.tables[strings.ToLower(name)]
 	if !ok {
 		return 0, &TableNotFoundError{Table: name}
@@ -137,8 +166,9 @@ func (e *Engine) RowCount(name string) (int, error) {
 // SnapshotTable returns the schema and all rows of a table in insertion
 // order. The recovery dump machinery uses it; rows are deep copies.
 func (e *Engine) SnapshotTable(name string) (*Schema, [][]sqlval.Value, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sh := e.rshard()
+	e.mu.RLock(sh)
+	defer e.mu.RUnlock(sh)
 	t, ok := e.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, nil, &TableNotFoundError{Table: name}
@@ -155,8 +185,9 @@ func (e *Engine) SnapshotTable(name string) (*Schema, [][]sqlval.Value, error) {
 
 // Indexes returns the explicitly created index names of a table, sorted.
 func (e *Engine) Indexes(name string) ([]string, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sh := e.rshard()
+	e.mu.RLock(sh)
+	defer e.mu.RUnlock(sh)
 	t, ok := e.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, &TableNotFoundError{Table: name}
@@ -227,6 +258,7 @@ func (l *tableLock) grantLocked(s *Session, tbl string, exclusive bool) {
 		l.readers[s]++
 	}
 	s.held[tbl] = true
+	s.lockState.Store(true)
 }
 
 // pumpLocked grants queued requests in FIFO order while the head is
@@ -265,6 +297,7 @@ func (lm *lockManager) reserve(s *Session, tbl string) {
 		l.queue = append(l.queue, req)
 	}
 	s.reserved[tbl] = append(s.reserved[tbl], req)
+	s.lockState.Store(true)
 }
 
 // takeReservation pops the oldest unconsumed reservation of s on tbl.
@@ -400,6 +433,9 @@ func (lm *lockManager) acquire(s *Session, tbl string, exclusive bool, deadline 
 // this, a long transaction's read of a hot table would serialize against
 // every writer of that table for the whole transaction.
 func (lm *lockManager) releaseShared(s *Session) {
+	if !s.lockState.Load() {
+		return
+	}
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	for tbl := range s.held {
@@ -420,11 +456,17 @@ func (lm *lockManager) releaseShared(s *Session) {
 			delete(lm.locks, tbl)
 		}
 	}
+	if len(s.held) == 0 && len(s.reserved) == 0 {
+		s.lockState.Store(false)
+	}
 }
 
 // releaseAll drops every lock the session holds, purges its unconsumed
 // reservations, and grants waiters.
 func (lm *lockManager) releaseAll(s *Session) {
+	if !s.lockState.Load() {
+		return
+	}
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	for tbl := range s.reserved {
@@ -445,6 +487,7 @@ func (lm *lockManager) releaseAll(s *Session) {
 		}
 	}
 	s.held = make(map[string]bool)
+	s.lockState.Store(false)
 }
 
 // undoOp is one entry of a transaction's undo log.
@@ -462,6 +505,9 @@ type undoOp struct {
 // concurrent use; the connection manager hands each client its own.
 type Session struct {
 	engine *Engine
+	// shard selects the session's read-lock and stats shard; sessions are
+	// assigned round-robin so concurrent readers spread across shards.
+	shard uint32
 
 	inTx bool
 	undo []undoOp
@@ -471,6 +517,12 @@ type Session struct {
 	// execute on a worker goroutine.
 	held     map[string]bool
 	reserved map[string][]*lockRequest
+	// lockState is true while the session may hold locks or queued
+	// reservations (set under the lock manager's mutex). The statement-end
+	// release paths skip the global lock-manager mutex when it is false —
+	// the common case for reads, which take no table locks — so concurrent
+	// readers do not serialize on that mutex either.
+	lockState atomic.Bool
 
 	temp map[string]*table // session-local temporary tables
 
@@ -481,10 +533,16 @@ type Session struct {
 func (e *Engine) NewSession() *Session {
 	return &Session{
 		engine:   e,
+		shard:    e.sessionSeq.Add(1),
 		held:     make(map[string]bool),
 		reserved: make(map[string][]*lockRequest),
 		temp:     make(map[string]*table),
 	}
+}
+
+// statShard returns the session's slice of the engine counters.
+func (s *Session) statShard() *statShard {
+	return &s.engine.stats[s.shard&s.engine.mu.mask]
 }
 
 // ReserveWriteLock queues an exclusive lock request for a table without
@@ -512,9 +570,7 @@ func (s *Session) Begin() error {
 		return ErrTxInProgress
 	}
 	s.inTx = true
-	s.engine.mu.Lock()
-	s.engine.stats.Transactions++
-	s.engine.mu.Unlock()
+	s.statShard().transactions.Add(1)
 	return nil
 }
 
@@ -537,9 +593,7 @@ func (s *Session) Rollback() error {
 	s.inTx = false
 	s.applyUndo()
 	s.engine.locks.releaseAll(s)
-	s.engine.mu.Lock()
-	s.engine.stats.Aborts++
-	s.engine.mu.Unlock()
+	s.statShard().aborts.Add(1)
 	return nil
 }
 

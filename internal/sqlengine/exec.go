@@ -35,18 +35,17 @@ func (s *Session) Exec(st sqlparser.Statement) (*Result, error) {
 		return nil, ErrClosed
 	}
 	e := s.engine
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return nil, ErrClosed
 	}
-	e.stats.Statements++
-	if sqlparser.Classify(st) == sqlparser.ClassRead {
-		e.stats.Reads++
-	} else if sqlparser.Classify(st) == sqlparser.ClassWrite {
-		e.stats.Writes++
+	sh := s.statShard()
+	sh.statements.Add(1)
+	switch sqlparser.Classify(st) {
+	case sqlparser.ClassRead:
+		sh.reads.Add(1)
+	case sqlparser.ClassWrite:
+		sh.writes.Add(1)
 	}
-	e.mu.Unlock()
 
 	switch t := st.(type) {
 	case *sqlparser.Begin:
@@ -154,6 +153,15 @@ func (s *Session) execCreateTable(ct *sqlparser.CreateTable) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Populate the table before publishing it: once it is visible in the
+	// catalog, concurrent readers (which hold the engine lock shared) may
+	// scan it, so no unlocked mutation can follow publication.
+	tbl := newTable(schema)
+	for _, r := range rows {
+		if _, err := tbl.insertRow(r); err != nil {
+			return nil, err
+		}
+	}
 	e.mu.Lock()
 	if s.resolveLocked(name) != nil {
 		e.mu.Unlock()
@@ -162,7 +170,6 @@ func (s *Session) execCreateTable(ct *sqlparser.CreateTable) (*Result, error) {
 		}
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
-	tbl := newTable(schema)
 	if ct.Temporary {
 		s.temp[name] = tbl
 	} else {
@@ -170,12 +177,6 @@ func (s *Session) execCreateTable(ct *sqlparser.CreateTable) (*Result, error) {
 	}
 	s.undo = append(s.undo, undoOp{kind: 'c', table: name, tbl: tbl})
 	e.mu.Unlock()
-
-	for _, r := range rows {
-		if _, err := tbl.insertRow(r); err != nil {
-			return nil, err
-		}
-	}
 	return &Result{RowsAffected: int64(len(rows))}, nil
 }
 
@@ -450,7 +451,7 @@ func (s *Session) execUpdate(up *sqlparser.Update) (*Result, error) {
 		return nil, &TableNotFoundError{Table: name}
 	}
 	schema := t.schema
-	cols := colMapFor(schema, name, "")
+	cols := t.cols
 
 	var setIdx []int
 	for _, a := range up.Set {
@@ -461,10 +462,7 @@ func (s *Session) execUpdate(up *sqlparser.Update) (*Result, error) {
 		setIdx = append(setIdx, idx)
 	}
 
-	ids, err := candidateIDs(t, name, up.Where)
-	if err != nil {
-		return nil, err
-	}
+	ids := candidateIDs(e, t, cols, up.Where)
 	var affected int64
 	for _, id := range ids {
 		row, ok := t.rows[id]
@@ -515,11 +513,8 @@ func (s *Session) execDelete(del *sqlparser.Delete) (*Result, error) {
 	if t == nil {
 		return nil, &TableNotFoundError{Table: name}
 	}
-	cols := colMapFor(t.schema, name, "")
-	ids, err := candidateIDs(t, name, del.Where)
-	if err != nil {
-		return nil, err
-	}
+	cols := t.cols
+	ids := candidateIDs(e, t, cols, del.Where)
 	var affected int64
 	for _, id := range ids {
 		row, ok := t.rows[id]
@@ -542,71 +537,6 @@ func (s *Session) execDelete(del *sqlparser.Delete) (*Result, error) {
 		affected++
 	}
 	return &Result{RowsAffected: affected}, nil
-}
-
-// candidateIDs returns the rowids a WHERE clause can possibly match, using a
-// hash index when the clause contains an indexed equality conjunct, and the
-// full scan order otherwise. Caller holds e.mu.
-func candidateIDs(t *table, tableName string, where *sqlparser.Expr) ([]int64, error) {
-	if where != nil {
-		if col, val, ok := indexableEquality(t, tableName, where); ok {
-			if ids, found := t.lookup(col, val); found {
-				out := append([]int64(nil), ids...)
-				return out, nil
-			}
-		}
-	}
-	out := make([]int64, 0, len(t.rows))
-	t.scan(func(id int64, _ []sqlval.Value) bool {
-		out = append(out, id)
-		return true
-	})
-	return out, nil
-}
-
-// indexableEquality finds a top-level AND conjunct of the form col = literal
-// where col belongs to the table and has an index.
-func indexableEquality(t *table, tableName string, e *sqlparser.Expr) (colIdx int, v sqlval.Value, ok bool) {
-	switch {
-	case e.Kind == sqlparser.ExprBinary && e.Op == "AND":
-		if c, v, ok := indexableEquality(t, tableName, e.Left); ok {
-			return c, v, true
-		}
-		return indexableEquality(t, tableName, e.Right)
-	case e.Kind == sqlparser.ExprBinary && e.Op == "=":
-		col, lit := e.Left, e.Right
-		if col.Kind != sqlparser.ExprColumn {
-			col, lit = lit, col
-		}
-		if col.Kind != sqlparser.ExprColumn || lit.Kind != sqlparser.ExprLiteral {
-			return 0, sqlval.Null, false
-		}
-		if col.Table != "" && col.Table != tableName {
-			return 0, sqlval.Null, false
-		}
-		idx := t.schema.ColumnIndex(col.Column)
-		if idx < 0 {
-			return 0, sqlval.Null, false
-		}
-		if _, found := t.lookup(idx, lit.Lit); !found {
-			return 0, sqlval.Null, false
-		}
-		return idx, lit.Lit, true
-	}
-	return 0, sqlval.Null, false
-}
-
-// colMapFor builds the environment column map for one table occurrence.
-func colMapFor(schema *Schema, tableName, alias string) map[string]int {
-	m := make(map[string]int, len(schema.Columns)*3)
-	for i, c := range schema.Columns {
-		m[c.Name] = i
-		m[tableName+"."+c.Name] = i
-		if alias != "" {
-			m[alias+"."+c.Name] = i
-		}
-	}
-	return m
 }
 
 func parseTime(s string) (time.Time, error) {

@@ -1,0 +1,164 @@
+package sqlengine
+
+import (
+	"sort"
+
+	"cjdbc/internal/sqlparser"
+	"cjdbc/internal/sqlval"
+)
+
+// This file is the engine's access planner: the one place that decides how a
+// statement reaches a table's rows. SELECT (single-table and join base
+// table), UPDATE and DELETE all plan through it, so index exploitation is
+// uniform across the read and write paths.
+//
+// The planner inspects the top-level AND conjuncts of a WHERE clause for
+// predicates a hash index can answer — `col = literal` and
+// `col IN (literals...)` — and picks the most selective one. Planning is
+// candidate narrowing only: the full WHERE clause is still evaluated against
+// every candidate row, so a plan is correct as long as its candidate set is
+// a superset of the true match set.
+
+// accessPlan describes how to enumerate one table's rows.
+type accessPlan struct {
+	ids     []int64 // candidate rowids, ascending; meaningful when indexed
+	indexed bool    // false means full scan
+}
+
+// colResolver maps a column expression to its position in a table's schema,
+// or ok=false when the expression refers to some other table of the query.
+type colResolver func(e *sqlparser.Expr) (int, bool)
+
+// envResolver resolves columns exactly as the evaluation environment will:
+// through the env column map, accepting only positions inside the table's
+// slot [offset, offset+width). Using the same map as eval guarantees a
+// pushed-down conjunct binds to the same column the WHERE filter sees.
+func envResolver(cols map[string]int, offset, width int) colResolver {
+	return func(e *sqlparser.Expr) (int, bool) {
+		key := e.Column
+		if e.Table != "" {
+			key = e.Table + "." + e.Column
+		}
+		pos, ok := cols[key]
+		if !ok || pos < offset || pos >= offset+width {
+			return 0, false
+		}
+		return pos - offset, true
+	}
+}
+
+// keyCompatible reports whether an index probe with lit can find every
+// stored value of a column of type ct that compares equal to lit. Stored
+// values are coerced to the column type on insert, so their hash keys are in
+// the column type's key class; a literal from another class (e.g. the string
+// '5' against an INTEGER column) can compare equal through sqlval's textual
+// fallback while hashing differently, and must fall back to a scan.
+func keyCompatible(ct sqlval.Kind, lit sqlval.Value) bool {
+	switch ct {
+	case sqlval.KindInt, sqlval.KindFloat, sqlval.KindBool:
+		return lit.K == sqlval.KindInt || lit.K == sqlval.KindFloat || lit.K == sqlval.KindBool
+	default:
+		// Strings, times and blobs only probe with their own kind: the
+		// textual Compare fallback can equate values across classes.
+		return lit.K == ct
+	}
+}
+
+// planAccess chooses an index-backed access path for t under the given WHERE
+// clause, or a full scan when no top-level conjunct is indexable. The
+// returned candidate list is a fresh slice sorted by rowid, so iterating it
+// is deterministic (rowids are assigned in insertion order) and safe while
+// the caller mutates the table's indexes.
+func planAccess(e *Engine, t *table, resolve colResolver, where *sqlparser.Expr) accessPlan {
+	if where == nil || e.noIndexPlan {
+		return accessPlan{}
+	}
+	var best []int64
+	found := false
+	consider := func(ids []int64, shared bool) {
+		if found && len(ids) >= len(best) {
+			return
+		}
+		if shared {
+			ids = append([]int64(nil), ids...)
+		}
+		best, found = ids, true
+	}
+	var walk func(ex *sqlparser.Expr)
+	walk = func(ex *sqlparser.Expr) {
+		switch {
+		case ex.Kind == sqlparser.ExprBinary && ex.Op == "AND":
+			walk(ex.Left)
+			walk(ex.Right)
+		case ex.Kind == sqlparser.ExprBinary && ex.Op == "=":
+			col, lit := ex.Left, ex.Right
+			if col.Kind != sqlparser.ExprColumn {
+				col, lit = lit, col
+			}
+			if col.Kind != sqlparser.ExprColumn || lit.Kind != sqlparser.ExprLiteral {
+				return
+			}
+			ci, ok := resolve(col)
+			if !ok || !keyCompatible(t.schema.Columns[ci].Type, lit.Lit) {
+				return
+			}
+			if ids, indexed := t.lookup(ci, lit.Lit); indexed {
+				consider(ids, true)
+			}
+		case ex.Kind == sqlparser.ExprIn && !ex.Not:
+			if ex.Left == nil || ex.Left.Kind != sqlparser.ExprColumn {
+				return
+			}
+			ci, ok := resolve(ex.Left)
+			if !ok {
+				return
+			}
+			ct := t.schema.Columns[ci].Type
+			for _, item := range ex.List {
+				if item.Kind != sqlparser.ExprLiteral || !keyCompatible(ct, item.Lit) {
+					return
+				}
+			}
+			var union []int64
+			for _, item := range ex.List {
+				ids, indexed := t.lookup(ci, item.Lit)
+				if !indexed {
+					return
+				}
+				union = append(union, ids...)
+			}
+			consider(union, false)
+		}
+	}
+	walk(where)
+	if !found {
+		return accessPlan{}
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	// Distinct IN-list values cannot share rowids, but values that hash to
+	// the same key (1 and 1.0) duplicate their lists; drop adjacent dups.
+	out := best[:0]
+	for i, id := range best {
+		if i == 0 || id != best[i-1] {
+			out = append(out, id)
+		}
+	}
+	return accessPlan{ids: out, indexed: true}
+}
+
+// candidateIDs returns the rowids a WHERE clause can possibly match: the
+// planner's candidate list when an index applies, the full scan order
+// otherwise. UPDATE and DELETE iterate it while mutating the table, which is
+// safe because the planner copies index slices and a scan snapshot is taken
+// here. Caller holds e.mu exclusively.
+func candidateIDs(e *Engine, t *table, cols map[string]int, where *sqlparser.Expr) []int64 {
+	if plan := planAccess(e, t, envResolver(cols, 0, len(t.schema.Columns)), where); plan.indexed {
+		return plan.ids
+	}
+	out := make([]int64, 0, len(t.rows))
+	t.scan(func(id int64, _ []sqlval.Value) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}

@@ -3,6 +3,7 @@ package sqlengine
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -193,5 +194,132 @@ func TestQuickRangePredicates(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPropertyIndexPlanMatchesFullScan proves the access planner is pure
+// candidate narrowing: every random query returns exactly the same rows
+// whether executed through index planning or with planning forced off
+// (full scan), on a table mixing unique and non-unique indexes, deleted
+// rows (tombstones) and unindexed columns.
+func TestPropertyIndexPlanMatchesFullScan(t *testing.T) {
+	e := New("planprop")
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE p (id INTEGER PRIMARY KEY, v INTEGER, w INTEGER, name VARCHAR)")
+	mustExec(t, s, "CREATE INDEX p_v ON p (v)")
+	mustExec(t, s, "CREATE INDEX p_name ON p (name)")
+	mustExec(t, s, "CREATE TABLE q (id INTEGER PRIMARY KEY, x INTEGER)")
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 400; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO p (id, v, w, name) VALUES (%d, %d, %d, 'n%d')",
+			i, rng.Intn(40), rng.Intn(40), rng.Intn(25)))
+	}
+	for i := 0; i < 150; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO q (id, x) VALUES (%d, %d)", i*2, rng.Intn(40)))
+	}
+	for i := 0; i < 80; i++ {
+		mustExec(t, s, fmt.Sprintf("DELETE FROM p WHERE id = %d", rng.Intn(400)))
+	}
+
+	render := func(res *Result) []string {
+		out := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			out[i] = rowKey(r)
+		}
+		sort.Strings(out)
+		return out
+	}
+	both := func(sql string) (planned, scanned []string) {
+		e.noIndexPlan = false
+		r1, err := s.ExecSQL(sql)
+		if err != nil {
+			t.Fatalf("planned %q: %v", sql, err)
+		}
+		planned = render(r1)
+		e.noIndexPlan = true
+		r2, err := s.ExecSQL(sql)
+		e.noIndexPlan = false
+		if err != nil {
+			t.Fatalf("scanned %q: %v", sql, err)
+		}
+		return planned, render(r2)
+	}
+
+	lit := func() int { return rng.Intn(45) }
+	queries := make([]string, 0, 300)
+	for i := 0; i < 40; i++ {
+		queries = append(queries,
+			fmt.Sprintf("SELECT * FROM p WHERE id = %d", rng.Intn(420)),
+			fmt.Sprintf("SELECT id, v FROM p WHERE v = %d", lit()),
+			fmt.Sprintf("SELECT id FROM p WHERE v = %d AND w > %d", lit(), lit()),
+			fmt.Sprintf("SELECT id FROM p WHERE w = %d AND v = %d", lit(), lit()),
+			fmt.Sprintf("SELECT id FROM p WHERE v IN (%d, %d, %d)", lit(), lit(), lit()),
+			fmt.Sprintf("SELECT id FROM p WHERE v IN (%d, %d.0)", lit(), lit()),
+			fmt.Sprintf("SELECT id FROM p WHERE name = 'n%d'", rng.Intn(28)),
+			fmt.Sprintf("SELECT id FROM p WHERE id = %d OR v = %d", rng.Intn(420), lit()),
+			fmt.Sprintf("SELECT id FROM p WHERE id = '%d'", rng.Intn(420)),
+			fmt.Sprintf("SELECT name, COUNT(*) FROM p WHERE v = %d GROUP BY name", lit()),
+			fmt.Sprintf("SELECT DISTINCT v FROM p WHERE name = 'n%d'", rng.Intn(28)),
+			fmt.Sprintf("SELECT p.id, q.x FROM p JOIN q ON p.id = q.id WHERE p.v = %d", lit()),
+			fmt.Sprintf("SELECT p.id, q.x FROM p LEFT JOIN q ON p.id = q.id WHERE p.v = %d", lit()),
+			fmt.Sprintf("SELECT id, v FROM p WHERE v = %d ORDER BY id LIMIT 3", lit()),
+		)
+	}
+	for _, sql := range queries {
+		planned, scanned := both(sql)
+		if len(planned) != len(scanned) {
+			t.Fatalf("%q: planned %d rows, scan %d rows", sql, len(planned), len(scanned))
+		}
+		for i := range planned {
+			if planned[i] != scanned[i] {
+				t.Fatalf("%q: row %d differs:\n  planned %q\n  scanned %q", sql, i, planned[i], scanned[i])
+			}
+		}
+	}
+
+	// LIMIT without ORDER BY may legally pick different rows per plan; the
+	// property is count-equivalence plus membership in the full result.
+	for i := 0; i < 40; i++ {
+		v, k := lit(), 1+rng.Intn(4)
+		full, _ := both(fmt.Sprintf("SELECT id, v FROM p WHERE v = %d", v))
+		universe := make(map[string]bool, len(full))
+		for _, r := range full {
+			universe[r] = true
+		}
+		want := len(full)
+		if k < want {
+			want = k
+		}
+		limited, scanLimited := both(fmt.Sprintf("SELECT id, v FROM p WHERE v = %d LIMIT %d", v, k))
+		if len(limited) != want || len(scanLimited) != want {
+			t.Fatalf("v=%d LIMIT %d: planned %d, scanned %d, want %d rows",
+				v, k, len(limited), len(scanLimited), want)
+		}
+		for _, r := range limited {
+			if !universe[r] {
+				t.Fatalf("v=%d LIMIT %d: planned row %q not in full result", v, k, r)
+			}
+		}
+	}
+}
+
+// TestJoinIndexProbeCrossClass: the indexed equi-join must not miss rows
+// whose join keys compare equal across kind classes (string '5' vs integer
+// 5 hash differently but compare equal), falling back to a scan instead.
+func TestJoinIndexProbeCrossClass(t *testing.T) {
+	e := New("xclass")
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE a (id INTEGER PRIMARY KEY, sv VARCHAR)")
+	mustExec(t, s, "CREATE TABLE b (bi INTEGER PRIMARY KEY, tag VARCHAR)")
+	mustExec(t, s, "INSERT INTO a (id, sv) VALUES (1, '5')")
+	mustExec(t, s, "INSERT INTO b (bi, tag) VALUES (5, 'five')")
+	res := mustExec(t, s, "SELECT a.id, b.tag FROM a JOIN b ON a.sv = b.bi")
+	if len(res.Rows) != 1 || res.Rows[0][1].AsString() != "five" {
+		t.Fatalf("cross-class join returned %v, want one row joining '5' to 5", res.Rows)
+	}
+	// Same-class keys still use the index path and agree.
+	res = mustExec(t, s, "SELECT a.id, b.tag FROM a JOIN b ON a.id = b.bi")
+	if len(res.Rows) != 0 {
+		t.Fatalf("1 should not join 5: %v", res.Rows)
 	}
 }

@@ -32,16 +32,19 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 	// Reads take no table locks: like the consistent nonblocking reads of
 	// the paper's InnoDB backends, readers never block writers and never
 	// participate in deadlock cycles. Statement-level atomicity comes from
-	// the engine mutex; a reader may observe another transaction's
-	// uncommitted rows, which the clustering middleware tolerates exactly
-	// as C-JDBC tolerates its backends' isolation levels.
+	// the engine's RW lock, held shared here so any number of SELECTs run
+	// concurrently and serialize only against writes; a reader may observe
+	// another transaction's uncommitted rows, which the clustering
+	// middleware tolerates exactly as C-JDBC tolerates its backends'
+	// isolation levels.
 	e := s.engine
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock(s.shard)
+	defer e.mu.RUnlock(s.shard)
 
-	// Resolve sources and build the combined column map.
+	// Resolve sources and build the combined column map. An unaliased
+	// single-table query — the point-query hot path — reuses the table's
+	// prebuilt map instead of reassembling it per execution.
 	srcs := make([]srcTable, len(sel.From))
-	cols := make(map[string]int)
 	offset := 0
 	for i, tr := range sel.From {
 		name := strings.ToLower(tr.Table)
@@ -54,41 +57,31 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 			alias = name
 		}
 		srcs[i] = srcTable{t: t, name: name, alias: alias, offset: offset}
-		for j, c := range t.schema.Columns {
-			if _, dup := cols[c.Name]; !dup {
-				cols[c.Name] = offset + j
-			}
-			cols[alias+"."+c.Name] = offset + j
-			if _, dup := cols[name+"."+c.Name]; !dup {
-				cols[name+"."+c.Name] = offset + j
-			}
-		}
 		offset += len(t.schema.Columns)
 	}
 	totalCols := offset
 
-	rows, err := s.joinRows(sel, srcs, cols, totalCols)
-	if err != nil {
-		return nil, err
-	}
-
-	// WHERE filter.
-	if sel.Where != nil {
-		filtered := rows[:0]
-		for _, r := range rows {
-			ev := &env{cols: cols, row: r}
-			m, err := ev.eval(sel.Where)
-			if err != nil {
-				return nil, err
-			}
-			if m.AsBool() {
-				filtered = append(filtered, r)
+	var cols map[string]int
+	if len(srcs) == 1 && srcs[0].alias == srcs[0].name {
+		cols = srcs[0].t.cols
+	} else {
+		cols = make(map[string]int)
+		for _, src := range srcs {
+			for j, c := range src.t.schema.Columns {
+				if _, dup := cols[c.Name]; !dup {
+					cols[c.Name] = src.offset + j
+				}
+				cols[src.alias+"."+c.Name] = src.offset + j
+				if _, dup := cols[src.name+"."+c.Name]; !dup {
+					cols[src.name+"."+c.Name] = src.offset + j
+				}
 			}
 		}
-		rows = filtered
 	}
 
-	// Collect aggregate expressions referenced anywhere in the query.
+	// Collect aggregate expressions referenced anywhere in the query. This
+	// happens before row materialization so the single-table path knows
+	// whether LIMIT may stop the scan early.
 	var aggExprs []*sqlparser.Expr
 	collect := func(ex *sqlparser.Expr) {
 		if ex == nil {
@@ -107,9 +100,38 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 	for _, o := range sel.OrderBy {
 		collect(o.Expr)
 	}
+	grouped := len(sel.GroupBy) > 0 || len(aggExprs) > 0
+
+	var rows [][]sqlval.Value
+	var whereDone bool
+	var err error
+	if len(srcs) == 1 {
+		rows, whereDone, err = s.singleTableRows(sel, srcs[0], cols, grouped)
+	} else {
+		rows, err = s.joinRows(sel, srcs, cols, totalCols)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE filter (the single-table path applies it during the scan).
+	if sel.Where != nil && !whereDone {
+		filtered := rows[:0]
+		for _, r := range rows {
+			ev := &env{cols: cols, row: r}
+			m, err := ev.eval(sel.Where)
+			if err != nil {
+				return nil, err
+			}
+			if m.AsBool() {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
 
 	var out []outRow
-	if len(sel.GroupBy) > 0 || len(aggExprs) > 0 {
+	if grouped {
 		out, err = s.groupedRows(sel, rows, cols, aggExprs)
 	} else {
 		out, err = s.projectRows(sel, rows, cols)
@@ -174,18 +196,96 @@ func (s *Session) selectNoFrom(sel *sqlparser.Select) (*Result, error) {
 	return res, nil
 }
 
+// singleTableRows materializes a one-table FROM clause. Unlike the join
+// path, rows are used as stored — no pad-to-width copy — because the engine
+// never mutates a stored row in place (updates replace the whole slice).
+// The access planner turns indexable WHERE conjuncts into rowid candidates,
+// the WHERE clause is applied during the scan, and a LIMIT with no ORDER
+// BY, grouping or DISTINCT stops the scan as soon as enough rows matched.
+// The returned flag reports that WHERE has already been applied.
+func (s *Session) singleTableRows(sel *sqlparser.Select, src srcTable, cols map[string]int, grouped bool) ([][]sqlval.Value, bool, error) {
+	t := src.t
+
+	// LIMIT pushdown budget: offset+limit matching rows suffice when no
+	// later stage reorders, merges or dedups rows.
+	budget := int64(-1)
+	if sel.Limit != nil && len(sel.OrderBy) == 0 && !grouped && !sel.Distinct {
+		ev := &env{}
+		if lv, err := ev.eval(sel.Limit); err == nil {
+			if limit, err := lv.AsInt(); err == nil && limit >= 0 {
+				budget = limit
+				if sel.Offset != nil {
+					if ov, err := ev.eval(sel.Offset); err == nil {
+						if off, err := ov.AsInt(); err == nil && off > 0 {
+							budget += off
+						}
+					}
+				}
+			}
+		}
+	}
+	if budget == 0 {
+		return nil, true, nil
+	}
+
+	var rows [][]sqlval.Value
+	var evalErr error
+	add := func(row []sqlval.Value) bool {
+		if sel.Where != nil {
+			ev := &env{cols: cols, row: row}
+			m, err := ev.eval(sel.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !m.AsBool() {
+				return true
+			}
+		}
+		rows = append(rows, row)
+		return budget < 0 || int64(len(rows)) < budget
+	}
+
+	if plan := planAccess(s.engine, t, envResolver(cols, src.offset, len(t.schema.Columns)), sel.Where); plan.indexed {
+		for _, id := range plan.ids {
+			if row, ok := t.rows[id]; ok {
+				if !add(row) {
+					break
+				}
+			}
+		}
+	} else {
+		t.scan(func(_ int64, row []sqlval.Value) bool { return add(row) })
+	}
+	return rows, true, evalErr
+}
+
 // joinRows materializes the FROM clause with nested-loop joins, using a hash
 // index for equi-joins when one is available.
 func (s *Session) joinRows(sel *sqlparser.Select, srcs []srcTable, cols map[string]int, totalCols int) ([][]sqlval.Value, error) {
-	// Seed with the first table's rows, padded to the full width so that
-	// the environment map works at every stage.
+	// Seed with the base table's rows, padded to the full width so that
+	// the environment map works at every stage. WHERE conjuncts on the
+	// base table narrow the seed through the access planner; the full
+	// WHERE clause still filters after the join, so this only prunes rows
+	// that could never survive it (valid for LEFT JOIN too, since the base
+	// is the preserved side).
+	base := srcs[0]
 	var rows [][]sqlval.Value
-	srcs[0].t.scan(func(_ int64, r []sqlval.Value) bool {
+	seed := func(r []sqlval.Value) bool {
 		combined := make([]sqlval.Value, totalCols)
-		copy(combined[srcs[0].offset:], r)
+		copy(combined[base.offset:], r)
 		rows = append(rows, combined)
 		return true
-	})
+	}
+	if plan := planAccess(s.engine, base.t, envResolver(cols, base.offset, len(base.t.schema.Columns)), sel.Where); plan.indexed {
+		for _, id := range plan.ids {
+			if r, ok := base.t.rows[id]; ok {
+				seed(r)
+			}
+		}
+	} else {
+		base.t.scan(func(_ int64, r []sqlval.Value) bool { return seed(r) })
+	}
 
 	for i := 1; i < len(srcs); i++ {
 		src := srcs[i]
@@ -216,9 +316,12 @@ func (s *Session) joinRows(sel *sqlparser.Select, srcs []srcTable, cols map[stri
 				next = append(next, combined)
 				return nil
 			}
-			if useIndex {
-				v := left[probe]
-				ids, _ := src.t.lookup(buildCol, v)
+			// An index probe is only sound when the probe value's key class
+			// matches the build column's: cross-class values (string '5'
+			// against an INTEGER column) can compare equal through the
+			// textual fallback while hashing differently, so they scan.
+			if useIndex && keyCompatible(src.t.schema.Columns[buildCol].Type, left[probe]) {
+				ids, _ := src.t.lookup(buildCol, left[probe])
 				for _, id := range ids {
 					if r, ok := src.t.rows[id]; ok {
 						if err := tryRow(r); err != nil {

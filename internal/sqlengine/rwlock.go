@@ -1,0 +1,73 @@
+package sqlengine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// brwMutex is a "big-reader" sharded reader/writer lock. Readers lock one
+// shard — chosen per session, so concurrent SELECTs land on different
+// cache lines — and writers lock every shard in order. A single
+// sync.RWMutex makes every reader bounce the same reader-count word
+// between cores, which caps read throughput on many-core machines even
+// though no reader ever waits; sharding removes that ping-pong at the cost
+// of a slightly more expensive (already heavyweight, fully serialized)
+// write path.
+type brwMutex struct {
+	shards []brwShard
+	mask   uint32
+}
+
+// brwShard pads each RWMutex onto its own cache-line pair so reader
+// counts on different shards never share a line.
+type brwShard struct {
+	mu sync.RWMutex
+	_  [104]byte
+}
+
+func newBRWMutex() brwMutex {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 32 {
+		n <<= 1
+	}
+	return brwMutex{shards: make([]brwShard, n), mask: uint32(n - 1)}
+}
+
+// RLock locks one shard shared. idx is any stable per-session value;
+// sessions spread round-robin so a session's reads always touch the same
+// shard. Writers hold every shard, so a single shared shard suffices.
+func (m *brwMutex) RLock(idx uint32) {
+	m.shards[idx&m.mask].mu.RLock()
+}
+
+// RUnlock releases the shard RLock(idx) took.
+func (m *brwMutex) RUnlock(idx uint32) {
+	m.shards[idx&m.mask].mu.RUnlock()
+}
+
+// Lock locks every shard exclusively, in shard order (all writers take the
+// same order, so writers never deadlock each other).
+func (m *brwMutex) Lock() {
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+	}
+}
+
+// Unlock releases every shard in reverse order.
+func (m *brwMutex) Unlock() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// statShard holds one shard of the engine's statement counters, padded so
+// sessions on different shards never contend on a counter cache line.
+type statShard struct {
+	statements   atomic.Int64
+	reads        atomic.Int64
+	writes       atomic.Int64
+	transactions atomic.Int64
+	aborts       atomic.Int64
+	_            [88]byte
+}

@@ -49,38 +49,62 @@ func (s *Schema) ColumnNames() []string {
 	return out
 }
 
-// index is a hash index over one or more columns.
+// index is a hash index over one or more columns. Buckets are held by
+// pointer so that the hot add-a-rowid path mutates in place: together with
+// the byte-scratch key building, inserting into an existing bucket costs no
+// string allocation (Go elides the string(b) copy for map lookups), and only
+// a brand-new key materializes a string.
 type index struct {
 	name    string
 	columns []int // column positions
 	unique  bool
-	m       map[string][]int64 // value key -> rowids
+	m       map[string]*idBucket // value key -> rowids
 }
 
-func (ix *index) keyFor(row []sqlval.Value) string {
+// idBucket is one hash bucket's rowid list.
+type idBucket struct{ ids []int64 }
+
+// appendKey appends the index key of row to b and returns the extended
+// buffer. The layout matches what lookup builds from a probe value.
+func (ix *index) appendKey(b []byte, row []sqlval.Value) []byte {
 	if len(ix.columns) == 1 {
-		return row[ix.columns[0]].Key()
+		return row[ix.columns[0]].AppendKey(b)
 	}
-	var b strings.Builder
 	for _, c := range ix.columns {
-		b.WriteString(row[c].Key())
-		b.WriteByte(0x1f)
+		b = append(row[c].AppendKey(b), 0x1f)
 	}
-	return b.String()
+	return b
 }
 
-func (ix *index) insert(rowid int64, row []sqlval.Value) error {
-	k := ix.keyFor(row)
-	if ix.unique && len(ix.m[k]) > 0 {
-		return fmt.Errorf("unique constraint violation on index %s", ix.name)
-	}
-	ix.m[k] = append(ix.m[k], rowid)
-	return nil
+// conflicts reports whether inserting row would violate a unique index.
+// scratch is reused and returned grown.
+func (ix *index) conflicts(row []sqlval.Value, scratch []byte) (bool, []byte) {
+	b := ix.appendKey(scratch[:0], row)
+	bkt := ix.m[string(b)]
+	return bkt != nil && len(bkt.ids) > 0, b
 }
 
-func (ix *index) remove(rowid int64, row []sqlval.Value) {
-	k := ix.keyFor(row)
-	ids := ix.m[k]
+func (ix *index) insert(rowid int64, row []sqlval.Value, scratch []byte) ([]byte, error) {
+	b := ix.appendKey(scratch[:0], row)
+	bkt := ix.m[string(b)]
+	if bkt == nil {
+		ix.m[string(b)] = &idBucket{ids: []int64{rowid}}
+		return b, nil
+	}
+	if ix.unique && len(bkt.ids) > 0 {
+		return b, fmt.Errorf("unique constraint violation on index %s", ix.name)
+	}
+	bkt.ids = append(bkt.ids, rowid)
+	return b, nil
+}
+
+func (ix *index) remove(rowid int64, row []sqlval.Value, scratch []byte) []byte {
+	b := ix.appendKey(scratch[:0], row)
+	bkt := ix.m[string(b)]
+	if bkt == nil {
+		return b
+	}
+	ids := bkt.ids
 	for i, id := range ids {
 		if id == rowid {
 			ids[i] = ids[len(ids)-1]
@@ -89,28 +113,44 @@ func (ix *index) remove(rowid int64, row []sqlval.Value) {
 		}
 	}
 	if len(ids) == 0 {
-		delete(ix.m, k)
+		delete(ix.m, string(b))
 	} else {
-		ix.m[k] = ids
+		bkt.ids = ids
 	}
+	return b
 }
 
 // table is the storage for one table: schema, rows keyed by rowid, an
-// append-only scan order, and indexes.
+// append-only scan order, and indexes. All mutation happens under the
+// engine's exclusive lock; readers hold it shared and only call scan and
+// lookup, so keyBuf (write-path scratch) is never touched concurrently.
 type table struct {
 	schema  *Schema
 	rows    map[int64][]sqlval.Value
-	order   []int64 // insertion order; may contain ids of deleted rows
+	order   []int64            // insertion order; may contain ids of deleted rows
+	dead    map[int64]struct{} // tombstones: ids still in order but deleted
 	nextID  int64
 	autoInc int64
 	indexes map[string]*index
+	keyBuf  []byte // reusable index-key scratch for the write path
+	// cols is the prebuilt environment column map ("col" and "table.col"
+	// keys). The engine has no ALTER TABLE, so it is immutable after
+	// creation and shared by every unaliased single-table statement
+	// instead of being rebuilt per execution.
+	cols map[string]int
 }
 
 func newTable(schema *Schema) *table {
 	t := &table{
 		schema:  schema,
 		rows:    make(map[int64][]sqlval.Value),
+		dead:    make(map[int64]struct{}),
 		indexes: make(map[string]*index),
+	}
+	t.cols = make(map[string]int, len(schema.Columns)*2)
+	for i := range schema.Columns {
+		t.cols[schema.Columns[i].Name] = i
+		t.cols[schema.Name+"."+schema.Columns[i].Name] = i
 	}
 	// Implicit unique index on the primary key column(s).
 	var pkCols []int
@@ -120,7 +160,7 @@ func newTable(schema *Schema) *table {
 		}
 	}
 	if len(pkCols) > 0 {
-		t.indexes["__pk"] = &index{name: "__pk", columns: pkCols, unique: true, m: map[string][]int64{}}
+		t.indexes["__pk"] = &index{name: "__pk", columns: pkCols, unique: true, m: map[string]*idBucket{}}
 	}
 	return t
 }
@@ -131,13 +171,17 @@ func (t *table) insertRow(row []sqlval.Value) (int64, error) {
 	// Check all unique indexes before mutating any.
 	for _, ix := range t.indexes {
 		if ix.unique {
-			if len(ix.m[ix.keyFor(row)]) > 0 {
+			var dup bool
+			dup, t.keyBuf = ix.conflicts(row, t.keyBuf)
+			if dup {
 				return 0, fmt.Errorf("engine: unique constraint violation on %s.%s", t.schema.Name, ix.name)
 			}
 		}
 	}
 	for _, ix := range t.indexes {
-		if err := ix.insert(id, row); err != nil {
+		var err error
+		t.keyBuf, err = ix.insert(id, row, t.keyBuf)
+		if err != nil {
 			return 0, err
 		}
 	}
@@ -148,21 +192,24 @@ func (t *table) insertRow(row []sqlval.Value) (int64, error) {
 }
 
 // insertRowAt re-inserts a row under a known rowid (undo of delete).
-// deleteRow leaves a tombstone in the scan order, so the id may still be
-// present there; appending it again would make the row scan twice.
+// deleteRow leaves a tombstone in the scan order; the dead set records
+// exactly those ids, so membership is O(1) and rolling back a large delete
+// stays linear instead of rescanning order per row.
 func (t *table) insertRowAt(id int64, row []sqlval.Value) {
 	for _, ix := range t.indexes {
-		ix.m[ix.keyFor(row)] = append(ix.m[ix.keyFor(row)], id)
-	}
-	t.rows[id] = row
-	present := false
-	for _, oid := range t.order {
-		if oid == id {
-			present = true
-			break
+		b := ix.appendKey(t.keyBuf[:0], row)
+		t.keyBuf = b
+		if bkt := ix.m[string(b)]; bkt != nil {
+			bkt.ids = append(bkt.ids, id)
+		} else {
+			ix.m[string(b)] = &idBucket{ids: []int64{id}}
 		}
 	}
-	if !present {
+	_, wasLive := t.rows[id]
+	t.rows[id] = row
+	if _, tomb := t.dead[id]; tomb {
+		delete(t.dead, id)
+	} else if !wasLive {
 		t.order = append(t.order, id)
 	}
 	if id >= t.nextID {
@@ -177,9 +224,10 @@ func (t *table) deleteRow(id int64) {
 		return
 	}
 	for _, ix := range t.indexes {
-		ix.remove(id, row)
+		t.keyBuf = ix.remove(id, row, t.keyBuf)
 	}
 	delete(t.rows, id)
+	t.dead[id] = struct{}{}
 	t.maybeCompact()
 }
 
@@ -191,17 +239,23 @@ func (t *table) updateRow(id int64, newRow []sqlval.Value) error {
 		if !ix.unique {
 			continue
 		}
-		nk := ix.keyFor(newRow)
-		if nk == ix.keyFor(old) {
+		nb := ix.appendKey(t.keyBuf[:0], newRow)
+		ob := ix.appendKey(nb, old) // old key appended after the new one
+		t.keyBuf = ob
+		if string(nb) == string(ob[len(nb):]) {
 			continue
 		}
-		if len(ix.m[nk]) > 0 {
+		if bkt := ix.m[string(nb)]; bkt != nil && len(bkt.ids) > 0 {
 			return fmt.Errorf("engine: unique constraint violation on %s.%s", t.schema.Name, ix.name)
 		}
 	}
 	for _, ix := range t.indexes {
-		ix.remove(id, old)
-		ix.m[ix.keyFor(newRow)] = append(ix.m[ix.keyFor(newRow)], id)
+		t.keyBuf = ix.remove(id, old, t.keyBuf)
+		var err error
+		t.keyBuf, err = ix.insert(id, newRow, t.keyBuf)
+		if err != nil {
+			return err
+		}
 	}
 	t.rows[id] = newRow
 	return nil
@@ -218,6 +272,8 @@ func (t *table) maybeCompact() {
 		}
 	}
 	t.order = live
+	// Compaction dropped every tombstoned id from the scan order.
+	t.dead = make(map[int64]struct{})
 }
 
 // scan calls f for each live row in insertion order; f returning false
@@ -235,11 +291,18 @@ func (t *table) scan(f func(id int64, row []sqlval.Value) bool) {
 }
 
 // lookup returns the rowids matching a single-column equality using the
-// first usable index, and ok=false when no index covers the column.
+// first usable index, and ok=false when no index covers the column. It runs
+// on the concurrent read path, so the probe key is built in a stack buffer
+// (never the shared write-path scratch) and typically costs no allocation.
 func (t *table) lookup(colIdx int, v sqlval.Value) (ids []int64, ok bool) {
 	for _, ix := range t.indexes {
 		if len(ix.columns) == 1 && ix.columns[0] == colIdx {
-			return ix.m[v.Key()], true
+			var buf [48]byte
+			b := v.AppendKey(buf[:0])
+			if bkt := ix.m[string(b)]; bkt != nil {
+				return bkt.ids, true
+			}
+			return nil, true
 		}
 	}
 	return nil, false
@@ -250,9 +313,11 @@ func (t *table) addIndex(name string, cols []int, unique bool) error {
 	if _, dup := t.indexes[name]; dup {
 		return fmt.Errorf("engine: index %s already exists on %s", name, t.schema.Name)
 	}
-	ix := &index{name: name, columns: cols, unique: unique, m: map[string][]int64{}}
+	ix := &index{name: name, columns: cols, unique: unique, m: map[string]*idBucket{}}
 	for id, row := range t.rows {
-		if err := ix.insert(id, row); err != nil {
+		var err error
+		t.keyBuf, err = ix.insert(id, row, t.keyBuf)
+		if err != nil {
 			return err
 		}
 	}

@@ -270,6 +270,30 @@ func (v Value) Key() string {
 	}
 }
 
+// AppendKey appends the Key() encoding of v to b and returns the extended
+// buffer. Index maintenance uses it with a reusable scratch buffer so that
+// probing an index key costs no string allocation (map lookups on a
+// string(b) conversion do not allocate).
+func (v Value) AppendKey(b []byte) []byte {
+	switch v.K {
+	case KindNull:
+		return append(b, 0, 'N')
+	case KindInt, KindBool:
+		return strconv.AppendInt(append(b, 0, 'i'), v.I, 10)
+	case KindFloat:
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+			return strconv.AppendInt(append(b, 0, 'i'), int64(v.F), 10)
+		}
+		return strconv.AppendFloat(append(b, 0, 'f'), v.F, 'g', -1, 64)
+	case KindTime:
+		return strconv.AppendInt(append(b, 0, 't'), v.T.UnixNano(), 10)
+	case KindBytes:
+		return append(append(b, 0, 'b'), v.B...)
+	default:
+		return append(append(b, 0, 's'), v.S...)
+	}
+}
+
 // Add returns a+b with SQL numeric promotion.
 func Add(a, b Value) (Value, error) { return arith(a, b, '+') }
 
