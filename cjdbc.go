@@ -101,9 +101,12 @@ type CacheConfig struct {
 	Granularity string
 	// MaxEntries bounds the cache (default 4096).
 	MaxEntries int
-	// MaxRows bounds the cache by total result rows, so one huge result
-	// set cannot monopolize it (default MaxEntries*64; negative disables
-	// row accounting).
+	// MaxBytes bounds the cache by approximate result bytes, so one huge
+	// result set cannot monopolize it (default 4 KiB per entry slot;
+	// negative disables weight accounting).
+	MaxBytes int
+	// MaxRows is the deprecated row-count budget, honoured (as
+	// MaxRows*cache.CompatRowBytes bytes) when MaxBytes is 0.
 	MaxRows int
 	// Staleness relaxes consistency: entries may serve stale data for up
 	// to this duration; 0 keeps strong consistency.
@@ -141,6 +144,7 @@ func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualD
 		rc = cache.New(cache.Config{
 			Granularity: gran,
 			MaxEntries:  cfg.Cache.MaxEntries,
+			MaxBytes:    cfg.Cache.MaxBytes,
 			MaxRows:     cfg.Cache.MaxRows,
 			Staleness:   cfg.Cache.Staleness,
 		})

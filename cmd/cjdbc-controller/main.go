@@ -64,6 +64,7 @@ type vdbFileConfig struct {
 type cacheFileConfig struct {
 	Granularity string `json:"granularity"`
 	MaxEntries  int    `json:"maxEntries"`
+	MaxBytes    int    `json:"maxBytes"`
 	MaxRows     int    `json:"maxRows"`
 	StalenessMS int    `json:"stalenessMs"`
 }
@@ -105,6 +106,7 @@ func main() {
 			vcfg.Cache = &cjdbc.CacheConfig{
 				Granularity: vc.Cache.Granularity,
 				MaxEntries:  vc.Cache.MaxEntries,
+				MaxBytes:    vc.Cache.MaxBytes,
 				MaxRows:     vc.Cache.MaxRows,
 				Staleness:   time.Duration(vc.Cache.StalenessMS) * time.Millisecond,
 			}

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"cjdbc/internal/senterr"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,6 +16,11 @@ var (
 	ErrDisabled = errors.New("backend: disabled")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("backend: closed")
+	// ErrStatement is the errors.Is sentinel for backend-level statement
+	// errors — client misuse that fails identically on every replica (for
+	// example writing to an already-ended transaction). Like the engine's
+	// ErrSemantic, it must never trigger failover or disable a backend.
+	ErrStatement = errors.New("backend: statement error")
 )
 
 // State is the backend lifecycle state (§3 of the paper: backends are
@@ -61,10 +67,22 @@ type Config struct {
 // per-transaction backend worker threads: each transaction has its own
 // connection and worker (so a transaction blocked on database locks never
 // prevents another transaction's commit from being delivered), and
-// auto-commit writes share one FIFO lane. The cluster-wide submission order
-// established by the scheduler, combined with the engine's FIFO lock
-// granting, keeps conflicting writes applying in the same order on every
-// replica.
+// auto-commit writes run on per-conflict-class lanes — each task waits only
+// for the previously enqueued tasks whose conflict footprint (table set)
+// intersects its own, so writes to disjoint tables execute concurrently
+// while writes sharing a table apply strictly in enqueue order. DDL and
+// statements with unknown footprints are barriers: they wait for everything
+// ahead and everything behind waits for them. The cluster-wide submission
+// order established by the scheduler (which holds the conflict class's
+// locks across the enqueues to all backends) keeps conflicting auto-commit
+// writes in the same order on every replica via the lanes, and conflicting
+// transactional writes via enqueue-time lock reservations plus the engine's
+// FIFO lock granting; non-conflicting writes commute, so their order is
+// free. A conflicting auto-commit/transactional *pair* is ordered by each
+// replica's own lock queue — the auto-commit side acquires its table lock
+// at execution time on a pooled connection, not at enqueue time — which is
+// the same per-replica timing C-JDBC relied on (see the ROADMAP open item
+// on auto-commit reservations).
 type Backend struct {
 	name     string
 	weight   int
@@ -88,9 +106,26 @@ type Backend struct {
 	mu  sync.Mutex
 	txs map[uint64]*txConn
 
-	autoQ  chan *writeTask
+	// Auto-commit conflict lanes: laneMu orders lane assignment, autoSem
+	// bounds queued-plus-running auto-commit tasks (the backpressure the
+	// bounded FIFO queue used to provide), lastByTable holds the completion
+	// signal of the newest task touching each table, and lastBarrier the
+	// newest barrier task (DDL / unknown footprint). A new task waits on
+	// lastBarrier plus its tables' lastByTable entries; a barrier waits on
+	// lastBarrier plus every lastByTable entry, then resets the map.
+	laneMu      sync.Mutex
+	autoSem     chan struct{}
+	lastByTable map[string]chan struct{}
+	lastBarrier chan struct{}
+
+	// chargeMu serializes the cost-model charge of auto-commit writes: the
+	// simulated machine applies broadcast updates on one write thread (the
+	// calibration behind Figure 10's shapes, and how the era's replication
+	// appliers behaved), even though real engine execution of disjoint
+	// writes proceeds concurrently. Without a cost model it is untouched.
+	chargeMu sync.Mutex
+
 	closed chan struct{}
-	wg     sync.WaitGroup
 
 	// onFailure is invoked (on its own goroutine) when a write fails, so
 	// the request manager can react (§2.4.1: no 2PC; a backend failing a
@@ -157,21 +192,23 @@ func New(cfg Config) *Backend {
 	if cfg.CostParallelism <= 0 {
 		cfg.CostParallelism = 4
 	}
+	closedBarrier := make(chan struct{})
+	close(closedBarrier)
 	b := &Backend{
-		name:     cfg.Name,
-		weight:   cfg.Weight,
-		driver:   cfg.Driver,
-		cost:     cfg.Cost,
-		maxConns: cfg.MaxConns,
-		sem:      make(chan struct{}, cfg.MaxConns),
-		idle:     make(chan Conn, cfg.MaxConns),
-		costSem:  make(chan struct{}, cfg.CostParallelism),
-		txs:      make(map[uint64]*txConn),
-		autoQ:    make(chan *writeTask, 4096),
-		closed:   make(chan struct{}),
+		name:        cfg.Name,
+		weight:      cfg.Weight,
+		driver:      cfg.Driver,
+		cost:        cfg.Cost,
+		maxConns:    cfg.MaxConns,
+		sem:         make(chan struct{}, cfg.MaxConns),
+		idle:        make(chan Conn, cfg.MaxConns),
+		costSem:     make(chan struct{}, cfg.CostParallelism),
+		txs:         make(map[uint64]*txConn),
+		autoSem:     make(chan struct{}, 4096),
+		lastByTable: make(map[string]chan struct{}),
+		lastBarrier: closedBarrier,
+		closed:      make(chan struct{}),
 	}
-	b.wg.Add(1)
-	go b.autoLoop()
 	return b
 }
 
@@ -249,7 +286,11 @@ func (b *Backend) notifyFailure(err error) {
 	}
 }
 
-// Close shuts the backend down, closing pooled connections.
+// Close shuts the backend down, closing pooled connections. Draining the
+// lane semaphore to capacity waits for every in-flight auto-commit task (a
+// task releases its slot as its final action) and, because enqueuers
+// re-check closed after acquiring a slot, guarantees no task can start
+// afterwards.
 func (b *Backend) Close() {
 	select {
 	case <-b.closed:
@@ -258,7 +299,9 @@ func (b *Backend) Close() {
 	}
 	b.Disable()
 	close(b.closed)
-	b.wg.Wait()
+	for i := 0; i < cap(b.autoSem); i++ {
+		b.autoSem <- struct{}{}
+	}
 	for {
 		select {
 		case c := <-b.idle:
@@ -469,6 +512,15 @@ func (b *Backend) EnqueueWrite(txID uint64, class sqlparser.StatementClass, st s
 // backend. done must have spare capacity for one outcome per enqueued
 // backend: exactly one WriteOutcome is sent, and the send must never block.
 func (b *Backend) EnqueueWriteTo(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement, sql string, done chan<- WriteOutcome) {
+	tables, global := sqlparser.ConflictClass(st)
+	b.EnqueueWriteClassTo(txID, class, st, sql, tables, global, done)
+}
+
+// EnqueueWriteClassTo is EnqueueWriteTo with the statement's conflict class
+// (sorted, deduplicated tables, or global) precomputed by the caller — the
+// request manager broadcasts one write to every backend and computes the
+// class once, in its plan cache.
+func (b *Backend) EnqueueWriteClassTo(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement, sql string, tables []string, global bool, done chan<- WriteOutcome) {
 	t := &writeTask{txID: txID, class: class, st: st, sql: sql, done: done}
 
 	reply := func(res *Result, err error) {
@@ -490,7 +542,7 @@ func (b *Backend) EnqueueWriteTo(txID uint64, class sqlparser.StatementClass, st
 			b.mu.Lock()
 			if tc.ending {
 				b.mu.Unlock()
-				reply(nil, fmt.Errorf("backend %s: transaction %d already ended", b.name, txID))
+				reply(nil, senterr.Wrap(ErrStatement, fmt.Errorf("backend %s: transaction %d already ended", b.name, txID)))
 				return
 			}
 			tc.wrote.Add(1)
@@ -524,35 +576,60 @@ func (b *Backend) EnqueueWriteTo(txID uint64, class sqlparser.StatementClass, st
 		}
 	}
 
-	// Auto-commit lane.
-	b.pending.Add(1)
+	// Auto-commit conflict lanes. The semaphore preserves the bounded-queue
+	// backpressure; lane assignment under laneMu records which previously
+	// enqueued tasks this one conflicts with.
 	select {
-	case b.autoQ <- t:
+	case b.autoSem <- struct{}{}:
 	case <-b.closed:
-		b.pending.Add(-1)
 		reply(nil, ErrClosed)
+		return
 	}
-}
+	// Re-check after acquiring: Close drains the semaphore to capacity, so
+	// once this check passes Close cannot complete its drain before this
+	// task releases — the task is fully accounted for.
+	select {
+	case <-b.closed:
+		<-b.autoSem
+		reply(nil, ErrClosed)
+		return
+	default:
+	}
+	b.pending.Add(1)
+	barrier := global
 
-// autoLoop executes auto-commit writes strictly in order, one at a time.
-func (b *Backend) autoLoop() {
-	defer b.wg.Done()
-	for {
-		select {
-		case t := <-b.autoQ:
-			b.runAuto(t)
-		case <-b.closed:
-			for {
-				select {
-				case t := <-b.autoQ:
-					b.pending.Add(-1)
-					t.done <- WriteOutcome{Backend: b, Err: ErrClosed}
-				default:
-					return
-				}
+	fin := make(chan struct{})
+	b.laneMu.Lock()
+	deps := []chan struct{}{b.lastBarrier}
+	if barrier {
+		// Conflicts with everything: wait for every lane's newest task
+		// (each lane chain is linked through lastByTable, so waiting on the
+		// newest transitively waits on the whole lane), then become the
+		// signal every later task must wait for.
+		for _, ch := range b.lastByTable {
+			deps = append(deps, ch)
+		}
+		b.lastByTable = make(map[string]chan struct{})
+		b.lastBarrier = fin
+	} else {
+		for _, tbl := range tables {
+			if ch, ok := b.lastByTable[tbl]; ok {
+				deps = append(deps, ch)
 			}
+			b.lastByTable[tbl] = fin
 		}
 	}
+	b.laneMu.Unlock()
+
+	go func() {
+		for _, dep := range deps {
+			<-dep
+		}
+		b.runAuto(t)
+		close(fin)
+		// Slot release is the task's final action; Close's drain keys on it.
+		<-b.autoSem
+	}()
 }
 
 func (b *Backend) runAuto(t *writeTask) {
@@ -578,7 +655,11 @@ func (b *Backend) execAuto(t *writeTask) (*Result, error) {
 		return nil, err
 	}
 	defer b.checkin(c)
-	b.charge(t.st)
+	if b.cost != nil && b.cost.TimeScale != 0 {
+		b.chargeMu.Lock()
+		b.charge(t.st)
+		b.chargeMu.Unlock()
+	}
 	return c.Exec(t.st, t.sql)
 }
 

@@ -1,8 +1,9 @@
 // Package backend abstracts one database backend of a virtual database: a
 // native driver, a connection manager (pool), an enable/disable state
-// machine, the ordered write queue that preserves the cluster-wide write
-// order, and a service-cost model standing in for the paper's physical
-// database machines.
+// machine, conflict-class write lanes that preserve the cluster-wide order
+// of conflicting writes while letting disjoint-table writes flow
+// concurrently, and a service-cost model standing in for the paper's
+// physical database machines.
 package backend
 
 import (

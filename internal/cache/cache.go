@@ -9,8 +9,10 @@
 // and table index, so concurrent readers on the controller hot path do not
 // serialize on a single lock. Statistics are atomic counters read without
 // locking. Writes invalidate across all shards while holding one shard lock
-// at a time; the scheduler's total write order already serializes writes, so
-// shard-by-shard invalidation cannot reorder conflicting updates.
+// at a time; the scheduler's conflict-class sequencing serializes writes
+// that share a table, so shard-by-shard invalidation cannot reorder
+// conflicting updates (disjoint writes invalidate disjoint entries and may
+// interleave freely).
 package cache
 
 import (
@@ -52,22 +54,58 @@ func (g Granularity) String() string {
 	return "unknown"
 }
 
+// Weight accounting constants.
+const (
+	// MinEntryBytes is the per-entry weight floor: even an empty result
+	// charges for its bookkeeping (entry struct, LRU element, map slots),
+	// so unbounded numbers of tiny results cannot pile up.
+	MinEntryBytes = 128
+	// CompatRowBytes converts the deprecated MaxRows row budget into a
+	// byte budget: one row slot buys this many bytes.
+	CompatRowBytes = 64
+	// defaultEntryBytes sizes the default byte budget per entry slot.
+	defaultEntryBytes = 4096
+)
+
 // Config configures a ResultCache.
 type Config struct {
 	Granularity Granularity
 	MaxEntries  int // LRU capacity; 0 means 4096
-	// MaxRows bounds the cache by weight: every entry charges
-	// max(1, result rows), so one huge result set cannot monopolize a
-	// shard that entry-count accounting would happily hand it. 0 derives a
-	// budget of 64 rows per entry slot (MaxEntries*64); negative disables
-	// weight accounting. Results heavier than a whole shard's budget are
-	// not admitted at all.
+	// MaxBytes bounds the cache by weight: every entry charges its
+	// approximate result size in bytes (ApproxBytes, floored at
+	// MinEntryBytes), so one huge result set cannot monopolize a shard
+	// that entry-count accounting would happily hand it. 0 derives a
+	// budget of 4 KiB per entry slot (or honours MaxRows, below);
+	// negative disables weight accounting. Results heavier than a whole
+	// shard's budget are not admitted at all.
+	MaxBytes int
+	// MaxRows is the deprecated row-count budget, kept as a compat alias:
+	// when MaxBytes is 0, a positive MaxRows sets MaxBytes to
+	// MaxRows*CompatRowBytes and a negative one disables weight
+	// accounting.
 	MaxRows int
 	// Staleness relaxes consistency: entries stay valid for this long
 	// regardless of updates (0 keeps the cache strongly consistent).
 	Staleness time.Duration
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
+}
+
+// ApproxBytes estimates a result set's memory footprint: a base charge plus
+// per-row and per-value overheads plus variable-width payloads. It is the
+// unit entries are weighed in.
+func ApproxBytes(res *backend.Result) int {
+	n := 64
+	for _, c := range res.Columns {
+		n += 16 + len(c)
+	}
+	for _, row := range res.Rows {
+		n += 24 + 40*len(row) // slice header + Value struct per cell
+		for i := range row {
+			n += len(row[i].S) + len(row[i].B)
+		}
+	}
+	return n
 }
 
 // Stats counts cache activity.
@@ -98,8 +136,8 @@ type rcShard struct {
 	lru     *list.List // front = most recent
 	byTable map[string]map[*entry]bool
 	max     int
-	weight  int // sum of entry weights (rows)
-	maxW    int // row budget; 0 disables weight accounting
+	weight  int // sum of entry weights (approximate bytes)
+	maxW    int // byte budget; 0 disables weight accounting
 }
 
 type entry struct {
@@ -108,7 +146,7 @@ type entry struct {
 	tables  []string
 	cols    []string // read columns, when enumerable
 	colsOK  bool
-	weight  int // max(1, rows) charged against the shard's row budget
+	weight  int // max(MinEntryBytes, ApproxBytes) against the byte budget
 	created time.Time
 	lruElem *list.Element
 }
@@ -118,17 +156,24 @@ func New(cfg Config) *ResultCache {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 4096
 	}
-	if cfg.MaxRows == 0 {
-		cfg.MaxRows = cfg.MaxEntries * 64
+	if cfg.MaxBytes == 0 {
+		switch {
+		case cfg.MaxRows > 0:
+			cfg.MaxBytes = cfg.MaxRows * CompatRowBytes
+		case cfg.MaxRows < 0:
+			cfg.MaxBytes = -1
+		default:
+			cfg.MaxBytes = cfg.MaxEntries * defaultEntryBytes
+		}
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
 	n := shardutil.Count(cfg.MaxEntries)
 	perShard := (cfg.MaxEntries + n - 1) / n
-	perShardRows := 0
-	if cfg.MaxRows > 0 {
-		perShardRows = (cfg.MaxRows + n - 1) / n
+	perShardBytes := 0
+	if cfg.MaxBytes > 0 {
+		perShardBytes = (cfg.MaxBytes + n - 1) / n
 	}
 	c := &ResultCache{cfg: cfg, shards: make([]rcShard, n), mask: uint32(n - 1)}
 	for i := range c.shards {
@@ -137,7 +182,7 @@ func New(cfg Config) *ResultCache {
 		s.lru = list.New()
 		s.byTable = make(map[string]map[*entry]bool)
 		s.max = perShard
-		s.maxW = perShardRows
+		s.maxW = perShardBytes
 	}
 	return c
 }
@@ -195,13 +240,13 @@ func (c *ResultCache) PutFootprint(sql string, tables, cols []string, colsOK boo
 	}
 	k := Key(sql)
 	s := c.shardFor(k)
-	w := len(res.Rows)
-	if w < 1 {
-		w = 1
+	w := ApproxBytes(res)
+	if w < MinEntryBytes {
+		w = MinEntryBytes
 	}
 	s.mu.Lock()
 	if s.maxW > 0 && w > s.maxW {
-		// Heavier than the shard's whole row budget: admitting it would
+		// Heavier than the shard's whole byte budget: admitting it would
 		// evict everything else and still overflow, so skip caching.
 		s.mu.Unlock()
 		return
@@ -357,9 +402,9 @@ func (s *rcShard) reset() {
 	s.weight = 0
 }
 
-// RowWeight returns the summed row weight of all cached entries, the
-// quantity bounded by Config.MaxRows.
-func (c *ResultCache) RowWeight() int {
+// WeightBytes returns the summed approximate byte weight of all cached
+// entries, the quantity bounded by Config.MaxBytes.
+func (c *ResultCache) WeightBytes() int {
 	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -369,6 +414,10 @@ func (c *ResultCache) RowWeight() int {
 	}
 	return n
 }
+
+// RowWeight is a deprecated alias for WeightBytes, kept for compatibility
+// with the row-count accounting era.
+func (c *ResultCache) RowWeight() int { return c.WeightBytes() }
 
 // Len returns the number of cached entries.
 func (c *ResultCache) Len() int {

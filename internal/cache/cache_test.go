@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -299,23 +300,26 @@ func TestConcurrentStress(t *testing.T) {
 	}
 }
 
-// TestRowWeightEviction: with a row budget, admitting a heavy result evicts
-// older entries until the summed row weight fits again.
-func TestRowWeightEviction(t *testing.T) {
-	// Small MaxEntries keeps the cache on one shard with an exact budget.
-	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxRows: 50})
+// TestByteWeightEviction: with a byte budget, admitting a heavy result
+// evicts older entries until the summed byte weight fits again.
+func TestByteWeightEviction(t *testing.T) {
+	w4 := ApproxBytes(res(4))
+	// Small MaxEntries keeps the cache on one shard with an exact budget;
+	// budget exactly fits ten 4-row entries.
+	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxBytes: 10 * w4})
 	for i := 0; i < 10; i++ {
 		q := fmt.Sprintf("SELECT a FROM t WHERE id = %d", i)
-		c.Put(q, stmt(t, q), res(4)) // weight 40 total
+		c.Put(q, stmt(t, q), res(4))
 	}
-	if c.Len() != 10 || c.RowWeight() != 40 {
-		t.Fatalf("len=%d weight=%d, want 10/40", c.Len(), c.RowWeight())
+	if c.Len() != 10 || c.WeightBytes() != 10*w4 {
+		t.Fatalf("len=%d weight=%d, want 10/%d", c.Len(), c.WeightBytes(), 10*w4)
 	}
-	// A 30-row result must push out the oldest entries (LRU), not fail.
+	// A result worth several slots must push out the oldest entries (LRU),
+	// not fail.
 	big := "SELECT a FROM t WHERE id < 1000"
 	c.Put(big, stmt(t, big), res(30))
-	if c.RowWeight() > 50 {
-		t.Fatalf("weight = %d exceeds budget", c.RowWeight())
+	if c.WeightBytes() > 10*w4 {
+		t.Fatalf("weight = %d exceeds budget %d", c.WeightBytes(), 10*w4)
 	}
 	if c.Get(big) == nil {
 		t.Fatal("heavy entry not admitted")
@@ -328,10 +332,31 @@ func TestRowWeightEviction(t *testing.T) {
 	}
 }
 
-// TestRowWeightOversizedBypass: a result heavier than the whole budget is
+// TestByteWeightWideRowsWeighMore: byte accounting sees payload width, not
+// just row count — a few wide rows outweigh many narrow ones.
+func TestByteWeightWideRowsWeighMore(t *testing.T) {
+	wide := &backend.Result{Columns: []string{"a"}}
+	for i := 0; i < 4; i++ {
+		wide.Rows = append(wide.Rows, []sqlval.Value{sqlval.String_(strings.Repeat("x", 4096))})
+	}
+	if ApproxBytes(wide) <= ApproxBytes(res(40)) {
+		t.Fatalf("4 wide rows (%d B) should outweigh 40 narrow rows (%d B)",
+			ApproxBytes(wide), ApproxBytes(res(40)))
+	}
+	// And the budget enforces it: a cache sized for narrow rows rejects
+	// the wide result outright.
+	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxBytes: ApproxBytes(res(40))})
+	q := "SELECT a FROM t"
+	c.Put(q, stmt(t, q), wide)
+	if c.Get(q) != nil {
+		t.Fatal("wide result admitted past a byte budget its row count fits")
+	}
+}
+
+// TestByteWeightOversizedBypass: a result heavier than the whole budget is
 // not admitted and does not wipe the cache to make room.
-func TestRowWeightOversizedBypass(t *testing.T) {
-	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxRows: 50})
+func TestByteWeightOversizedBypass(t *testing.T) {
+	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxBytes: 4 * ApproxBytes(res(1))})
 	q := "SELECT a FROM t WHERE id = 1"
 	c.Put(q, stmt(t, q), res(1))
 	huge := "SELECT a FROM t"
@@ -344,9 +369,9 @@ func TestRowWeightOversizedBypass(t *testing.T) {
 	}
 }
 
-// TestRowWeightDisabled: a negative MaxRows turns row accounting off.
-func TestRowWeightDisabled(t *testing.T) {
-	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxRows: -1})
+// TestByteWeightDisabled: a negative MaxBytes turns weight accounting off.
+func TestByteWeightDisabled(t *testing.T) {
+	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxBytes: -1})
 	huge := "SELECT a FROM t"
 	c.Put(huge, stmt(t, huge), res(100000))
 	if c.Get(huge) == nil {
@@ -354,15 +379,33 @@ func TestRowWeightDisabled(t *testing.T) {
 	}
 }
 
-// TestRowWeightEmptyResultChargesOne: zero-row results still charge one
-// unit, so unbounded numbers of empty results cannot pile up.
-func TestRowWeightEmptyResultChargesOne(t *testing.T) {
-	c := New(Config{Granularity: GranTable, MaxEntries: 1 << 20, MaxRows: 64})
+// TestByteWeightEmptyResultChargesFloor: zero-row results still charge the
+// per-entry floor, so unbounded numbers of empty results cannot pile up.
+func TestByteWeightEmptyResultChargesFloor(t *testing.T) {
+	c := New(Config{Granularity: GranTable, MaxEntries: 1 << 20, MaxBytes: 10 * MinEntryBytes})
 	for i := 0; i < 200; i++ {
 		q := fmt.Sprintf("SELECT a FROM t WHERE id = %d", i)
-		c.Put(q, stmt(t, q), res(0))
+		c.Put(q, stmt(t, q), &backend.Result{Columns: []string{"a"}})
 	}
-	if w := c.RowWeight(); w > 64+shardutil.MaxShards {
+	if w := c.WeightBytes(); w > (10+shardutil.MaxShards)*MinEntryBytes {
 		t.Fatalf("weight = %d exceeds budget", w)
+	}
+}
+
+// TestMaxRowsCompatAlias: the deprecated MaxRows still bounds the cache,
+// translated into bytes (and negative still disables accounting).
+func TestMaxRowsCompatAlias(t *testing.T) {
+	c := New(Config{Granularity: GranTable, MaxEntries: 100, MaxRows: 10})
+	budget := 10 * CompatRowBytes
+	huge := "SELECT a FROM t"
+	c.Put(huge, stmt(t, huge), res(500))
+	if c.Get(huge) != nil {
+		t.Fatalf("a %d-byte result passed a %d-byte MaxRows-derived budget",
+			ApproxBytes(res(500)), budget)
+	}
+	c = New(Config{Granularity: GranTable, MaxEntries: 100, MaxRows: -1})
+	c.Put(huge, stmt(t, huge), res(500))
+	if c.Get(huge) == nil {
+		t.Fatal("negative MaxRows no longer disables weight accounting")
 	}
 }

@@ -19,8 +19,8 @@ func (v *VirtualDatabase) Checkpoint(name string) (uint64, error) {
 	if v.log == nil {
 		return 0, ErrNoRecoveryLog
 	}
-	v.sched.LockWrites()
-	defer v.sched.UnlockWrites()
+	ticket := v.sched.LockAllWrites()
+	defer ticket.Unlock()
 	return v.log.Checkpoint(name)
 }
 
@@ -127,9 +127,10 @@ func (v *VirtualDatabase) catchUpAndEnable(b *backend.Backend, seq uint64) error
 		b.Disable()
 		return err
 	}
-	// Final catch-up with writes quiesced, then enable atomically.
-	v.sched.LockWrites()
-	defer v.sched.UnlockWrites()
+	// Final catch-up with every write class quiesced, then enable
+	// atomically.
+	ticket := v.sched.LockAllWrites()
+	defer ticket.Unlock()
 	if _, err := replayCommitted(v.log, last, b); err != nil {
 		b.Disable()
 		return err

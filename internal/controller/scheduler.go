@@ -2,6 +2,7 @@ package controller
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,17 +42,30 @@ func (p ResponsePolicy) String() string {
 	return "unknown"
 }
 
-// Scheduler implements §2.4.1: it imposes a total order on updates, commits
-// and aborts (one in progress per virtual database at a time), lets reads
-// from different transactions proceed concurrently, rewrites
-// non-deterministic macros, and allocates transaction identifiers.
+// Scheduler implements §2.4.1's ordering duty with conflict-class
+// scheduling instead of a single total order: updates, commits and aborts
+// are sequenced per conflict class — the set of tables a statement touches —
+// so writes on disjoint tables flow concurrently while writes sharing a
+// table, and everything global (DDL, unknown footprints), keep a strict
+// relative order. The invariant replicas need is not "one global order" but
+// "every pair of conflicting writes is enqueued to all backends in the same
+// relative order"; writes on disjoint table sets commute, so their relative
+// order is free. The scheduler also rewrites non-deterministic macros and
+// allocates transaction identifiers.
 type Scheduler struct {
-	// writeMu is the total-order point: writes are sequenced, logged and
-	// enqueued to the backends' FIFO queues while holding it.
-	writeMu sync.Mutex
+	// gate is the global ordering point: per-class lockers hold it shared,
+	// global operations (DDL, unknown footprints, checkpoint quiesce — and
+	// every write when parallelism is disabled) hold it exclusively.
+	gate sync.RWMutex
+
+	// classMu guards the class-lock table and the per-transaction write
+	// footprints.
+	classMu sync.Mutex
+	classes map[string]*classLock
+	txFeet  map[uint64]*txFootprint
 
 	// serializeAll disables the parallel-transactions optimization
-	// (§2.4.4): when set, reads serialize through writeMu as well.
+	// (§2.4.4): when set, reads and writes all serialize through the gate.
 	serializeAll bool
 
 	early ResponsePolicy
@@ -64,10 +78,26 @@ type Scheduler struct {
 	clock func() time.Time
 }
 
+// classLock is one table's write-sequencing lock, reference-counted so the
+// table map does not grow without bound.
+type classLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// txFootprint accumulates the tables a transaction has written, so its
+// commit or abort orders against every class the transaction touched.
+type txFootprint struct {
+	tables map[string]bool
+	global bool
+}
+
 // NewScheduler creates a scheduler. controllerID disambiguates transaction
 // identifiers when several controllers host the same virtual database.
 func NewScheduler(controllerID uint16, early ResponsePolicy, parallelTx bool) *Scheduler {
 	return &Scheduler{
+		classes:      make(map[string]*classLock),
+		txFeet:       make(map[uint64]*txFootprint),
 		serializeAll: !parallelTx,
 		early:        early,
 		txBase:       uint64(controllerID) << 48,
@@ -98,23 +128,133 @@ func (s *Scheduler) RewriteMacros(st sqlparser.Statement) {
 	s.rngMu.Unlock()
 }
 
-// LockWrites enters the total-order critical section.
-func (s *Scheduler) LockWrites() { s.writeMu.Lock() }
+// WriteTicket is one held conflict-class critical section. Logging and
+// enqueueing to every backend happen while it is held, which is what makes
+// conflicting writes reach all backends in the same relative order; it is
+// released before waiting on backend execution.
+type WriteTicket struct {
+	s      *Scheduler
+	global bool
+	names  []string
+	locks  []*classLock
+}
 
-// UnlockWrites leaves the total-order critical section.
-func (s *Scheduler) UnlockWrites() { s.writeMu.Unlock() }
+// LockClass enters the critical section of one conflict class. tables must
+// be sorted and deduplicated (sqlparser.ConflictClass and the plan cache
+// both provide that); the sorted acquisition order makes class lockers
+// deadlock-free. global (or a scheduler with parallelism disabled) takes
+// the whole gate exclusively, serializing against every class.
+func (s *Scheduler) LockClass(tables []string, global bool) *WriteTicket {
+	if global || s.serializeAll {
+		s.gate.Lock()
+		return &WriteTicket{s: s, global: true}
+	}
+	s.gate.RLock()
+	t := &WriteTicket{s: s, names: tables, locks: make([]*classLock, 0, len(tables))}
+	s.classMu.Lock()
+	for _, name := range tables {
+		cl := s.classes[name]
+		if cl == nil {
+			cl = &classLock{}
+			s.classes[name] = cl
+		}
+		cl.refs++
+		t.locks = append(t.locks, cl)
+	}
+	s.classMu.Unlock()
+	for _, cl := range t.locks {
+		cl.mu.Lock()
+	}
+	return t
+}
+
+// LockAllWrites quiesces every write class (checkpointing, backend
+// re-integration). Identical to a global LockClass.
+func (s *Scheduler) LockAllWrites() *WriteTicket { return s.LockClass(nil, true) }
+
+// Unlock leaves the conflict class's critical section.
+func (t *WriteTicket) Unlock() {
+	s := t.s
+	if t.global {
+		s.gate.Unlock()
+		return
+	}
+	for i := len(t.locks) - 1; i >= 0; i-- {
+		t.locks[i].mu.Unlock()
+	}
+	s.classMu.Lock()
+	for i, cl := range t.locks {
+		cl.refs--
+		if cl.refs == 0 {
+			delete(s.classes, t.names[i])
+		}
+	}
+	s.classMu.Unlock()
+	s.gate.RUnlock()
+}
+
+// NoteTxWrite accumulates a transaction's conflict footprint: the tables
+// (or global-ness) of every write it issued, so that its commit or abort
+// locks the same classes and orders against everything the transaction
+// touched.
+func (s *Scheduler) NoteTxWrite(txID uint64, tables []string, global bool) {
+	if txID == 0 {
+		return
+	}
+	s.classMu.Lock()
+	defer s.classMu.Unlock()
+	f := s.txFeet[txID]
+	if f == nil {
+		f = &txFootprint{tables: make(map[string]bool)}
+		s.txFeet[txID] = f
+	}
+	if global {
+		f.global = true
+	}
+	for _, t := range tables {
+		f.tables[t] = true
+	}
+}
+
+// TakeTxFootprint removes and returns a transaction's accumulated conflict
+// footprint (sorted), for its commit or abort to lock. A transaction that
+// never wrote has an empty, non-global footprint: its demarcation conflicts
+// with nothing.
+func (s *Scheduler) TakeTxFootprint(txID uint64) (tables []string, global bool) {
+	s.classMu.Lock()
+	f := s.txFeet[txID]
+	delete(s.txFeet, txID)
+	s.classMu.Unlock()
+	if f == nil {
+		return nil, false
+	}
+	tables = make([]string, 0, len(f.tables))
+	for t := range f.tables {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	return tables, f.global
+}
+
+// ForgetTx drops a transaction's footprint without locking anything, for
+// abort paths that bypass SQL demarcation.
+func (s *Scheduler) ForgetTx(txID uint64) {
+	s.classMu.Lock()
+	delete(s.txFeet, txID)
+	s.classMu.Unlock()
+}
 
 // BeginRead blocks reads only when parallel transactions are disabled.
 func (s *Scheduler) BeginRead() {
 	if s.serializeAll {
-		s.writeMu.Lock()
+		s.gate.Lock()
 	}
 }
 
 // EndRead matches BeginRead.
 func (s *Scheduler) EndRead() {
 	if s.serializeAll {
-		s.writeMu.Unlock()
+		s.gate.Unlock()
 	}
 }
 

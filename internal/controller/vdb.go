@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +13,7 @@ import (
 	"cjdbc/internal/cache"
 	"cjdbc/internal/plancache"
 	"cjdbc/internal/recovery"
+	"cjdbc/internal/sqlengine"
 	"cjdbc/internal/sqlparser"
 	"cjdbc/internal/sqlval"
 )
@@ -280,13 +280,15 @@ func (s *Session) InTransaction() bool { return s.txID != 0 }
 // TxID exposes the transaction identifier (0 when auto-committing).
 func (s *Session) TxID() uint64 { return s.txID }
 
-// Close rolls back any open transaction and invalidates the session.
+// Close rolls back any open transaction and invalidates the session. The
+// rollback goes straight through the end-of-transaction path — no parse or
+// plan-cache round trip for a fixed statement.
 func (s *Session) Close() {
 	if s.closed {
 		return
 	}
 	if s.txID != 0 {
-		_, _ = s.Exec("ROLLBACK", nil)
+		_, _ = s.execEndTx(sqlparser.ClassRollback, &sqlparser.Rollback{})
 	}
 	s.closed = true
 }
@@ -396,25 +398,16 @@ func (s *Session) execEndTx(class sqlparser.StatementClass, st sqlparser.Stateme
 		return d.SubmitWrite(txID, class, sql)
 	}
 
-	v.sched.LockWrites()
-	if v.log != nil {
-		lc := recovery.ClassCommit
-		if class == sqlparser.ClassRollback {
-			lc = recovery.ClassRollback
-		}
-		if _, err := v.log.Append(recovery.Entry{User: s.user, TxID: txID, Class: lc}); err != nil {
-			v.sched.UnlockWrites()
-			return nil, err
-		}
+	outs, err := v.orderedWrite(txID, class, st, "", s.user, nil, false)
+	if err != nil {
+		return nil, err
 	}
-	outs := v.dispatchEndTx(txID, class, st)
-	v.sched.UnlockWrites()
 	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
 }
 
 // dispatchEndTx enqueues the demarcation on every backend, delivering all
-// outcomes on one shared channel. Must run inside the total-order critical
-// section (or the distributed applier).
+// outcomes on one shared channel. Must run inside the transaction's
+// conflict-class critical section (orderedWrite).
 func (v *VirtualDatabase) dispatchEndTx(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement) backend.Outcomes {
 	bs := v.Backends()
 	outs := backend.Outcomes{C: make(chan backend.WriteOutcome, len(bs))}
@@ -453,26 +446,61 @@ func (s *Session) execWrite(plan *plancache.Plan, st sqlparser.Statement, sql st
 		return d.SubmitWrite(s.txID, sqlparser.ClassWrite, sql)
 	}
 
-	v.sched.LockWrites()
-	if v.log != nil {
-		if _, err := v.log.Append(recovery.Entry{User: s.user, TxID: s.txID, Class: recovery.ClassWrite, SQL: sql}); err != nil {
-			v.sched.UnlockWrites()
-			return nil, err
-		}
-	}
-	outs, err := v.dispatchWrite(s.txID, st, sql)
-	v.sched.UnlockWrites()
+	outs, err := v.orderedWrite(s.txID, sqlparser.ClassWrite, st, sql, s.user, plan.ConflictTables, plan.ConflictGlobal)
 	if err != nil {
 		return nil, err
 	}
 	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
 }
 
+// orderedWrite is the single conflict-class sequencing point shared by the
+// local and distributed write paths: it computes the operation's conflict
+// class (a write's table footprint; a demarcation's accumulated transaction
+// footprint), enters that class's critical section, appends the recovery
+// log entry (with the footprint, so replay can reconstruct the partial
+// order), enqueues the operation on the backends, and leaves the critical
+// section without waiting for execution. Holding the class locks across log
+// append and enqueue guarantees every pair of conflicting operations is
+// logged and enqueued to all backends in one consistent relative order;
+// disjoint classes run this section concurrently.
+//
+// For ClassWrite, tables/global is the statement's precomputed conflict
+// class (from the plan cache); demarcations ignore it and lock their
+// transaction's accumulated footprint instead.
+func (v *VirtualDatabase) orderedWrite(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement, sql, user string, tables []string, global bool) (backend.Outcomes, error) {
+	lc := recovery.ClassWrite
+	switch class {
+	case sqlparser.ClassCommit:
+		tables, global = v.sched.TakeTxFootprint(txID)
+		lc = recovery.ClassCommit
+	case sqlparser.ClassRollback:
+		tables, global = v.sched.TakeTxFootprint(txID)
+		lc = recovery.ClassRollback
+	}
+
+	ticket := v.sched.LockClass(tables, global)
+	defer ticket.Unlock()
+	if class == sqlparser.ClassWrite {
+		v.sched.NoteTxWrite(txID, tables, global)
+	}
+	if v.log != nil {
+		if _, err := v.log.Append(recovery.Entry{User: user, TxID: txID, Class: lc, SQL: sql, Tables: tables, Global: global, V: recovery.FootprintVersion}); err != nil {
+			return backend.Outcomes{}, err
+		}
+	}
+	if class == sqlparser.ClassWrite {
+		return v.dispatchWrite(txID, st, sql, tables, global)
+	}
+	return v.dispatchEndTx(txID, class, st), nil
+}
+
 // dispatchWrite enqueues a write on every backend hosting the affected
 // tables and maintains the dynamic schema and the cache, delivering all
-// outcomes on one shared channel. Must run inside the total-order critical
-// section (or the distributed applier).
-func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql string) (backend.Outcomes, error) {
+// outcomes on one shared channel. Must run inside the write's
+// conflict-class critical section (orderedWrite): conflicting writes
+// invalidate the cache and enqueue in one consistent order, and DDL holds
+// the class gate exclusively so schema maintenance never races a write.
+func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql string, cTables []string, cGlobal bool) (backend.Outcomes, error) {
 	tables := st.Tables()
 	targets := v.repl.WriteTargets(tables, v.Backends())
 	if len(targets) == 0 {
@@ -483,7 +511,7 @@ func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql
 
 	outs := backend.NewOutcomes(len(targets))
 	for _, b := range targets {
-		b.EnqueueWriteTo(txID, sqlparser.ClassWrite, st, sql, outs.C)
+		b.EnqueueWriteClassTo(txID, sqlparser.ClassWrite, st, sql, cTables, cGlobal, outs.C)
 	}
 
 	// Dynamic schema maintenance (§2.4.3: updated on each create or drop).
@@ -564,11 +592,15 @@ func (v *VirtualDatabase) execRead(txID uint64, plan *plancache.Plan, st sqlpars
 }
 
 // isSemanticError distinguishes statement errors (identical on every
-// replica, so failover is pointless) from backend faults. The engine and
-// parser prefix their errors distinctively.
+// replica, so failover is pointless and disabling a backend would be wrong)
+// from backend faults. The engine, parser, value layer and backend export
+// errors.Is-able sentinels, so the classification survives message-text
+// changes.
 func isSemanticError(err error) bool {
-	msg := err.Error()
-	return strings.HasPrefix(msg, "engine:") || strings.HasPrefix(msg, "sql:")
+	return errors.Is(err, sqlengine.ErrSemantic) ||
+		errors.Is(err, sqlparser.ErrParse) ||
+		errors.Is(err, sqlval.ErrValue) ||
+		errors.Is(err, backend.ErrStatement)
 }
 
 func (v *VirtualDatabase) distributorSnapshot() Distributor {
@@ -578,45 +610,43 @@ func (v *VirtualDatabase) distributorSnapshot() Distributor {
 }
 
 // DispatchOrdered is the entry point the distributed request manager uses
-// when a totally ordered write is delivered: it logs and enqueues exactly
-// like the local path, but the caller supplies the ordering (deliveries are
-// processed sequentially) and waits on the returned outcome channel itself.
-// It never blocks on backend execution, so a transactional write waiting on
+// when a totally ordered write is delivered: group communication supplies
+// the delivery order, and the sequential applier hands each delivery to the
+// same conflict-class sequencer the local path uses (orderedWrite), so
+// conflicting deliveries keep their total-order position while disjoint
+// classes execute in parallel on the backends' conflict lanes. It never
+// blocks on backend execution, so a transactional write waiting on
 // database locks cannot stall the delivery of the commit that would release
 // them. The parsing cache is consulted but not populated here: ordered
 // writes arrive with parameters already rendered as literals, so their
 // texts rarely repeat and would only churn the LRU.
 func (v *VirtualDatabase) DispatchOrdered(txID uint64, class sqlparser.StatementClass, sql string, user string) (backend.Outcomes, error) {
 	var st sqlparser.Statement
-	key := plancache.Normalize(sql)
-	if v.plans != nil {
-		if p := v.plans.Get(key); p != nil {
-			st = p.Stmt
+	var cTables []string
+	var cGlobal bool
+	switch class {
+	case sqlparser.ClassCommit:
+		st = &sqlparser.Commit{}
+	case sqlparser.ClassRollback:
+		st = &sqlparser.Rollback{}
+	default:
+		key := plancache.Normalize(sql)
+		if v.plans != nil {
+			if p := v.plans.Get(key); p != nil {
+				st = p.Stmt
+				cTables, cGlobal = p.ConflictTables, p.ConflictGlobal
+			}
+		}
+		if st == nil {
+			var err error
+			st, err = sqlparser.Parse(key)
+			if err != nil {
+				return backend.Outcomes{}, err
+			}
+			cTables, cGlobal = sqlparser.ConflictClass(st)
 		}
 	}
-	if st == nil {
-		var err error
-		st, err = sqlparser.Parse(key)
-		if err != nil {
-			return backend.Outcomes{}, err
-		}
-	}
-	if v.log != nil {
-		lc := recovery.ClassWrite
-		switch class {
-		case sqlparser.ClassCommit:
-			lc = recovery.ClassCommit
-		case sqlparser.ClassRollback:
-			lc = recovery.ClassRollback
-		}
-		if _, err := v.log.Append(recovery.Entry{User: user, TxID: txID, Class: lc, SQL: sql}); err != nil {
-			return backend.Outcomes{}, err
-		}
-	}
-	if class == sqlparser.ClassWrite {
-		return v.dispatchWrite(txID, st, sql)
-	}
-	return v.dispatchEndTx(txID, class, st), nil
+	return v.orderedWrite(txID, class, st, sql, user, cTables, cGlobal)
 }
 
 // ApplyOrderedWrite dispatches one ordered write and waits per the
@@ -639,6 +669,7 @@ func (v *VirtualDatabase) WaitPolicy(outs backend.Outcomes) (*backend.Result, er
 // AbortSessionTx releases a transaction's backend connections without going
 // through SQL, used when a network session dies.
 func (v *VirtualDatabase) AbortSessionTx(txID uint64) {
+	v.sched.ForgetTx(txID)
 	for _, b := range v.Backends() {
 		b.AbortTx(txID)
 	}

@@ -45,6 +45,12 @@ type Plan struct {
 	// HasMacros reports whether the tree contains NOW()/RAND()-style macros
 	// the scheduler must rewrite per execution.
 	HasMacros bool
+	// ConflictTables / ConflictGlobal are the statement's precomputed
+	// conflict class (sorted, deduplicated table footprint, or
+	// conflicts-with-everything) for the scheduler's conflict-class write
+	// sequencing.
+	ConflictTables []string
+	ConflictGlobal bool
 }
 
 // Normalize turns SQL text into the cache key. It matches the result cache's
@@ -55,15 +61,18 @@ func Normalize(sql string) string { return strings.TrimSpace(sql) }
 // already be normalized.
 func Build(sql string, st sqlparser.Statement) *Plan {
 	cols, colsOK := sqlparser.ReadColumns(st)
+	cTables, cGlobal := sqlparser.ConflictClass(st)
 	return &Plan{
-		SQL:        sql,
-		Stmt:       st,
-		Class:      sqlparser.Classify(st),
-		Tables:     st.Tables(),
-		ReadCols:   cols,
-		ReadColsOK: colsOK,
-		NumParams:  sqlparser.NumParams(st),
-		HasMacros:  sqlparser.HasMacros(st),
+		SQL:            sql,
+		Stmt:           st,
+		Class:          sqlparser.Classify(st),
+		Tables:         st.Tables(),
+		ReadCols:       cols,
+		ReadColsOK:     colsOK,
+		NumParams:      sqlparser.NumParams(st),
+		HasMacros:      sqlparser.HasMacros(st),
+		ConflictTables: cTables,
+		ConflictGlobal: cGlobal,
 	}
 }
 

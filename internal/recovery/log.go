@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 )
 
@@ -28,7 +29,13 @@ const (
 	ClassCheckpoint EntryClass = "checkpoint"
 )
 
-// Entry is one recovery log record.
+// Entry is one recovery log record. Seq is assigned by the log under the
+// appender's conflict-class critical section, so for any two conflicting
+// operations (their Tables footprints intersect, or either is global) the
+// sequence order equals the order every backend applied them in; entries of
+// disjoint classes may interleave freely — any interleaving is a valid
+// serialization. Sequential replay in Seq order therefore reconstructs the
+// same partial order.
 type Entry struct {
 	Seq   uint64     `json:"seq"`
 	User  string     `json:"user"`
@@ -36,6 +43,63 @@ type Entry struct {
 	Class EntryClass `json:"class"`
 	SQL   string     `json:"sql,omitempty"`
 	Name  string     `json:"name,omitempty"` // checkpoint marker name
+	// Tables is the conflict footprint the operation was sequenced under:
+	// a write's table set, or a demarcation's accumulated transaction
+	// footprint. Empty with Global unset means "touched nothing" for
+	// demarcations (and, for legacy write entries predating Global,
+	// conflicts-with-everything).
+	Tables []string `json:"tables,omitempty"`
+	// Global marks an operation sequenced gate-exclusive (DDL, unknown
+	// footprints, or a demarcation of a transaction that performed one):
+	// it conflicts with everything regardless of Tables.
+	Global bool `json:"global,omitempty"`
+	// V is the footprint schema version: entries appended by the
+	// conflict-class sequencer carry V=1, so an empty demarcation
+	// footprint means "touched nothing". Entries with V=0 predate
+	// footprints (or passed through a storage that cannot persist them,
+	// like a legacy SQL log table) and their footprint is unknown.
+	V uint8 `json:"v,omitempty"`
+}
+
+// FootprintVersion is the V stamped on entries whose footprint fields are
+// authoritative (set by the conflict-class sequencer at append time).
+const FootprintVersion = 1
+
+// ConflictsWith reports whether two entries were sequenced in the same
+// conflict class (their footprints intersect, either was sequenced
+// globally, or they belong to the same transaction). For such pairs the
+// Seq order is the order every backend applied them in. Entries whose
+// footprint is unknown (V=0: written before footprints existed, or read
+// back from a storage that cannot persist them) are conservatively treated
+// as conflicting with everything.
+func (e *Entry) ConflictsWith(o *Entry) bool {
+	if e.TxID != 0 && e.TxID == o.TxID {
+		return true
+	}
+	isGlobal := func(x *Entry) bool {
+		if x.Global {
+			return true
+		}
+		switch x.Class {
+		case ClassWrite:
+			return len(x.Tables) == 0
+		case ClassCommit, ClassRollback:
+			// Only a footprint-aware entry may claim "touched nothing".
+			return x.V < FootprintVersion
+		}
+		return false
+	}
+	if isGlobal(e) || isGlobal(o) {
+		return true
+	}
+	for _, a := range e.Tables {
+		for _, b := range o.Tables {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Log is the recovery log interface. Implementations must be safe for
@@ -250,12 +314,17 @@ type SQLExecutor interface {
 }
 
 // SQLLog stores the log in a database via SQL, the "log stored in a
-// database using JDBC" option of §3.2.
+// database using JDBC" option of §3.2. Conflict footprints are stored in a
+// tables_csv column ("*" marks a globally sequenced entry); a log table
+// created before that column existed is detected at open time and used in
+// legacy mode (no footprints persisted), since CREATE TABLE IF NOT EXISTS
+// cannot extend an existing schema.
 type SQLLog struct {
-	mu   sync.Mutex
-	db   SQLExecutor
-	seq  uint64
-	name string
+	mu     sync.Mutex
+	db     SQLExecutor
+	seq    uint64
+	name   string
+	legacy bool // pre-footprint 6-column table
 }
 
 // NewSQLLog creates (if needed) the log table and returns a database-backed
@@ -263,10 +332,24 @@ type SQLLog struct {
 func NewSQLLog(db SQLExecutor, tableName string) (*SQLLog, error) {
 	l := &SQLLog{db: db, name: tableName}
 	_, err := db.ExecSQL(fmt.Sprintf(
-		`CREATE TABLE IF NOT EXISTS %s (seq INTEGER PRIMARY KEY, usr VARCHAR, tx INTEGER, class VARCHAR, sql_text VARCHAR, name VARCHAR)`,
+		`CREATE TABLE IF NOT EXISTS %s (seq INTEGER PRIMARY KEY, usr VARCHAR, tx INTEGER, class VARCHAR, sql_text VARCHAR, name VARCHAR, tables_csv VARCHAR)`,
 		tableName))
 	if err != nil {
 		return nil, fmt.Errorf("recovery: create log table: %w", err)
+	}
+	// Probe for the footprint column: an existing pre-footprint table kept
+	// its old schema (IF NOT EXISTS is a no-op), so fall back to writing
+	// and reading the six legacy columns. The star expansion's column list
+	// reflects the actual schema even when the table is empty (selecting a
+	// missing column over zero rows would not error — projection is lazy).
+	if cols, _, err := db.QuerySQL(fmt.Sprintf("SELECT * FROM %s WHERE seq = 0", tableName)); err == nil {
+		l.legacy = true
+		for _, c := range cols {
+			if strings.EqualFold(c, "tables_csv") {
+				l.legacy = false
+				break
+			}
+		}
 	}
 	// Restore the sequence counter.
 	_, rows, err := db.QuerySQL(fmt.Sprintf("SELECT MAX(seq) FROM %s", tableName))
@@ -279,12 +362,34 @@ func NewSQLLog(db SQLExecutor, tableName string) (*SQLLog, error) {
 	return l, nil
 }
 
+// encodeTables renders an entry's conflict footprint for tables_csv: "*"
+// for gate-exclusive entries, "-" for a footprint-aware entry that touched
+// nothing (distinguishing it from legacy rows with no footprint at all),
+// else the comma-joined table list.
+func encodeTables(e Entry) string {
+	switch {
+	case e.Global:
+		return "*"
+	case len(e.Tables) == 0 && e.V >= FootprintVersion:
+		return "-"
+	}
+	return strings.Join(e.Tables, ",")
+}
+
 func (l *SQLLog) insertLocked(e Entry) (uint64, error) {
 	l.seq++
 	e.Seq = l.seq
-	_, err := l.db.ExecSQL(fmt.Sprintf(
-		"INSERT INTO %s (seq, usr, tx, class, sql_text, name) VALUES (%d, '%s', %d, '%s', '%s', '%s')",
-		l.name, e.Seq, escape(e.User), e.TxID, e.Class, escape(e.SQL), escape(e.Name)))
+	var err error
+	if l.legacy {
+		_, err = l.db.ExecSQL(fmt.Sprintf(
+			"INSERT INTO %s (seq, usr, tx, class, sql_text, name) VALUES (%d, '%s', %d, '%s', '%s', '%s')",
+			l.name, e.Seq, escape(e.User), e.TxID, e.Class, escape(e.SQL), escape(e.Name)))
+	} else {
+		_, err = l.db.ExecSQL(fmt.Sprintf(
+			"INSERT INTO %s (seq, usr, tx, class, sql_text, name, tables_csv) VALUES (%d, '%s', %d, '%s', '%s', '%s', '%s')",
+			l.name, e.Seq, escape(e.User), e.TxID, e.Class, escape(e.SQL), escape(e.Name),
+			escape(encodeTables(e))))
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -322,8 +427,12 @@ func (l *SQLLog) CheckpointSeq(name string) (uint64, bool, error) {
 
 // Since implements Log.
 func (l *SQLLog) Since(seq uint64) ([]Entry, error) {
+	cols := "seq, usr, tx, class, sql_text, name, tables_csv"
+	if l.legacy {
+		cols = "seq, usr, tx, class, sql_text, name"
+	}
 	_, rows, err := l.db.QuerySQL(fmt.Sprintf(
-		"SELECT seq, usr, tx, class, sql_text, name FROM %s WHERE seq > %d ORDER BY seq", l.name, seq))
+		"SELECT %s FROM %s WHERE seq > %d ORDER BY seq", cols, l.name, seq))
 	if err != nil {
 		return nil, err
 	}
@@ -336,6 +445,17 @@ func (l *SQLLog) Since(seq uint64) ([]Entry, error) {
 		e.Class = EntryClass(r[3])
 		e.SQL = r[4]
 		e.Name = r[5]
+		if len(r) > 6 && r[6] != "" && r[6] != "NULL" {
+			e.V = FootprintVersion
+			switch r[6] {
+			case "*":
+				e.Global = true
+			case "-":
+				// footprint-aware, touched nothing
+			default:
+				e.Tables = strings.Split(r[6], ",")
+			}
+		}
 		out = append(out, e)
 	}
 	return out, nil

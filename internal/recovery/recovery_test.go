@@ -325,3 +325,80 @@ func TestInsertSQLBatching(t *testing.T) {
 		t.Errorf("batch form: %s", stmts[0][:40])
 	}
 }
+
+// TestSQLLogLegacySchemaStillAppends: a log table created before the
+// tables_csv footprint column existed must keep working — CREATE TABLE IF
+// NOT EXISTS cannot extend it, so the log detects the old schema at open
+// and writes/reads the six legacy columns (footprints simply not persisted).
+func TestSQLLogLegacySchemaStillAppends(t *testing.T) {
+	db := engineExecutor{sqlengine.New("legacydb")}
+	if _, err := db.ExecSQL(`CREATE TABLE rl (seq INTEGER PRIMARY KEY, usr VARCHAR, tx INTEGER, class VARCHAR, sql_text VARCHAR, name VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecSQL(`INSERT INTO rl (seq, usr, tx, class, sql_text, name) VALUES (1, 'u', 0, 'write', 'INSERT INTO t (a) VALUES (1)', '')`); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewSQLLog(db, "rl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Entry{User: "u", Class: ClassWrite, SQL: "w2", Tables: []string{"t"}}); err != nil {
+		t.Fatalf("append on legacy schema: %v", err)
+	}
+	got, err := l.Since(0)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("since on legacy schema: %v, %d entries", err, len(got))
+	}
+	if got[1].SQL != "w2" || got[1].Seq != 2 {
+		t.Fatalf("appended entry: %+v", got[1])
+	}
+}
+
+// TestSQLLogFootprintRoundTrip: table footprints and the gate-exclusive
+// marker survive the SQL encoding.
+func TestSQLLogFootprintRoundTrip(t *testing.T) {
+	l, err := NewSQLLog(engineExecutor{sqlengine.New("fpdb")}, "rl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Entry{Class: ClassWrite, SQL: "w", Tables: []string{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Entry{Class: ClassWrite, SQL: "ddl", Global: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Since(0)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("since: %v, %d", err, len(got))
+	}
+	if len(got[0].Tables) != 2 || got[0].Tables[0] != "a" || got[0].Tables[1] != "b" || got[0].Global {
+		t.Fatalf("footprint entry: %+v", got[0])
+	}
+	if !got[1].Global || len(got[1].Tables) != 0 {
+		t.Fatalf("global entry: %+v", got[1])
+	}
+	if !got[0].ConflictsWith(&got[1]) {
+		t.Fatal("global entry must conflict with everything")
+	}
+}
+
+// TestEntryConflictsWithGlobalDemarcation: a commit of a transaction that
+// was sequenced gate-exclusive (e.g. it performed DDL) conflicts with
+// everything even though its table list is empty.
+func TestEntryConflictsWithGlobalDemarcation(t *testing.T) {
+	commit := Entry{TxID: 1, Class: ClassCommit, Global: true}
+	w := Entry{TxID: 2, Class: ClassWrite, Tables: []string{"x"}, V: FootprintVersion}
+	if !commit.ConflictsWith(&w) {
+		t.Fatal("global commit must conflict with a write")
+	}
+	empty := Entry{TxID: 3, Class: ClassCommit, V: FootprintVersion}
+	if empty.ConflictsWith(&w) {
+		t.Fatal("a footprint-aware commit that touched nothing conflicts with nothing")
+	}
+	// A demarcation from before footprints existed has an UNKNOWN
+	// footprint, not an empty one: it must be treated conservatively.
+	legacy := Entry{TxID: 4, Class: ClassCommit}
+	if !legacy.ConflictsWith(&w) {
+		t.Fatal("a legacy commit's footprint is unknown: must conflict with everything")
+	}
+}

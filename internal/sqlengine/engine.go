@@ -1,7 +1,6 @@
 package sqlengine
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,18 +11,20 @@ import (
 	"cjdbc/internal/sqlval"
 )
 
-// Errors reported by the engine.
+// Errors reported by the engine. All carry the ErrSemantic sentinel
+// (errors.Is-able): they fail identically on every replica, so the
+// clustering middleware never treats them as backend faults.
 var (
 	// ErrLockTimeout is returned when a statement cannot acquire its table
 	// locks within the engine's lock timeout; the paper's backends would
 	// report a deadlock or lock-wait timeout the same way.
-	ErrLockTimeout = errors.New("engine: lock wait timeout (possible deadlock)")
+	ErrLockTimeout = errf("lock wait timeout (possible deadlock)")
 	// ErrNoTransaction is returned by COMMIT/ROLLBACK outside a transaction.
-	ErrNoTransaction = errors.New("engine: no transaction in progress")
+	ErrNoTransaction = errf("no transaction in progress")
 	// ErrTxInProgress is returned by BEGIN inside a transaction.
-	ErrTxInProgress = errors.New("engine: transaction already in progress")
+	ErrTxInProgress = errf("transaction already in progress")
 	// ErrClosed is returned when the engine has been shut down.
-	ErrClosed = errors.New("engine: closed")
+	ErrClosed = errf("closed")
 )
 
 // TableNotFoundError reports a reference to a missing table.
@@ -37,13 +38,17 @@ func (e *TableNotFoundError) Error() string {
 // Engine is one database backend instance. It is safe for concurrent use by
 // multiple sessions.
 //
-// Concurrency model: mu is a sharded read/write lock over the catalog and
-// all table storage. Reads (SELECT and the metadata accessors) hold one
-// shard shared, so any number of readers execute concurrently on one
-// backend without even sharing a lock cache line; writes, DDL and undo
-// replay hold every shard exclusively and serialize against everything.
-// Stats counters are sharded atomics so the read path never takes the
-// exclusive lock and sessions do not contend on one counter.
+// Concurrency model: mu is a sharded read/write lock over the catalog;
+// each table additionally carries its own storage latch (table.store).
+// Reads (SELECT and the metadata accessors) hold one mu shard shared plus
+// a shared latch on each scanned table; DML holds one mu shard shared plus
+// its target table's latch exclusive, so writes to disjoint tables execute
+// concurrently on one backend while writes to the same table — already
+// serialized by the lock manager's exclusive table locks — exclude that
+// table's readers. DDL and undo replay hold every mu shard exclusively and
+// serialize against everything. Stats counters are sharded atomics so the
+// read path never takes the exclusive lock and sessions do not contend on
+// one counter.
 type Engine struct {
 	name string
 
@@ -160,6 +165,8 @@ func (e *Engine) RowCount(name string) (int, error) {
 	if !ok {
 		return 0, &TableNotFoundError{Table: name}
 	}
+	t.store.RLock()
+	defer t.store.RUnlock()
 	return len(t.rows), nil
 }
 
@@ -173,6 +180,8 @@ func (e *Engine) SnapshotTable(name string) (*Schema, [][]sqlval.Value, error) {
 	if !ok {
 		return nil, nil, &TableNotFoundError{Table: name}
 	}
+	t.store.RLock()
+	defer t.store.RUnlock()
 	cp := *t.schema
 	cp.Columns = append([]Column(nil), t.schema.Columns...)
 	var rows [][]sqlval.Value

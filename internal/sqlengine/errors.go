@@ -1,0 +1,28 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+
+	"cjdbc/internal/senterr"
+)
+
+// ErrSemantic is the errors.Is sentinel for statement-level failures:
+// errors that are a property of the statement and the (replicated) data, so
+// every replica fails identically — bad SQL semantics, missing tables or
+// columns, constraint violations, lock timeouts, transaction-state misuse.
+// The clustering middleware uses it to separate "the statement is wrong"
+// from "this backend is broken": semantic errors must never trigger
+// failover or disable a backend. Every error the engine constructs carries
+// this sentinel; match with errors.Is(err, ErrSemantic) instead of sniffing
+// the "engine:" message prefix.
+var ErrSemantic = errors.New("engine: semantic statement error")
+
+// errf builds an engine error carrying the ErrSemantic sentinel. All engine
+// statement errors are constructed through it.
+func errf(format string, args ...any) error {
+	return senterr.Wrap(ErrSemantic, fmt.Errorf("engine: "+format, args...))
+}
+
+// Is marks missing-table errors as semantic.
+func (e *TableNotFoundError) Is(target error) bool { return target == ErrSemantic }

@@ -1,7 +1,6 @@
 package sqlengine
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -27,7 +26,7 @@ func (ev *env) lookupColumn(e *sqlparser.Expr) (sqlval.Value, error) {
 	}
 	idx, ok := ev.cols[key]
 	if !ok {
-		return sqlval.Null, fmt.Errorf("engine: unknown column %q", key)
+		return sqlval.Null, errf("unknown column %q", key)
 	}
 	return ev.row[idx], nil
 }
@@ -42,9 +41,9 @@ func (ev *env) eval(e *sqlparser.Expr) (sqlval.Value, error) {
 	case sqlparser.ExprColumn:
 		return ev.lookupColumn(e)
 	case sqlparser.ExprParam:
-		return sqlval.Null, fmt.Errorf("engine: unbound parameter ?%d", e.ParamIdx+1)
+		return sqlval.Null, errf("unbound parameter ?%d", e.ParamIdx+1)
 	case sqlparser.ExprStar:
-		return sqlval.Null, fmt.Errorf("engine: '*' outside COUNT(*)")
+		return sqlval.Null, errf("'*' outside COUNT(*)")
 	case sqlparser.ExprUnary:
 		return ev.evalUnary(e)
 	case sqlparser.ExprBinary:
@@ -71,7 +70,7 @@ func (ev *env) eval(e *sqlparser.Expr) (sqlval.Value, error) {
 		}
 		return sqlval.Bool(res), nil
 	}
-	return sqlval.Null, fmt.Errorf("engine: cannot evaluate expression kind %d", e.Kind)
+	return sqlval.Null, errf("cannot evaluate expression kind %d", e.Kind)
 }
 
 func (ev *env) evalUnary(e *sqlparser.Expr) (sqlval.Value, error) {
@@ -98,7 +97,7 @@ func (ev *env) evalUnary(e *sqlparser.Expr) (sqlval.Value, error) {
 		}
 		return sqlval.Bool(!v.AsBool()), nil
 	}
-	return sqlval.Null, fmt.Errorf("engine: unknown unary operator %q", e.Op)
+	return sqlval.Null, errf("unknown unary operator %q", e.Op)
 }
 
 func (ev *env) evalBinary(e *sqlparser.Expr) (sqlval.Value, error) {
@@ -201,7 +200,7 @@ func (ev *env) evalBinary(e *sqlparser.Expr) (sqlval.Value, error) {
 		}
 		return sqlval.Bool(m), nil
 	}
-	return sqlval.Null, fmt.Errorf("engine: unknown operator %q", e.Op)
+	return sqlval.Null, errf("unknown operator %q", e.Op)
 }
 
 func (ev *env) evalIn(e *sqlparser.Expr) (sqlval.Value, error) {
@@ -257,7 +256,7 @@ func (ev *env) evalBetween(e *sqlparser.Expr) (sqlval.Value, error) {
 
 func (ev *env) evalFunc(e *sqlparser.Expr) (sqlval.Value, error) {
 	if sqlparser.IsAggregate(e.Func) {
-		return sqlval.Null, fmt.Errorf("engine: aggregate %s outside grouped query", e.Func)
+		return sqlval.Null, errf("aggregate %s outside grouped query", e.Func)
 	}
 	args := make([]sqlval.Value, len(e.Args))
 	for i, a := range e.Args {
@@ -269,7 +268,7 @@ func (ev *env) evalFunc(e *sqlparser.Expr) (sqlval.Value, error) {
 	}
 	need := func(n int) error {
 		if len(args) != n {
-			return fmt.Errorf("engine: %s expects %d argument(s), got %d", e.Func, n, len(args))
+			return errf("%s expects %d argument(s), got %d", e.Func, n, len(args))
 		}
 		return nil
 	}
@@ -368,7 +367,7 @@ func (ev *env) evalFunc(e *sqlparser.Expr) (sqlval.Value, error) {
 		return sqlval.String_(b.String()), nil
 	case "SUBSTR", "SUBSTRING":
 		if len(args) != 2 && len(args) != 3 {
-			return sqlval.Null, fmt.Errorf("engine: SUBSTR expects 2 or 3 arguments")
+			return sqlval.Null, errf("SUBSTR expects 2 or 3 arguments")
 		}
 		if args[0].IsNull() {
 			return sqlval.Null, nil
@@ -404,7 +403,7 @@ func (ev *env) evalFunc(e *sqlparser.Expr) (sqlval.Value, error) {
 		}
 		return sqlval.Mod(args[0], args[1])
 	}
-	return sqlval.Null, fmt.Errorf("engine: unknown function %s", e.Func)
+	return sqlval.Null, errf("unknown function %s", e.Func)
 }
 
 // likeMatch implements SQL LIKE: '%' matches any run, '_' one character.

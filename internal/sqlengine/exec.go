@@ -1,7 +1,6 @@
 package sqlengine
 
 import (
-	"fmt"
 	"strings"
 	"time"
 
@@ -86,7 +85,7 @@ func (s *Session) Exec(st sqlparser.Statement) (*Result, error) {
 	case *sqlparser.Select:
 		return s.execWithCleanup(func() (*Result, error) { return s.execSelect(t) })
 	}
-	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	return nil, errf("unsupported statement %T", st)
 }
 
 // execWithCleanup runs one statement body and applies auto-commit cleanup.
@@ -137,7 +136,7 @@ func (s *Session) execCreateTable(ct *sqlparser.CreateTable) (*Result, error) {
 		for _, pk := range ct.PrimaryKey {
 			idx := schema.ColumnIndex(pk)
 			if idx < 0 {
-				return nil, fmt.Errorf("engine: PRIMARY KEY column %q not in table %s", pk, name)
+				return nil, errf("PRIMARY KEY column %q not in table %s", pk, name)
 			}
 			schema.Columns[idx].PrimaryKey = true
 			schema.Columns[idx].NotNull = true
@@ -168,7 +167,7 @@ func (s *Session) execCreateTable(ct *sqlparser.CreateTable) (*Result, error) {
 		if ct.IfNotExists {
 			return &Result{}, nil
 		}
-		return nil, fmt.Errorf("engine: table %q already exists", name)
+		return nil, errf("table %q already exists", name)
 	}
 	if ct.Temporary {
 		s.temp[name] = tbl
@@ -226,7 +225,7 @@ func (s *Session) execCreateIndex(ci *sqlparser.CreateIndex) (*Result, error) {
 	for _, c := range ci.Columns {
 		idx := t.schema.ColumnIndex(c)
 		if idx < 0 {
-			return nil, fmt.Errorf("engine: unknown column %q in index %s", c, ci.Name)
+			return nil, errf("unknown column %q in index %s", c, ci.Name)
 		}
 		cols = append(cols, idx)
 	}
@@ -252,7 +251,7 @@ func (s *Session) execDropIndex(di *sqlparser.DropIndex) (*Result, error) {
 	}
 	ixName := strings.ToLower(di.Name)
 	if _, ok := t.indexes[ixName]; !ok {
-		return nil, fmt.Errorf("engine: index %q does not exist on %s", di.Name, name)
+		return nil, errf("index %q does not exist on %s", di.Name, name)
 	}
 	delete(t.indexes, ixName)
 	// Dropping an index is not undone (index rebuild on rollback is not
@@ -265,7 +264,7 @@ func (s *Session) execDropIndex(di *sqlparser.DropIndex) (*Result, error) {
 func coerce(v sqlval.Value, col *Column) (sqlval.Value, error) {
 	if v.IsNull() {
 		if col.NotNull && !col.AutoIncrement {
-			return v, fmt.Errorf("engine: NULL in NOT NULL column %q", col.Name)
+			return v, errf("NULL in NOT NULL column %q", col.Name)
 		}
 		return v, nil
 	}
@@ -321,12 +320,17 @@ func (s *Session) execInsert(ins *sqlparser.Insert) (*Result, error) {
 	if err := s.lockTable(name, true, s.lockDeadline()); err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// DML holds the engine lock shared (excluding DDL and undo replay) plus
+	// this table's storage latch exclusive, so inserts into disjoint tables
+	// run concurrently on one backend.
+	e.mu.RLock(s.shard)
+	defer e.mu.RUnlock(s.shard)
 	t := s.resolveLocked(name)
 	if t == nil {
 		return nil, &TableNotFoundError{Table: name}
 	}
+	t.store.Lock()
+	defer t.store.Unlock()
 	schema := t.schema
 
 	// Map statement columns to schema positions.
@@ -335,7 +339,7 @@ func (s *Session) execInsert(ins *sqlparser.Insert) (*Result, error) {
 		for _, c := range ins.Columns {
 			idx := schema.ColumnIndex(c)
 			if idx < 0 {
-				return nil, fmt.Errorf("engine: unknown column %q in INSERT into %s", c, name)
+				return nil, errf("unknown column %q in INSERT into %s", c, name)
 			}
 			colIdx = append(colIdx, idx)
 		}
@@ -348,7 +352,7 @@ func (s *Session) execInsert(ins *sqlparser.Insert) (*Result, error) {
 	ev := &env{}
 	buildRow := func(vals []sqlval.Value) ([]sqlval.Value, error) {
 		if len(vals) != len(colIdx) {
-			return nil, fmt.Errorf("engine: INSERT into %s: %d values for %d columns", name, len(vals), len(colIdx))
+			return nil, errf("INSERT into %s: %d values for %d columns", name, len(vals), len(colIdx))
 		}
 		row := make([]sqlval.Value, len(schema.Columns))
 		set := make([]bool, len(schema.Columns))
@@ -444,12 +448,14 @@ func (s *Session) execUpdate(up *sqlparser.Update) (*Result, error) {
 		return nil, err
 	}
 	e := s.engine
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock(s.shard)
+	defer e.mu.RUnlock(s.shard)
 	t := s.resolveLocked(name)
 	if t == nil {
 		return nil, &TableNotFoundError{Table: name}
 	}
+	t.store.Lock()
+	defer t.store.Unlock()
 	schema := t.schema
 	cols := t.cols
 
@@ -457,7 +463,7 @@ func (s *Session) execUpdate(up *sqlparser.Update) (*Result, error) {
 	for _, a := range up.Set {
 		idx := schema.ColumnIndex(a.Column)
 		if idx < 0 {
-			return nil, fmt.Errorf("engine: unknown column %q in UPDATE %s", a.Column, name)
+			return nil, errf("unknown column %q in UPDATE %s", a.Column, name)
 		}
 		setIdx = append(setIdx, idx)
 	}
@@ -507,12 +513,14 @@ func (s *Session) execDelete(del *sqlparser.Delete) (*Result, error) {
 		return nil, err
 	}
 	e := s.engine
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock(s.shard)
+	defer e.mu.RUnlock(s.shard)
 	t := s.resolveLocked(name)
 	if t == nil {
 		return nil, &TableNotFoundError{Table: name}
 	}
+	t.store.Lock()
+	defer t.store.Unlock()
 	cols := t.cols
 	ids := candidateIDs(e, t, cols, del.Where)
 	var affected int64
@@ -548,5 +556,5 @@ func parseTime(s string) (time.Time, error) {
 			return tt, nil
 		}
 	}
-	return time.Time{}, fmt.Errorf("engine: cannot parse %q as timestamp", s)
+	return time.Time{}, errf("cannot parse %q as timestamp", s)
 }

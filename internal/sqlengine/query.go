@@ -29,14 +29,17 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 		return s.selectNoFrom(sel)
 	}
 
-	// Reads take no table locks: like the consistent nonblocking reads of
-	// the paper's InnoDB backends, readers never block writers and never
-	// participate in deadlock cycles. Statement-level atomicity comes from
-	// the engine's RW lock, held shared here so any number of SELECTs run
-	// concurrently and serialize only against writes; a reader may observe
-	// another transaction's uncommitted rows, which the clustering
-	// middleware tolerates exactly as C-JDBC tolerates its backends'
-	// isolation levels.
+	// Reads take no lock-manager table locks: like the consistent
+	// nonblocking reads of the paper's InnoDB backends, readers never block
+	// writers at the transaction level and never participate in deadlock
+	// cycles. Statement-level atomicity comes from two layers: the engine's
+	// RW lock, held shared here (excluding DDL and undo replay, which hold
+	// it exclusively), plus a shared storage latch on every scanned table
+	// (excluding concurrent DML, which latches only its target table
+	// exclusively — so reads of one table run concurrently with writes to
+	// others). A reader may observe another transaction's uncommitted rows,
+	// which the clustering middleware tolerates exactly as C-JDBC tolerates
+	// its backends' isolation levels.
 	e := s.engine
 	e.mu.RLock(s.shard)
 	defer e.mu.RUnlock(s.shard)
@@ -60,6 +63,48 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 		offset += len(t.schema.Columns)
 	}
 	totalCols := offset
+
+	// Latch every scanned table shared for the duration of the statement.
+	// Deduplicate by table identity: a self-join names the same storage
+	// twice, and re-entrant RLock would deadlock against a queued writer.
+	// Acquisition is in sorted name order, and that ordering is
+	// load-bearing: sync.RWMutex blocks new readers behind a *pending*
+	// writer, so two joins latching in opposite orders plus one pending
+	// writer per table would cycle (reader A holds R(a) and queues behind
+	// the writer pending on b; reader B holds R(b) and queues behind the
+	// writer pending on a). With every reader latching in one global order
+	// a reader never holds a later-ordered latch while waiting for an
+	// earlier one, so no cycle can close; writers hold exactly one latch
+	// and never wait while holding it.
+	if len(srcs) == 1 {
+		srcs[0].t.store.RLock()
+		defer srcs[0].t.store.RUnlock()
+	} else {
+		latched := make([]*table, 0, len(srcs))
+		for _, src := range srcs {
+			dup := false
+			for _, lt := range latched {
+				if lt == src.t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				latched = append(latched, src.t)
+			}
+		}
+		sort.Slice(latched, func(i, j int) bool {
+			return latched[i].schema.Name < latched[j].schema.Name
+		})
+		for _, lt := range latched {
+			lt.store.RLock()
+		}
+		defer func() {
+			for i := len(latched) - 1; i >= 0; i-- {
+				latched[i].store.RUnlock()
+			}
+		}()
+	}
 
 	var cols map[string]int
 	if len(srcs) == 1 && srcs[0].alias == srcs[0].name {
@@ -183,7 +228,7 @@ func (s *Session) selectNoFrom(sel *sqlparser.Select) (*Result, error) {
 	row := make([]sqlval.Value, 0, len(sel.Items))
 	for i, it := range sel.Items {
 		if it.Star {
-			return nil, fmt.Errorf("engine: SELECT * requires FROM")
+			return nil, errf("SELECT * requires FROM")
 		}
 		v, err := ev.eval(it.Expr)
 		if err != nil {
@@ -491,7 +536,7 @@ func computeAggregate(ae *sqlparser.Expr, rows [][]sqlval.Value, cols map[string
 		return sqlval.Int(int64(len(rows))), nil
 	}
 	if len(ae.Args) != 1 {
-		return sqlval.Null, fmt.Errorf("engine: %s expects one argument", ae.Func)
+		return sqlval.Null, errf("%s expects one argument", ae.Func)
 	}
 	var (
 		count   int64
@@ -573,7 +618,7 @@ func computeAggregate(ae *sqlparser.Expr, rows [][]sqlval.Value, cols map[string
 		}
 		return maxV, nil
 	}
-	return sqlval.Null, fmt.Errorf("engine: unknown aggregate %s", ae.Func)
+	return sqlval.Null, errf("unknown aggregate %s", ae.Func)
 }
 
 // projectOne evaluates the select list in one environment.
@@ -640,7 +685,7 @@ func outputColumns(sel *sqlparser.Select, srcs []srcTable) ([]string, error) {
 				}
 			}
 			if !found {
-				return nil, fmt.Errorf("engine: unknown table %q in %s.*", it.Table, it.Table)
+				return nil, errf("unknown table %q in %s.*", it.Table, it.Table)
 			}
 		default:
 			out = append(out, itemName(it, i))
@@ -671,7 +716,7 @@ func orderRows(sel *sqlparser.Select, out []outRow, outCols []string) error {
 		case ex.Kind == sqlparser.ExprLiteral && ex.Lit.K == sqlval.KindInt:
 			pos := int(ex.Lit.I) - 1
 			if pos < 0 || pos >= len(outCols) {
-				return fmt.Errorf("engine: ORDER BY position %d out of range", ex.Lit.I)
+				return errf("ORDER BY position %d out of range", ex.Lit.I)
 			}
 			keys[i] = func(r outRow) (sqlval.Value, error) { return r.vals[pos], nil }
 		case ex.Kind == sqlparser.ExprColumn && ex.Table == "":

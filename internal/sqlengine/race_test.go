@@ -144,24 +144,25 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 	}
 }
 
-// TestReadersShareEngineLock proves the tentpole's locking claim
-// deterministically (independent of core count): while a reader holds the
-// engine lock shared — as any in-flight SELECT does — other SELECTs
-// complete, and a write blocks until the reader finishes.
+// TestReadersShareEngineLock proves the locking claims deterministically
+// (independent of core count): while a reader holds what any in-flight
+// SELECT of table g holds — one engine-lock shard shared plus g's storage
+// latch shared — other SELECTs of g complete, a write to a *different*
+// table completes (per-table write locking), and a write to g itself
+// blocks until the reader finishes.
 func TestReadersShareEngineLock(t *testing.T) {
 	e := New("shared")
 	s := e.NewSession()
 	mustExec(t, s, "CREATE TABLE g (id INTEGER PRIMARY KEY, v INTEGER)")
 	mustExec(t, s, "INSERT INTO g (id, v) VALUES (1, 10)")
+	mustExec(t, s, "CREATE TABLE other (id INTEGER PRIMARY KEY)")
 
-	// Hold every shard shared, exactly what a long-running SELECT holds.
-	for i := range e.mu.shards {
-		e.mu.shards[i].mu.RLock()
-	}
+	// Hold exactly what a long-running SELECT of g holds.
+	e.mu.RLock(0)
+	e.tables["g"].store.RLock()
 	release := func() {
-		for i := range e.mu.shards {
-			e.mu.shards[i].mu.RUnlock()
-		}
+		e.tables["g"].store.RUnlock()
+		e.mu.RUnlock(0)
 	}
 
 	readDone := make(chan error, 1)
@@ -181,6 +182,25 @@ func TestReadersShareEngineLock(t *testing.T) {
 		t.Fatal("a SELECT blocked behind another reader: reads serialize")
 	}
 
+	// A write to a table the reader is not scanning takes that table's own
+	// latch and must not wait for the reader.
+	otherDone := make(chan error, 1)
+	go func() {
+		ws := e.NewSession()
+		defer ws.Close()
+		_, err := ws.ExecSQL("INSERT INTO other (id) VALUES (1)")
+		otherDone <- err
+	}()
+	select {
+	case err := <-otherDone:
+		if err != nil {
+			t.Fatalf("disjoint write: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		release()
+		t.Fatal("a write to a disjoint table blocked behind a reader of g")
+	}
+
 	writeDone := make(chan error, 1)
 	go func() {
 		ws := e.NewSession()
@@ -191,7 +211,7 @@ func TestReadersShareEngineLock(t *testing.T) {
 	select {
 	case <-writeDone:
 		release()
-		t.Fatal("a write completed while a reader held the engine lock")
+		t.Fatal("a write to g completed while a reader held g's latch")
 	case <-time.After(50 * time.Millisecond):
 		// Blocked, as it must be.
 	}
@@ -247,4 +267,52 @@ func TestCreateTableAsSelectConcurrentReaders(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestOppositeOrderJoinsDoNotDeadlockWithWriters is the regression guard
+// for reader-latch ordering: sync.RWMutex blocks new readers behind a
+// pending writer, so if joins latched tables in FROM-clause order, a
+// `FROM a, b` reader and a `FROM b, a` reader plus one pending writer per
+// table could cycle and hang forever (no timeout covers storage latches).
+// Latching in sorted name order makes the cycle impossible; this drives
+// the exact adversarial mix under a watchdog.
+func TestOppositeOrderJoinsDoNotDeadlockWithWriters(t *testing.T) {
+	e := New("latchorder")
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, s, "CREATE TABLE b (id INTEGER PRIMARY KEY, v INTEGER)")
+	for i := 0; i < 4; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO a (id, v) VALUES (%d, 0)", i))
+		mustExec(t, s, fmt.Sprintf("INSERT INTO b (id, v) VALUES (%d, 0)", i))
+	}
+
+	const iters = 300
+	var wg sync.WaitGroup
+	work := []string{
+		"SELECT COUNT(*) FROM a, b",
+		"SELECT COUNT(*) FROM b, a",
+		"UPDATE a SET v = v + 1 WHERE id = 1",
+		"UPDATE b SET v = v + 1 WHERE id = 1",
+	}
+	for _, q := range work {
+		wg.Add(1)
+		go func(q string) {
+			defer wg.Done()
+			ws := e.NewSession()
+			defer ws.Close()
+			for i := 0; i < iters; i++ {
+				if _, err := ws.ExecSQL(q); err != nil {
+					t.Errorf("%q: %v", q, err)
+					return
+				}
+			}
+		}(q)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("opposite-order joins deadlocked against pending writers")
+	}
 }

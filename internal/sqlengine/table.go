@@ -6,8 +6,8 @@
 package sqlengine
 
 import (
-	"fmt"
 	"strings"
+	"sync"
 
 	"cjdbc/internal/sqlparser"
 	"cjdbc/internal/sqlval"
@@ -92,7 +92,7 @@ func (ix *index) insert(rowid int64, row []sqlval.Value, scratch []byte) ([]byte
 		return b, nil
 	}
 	if ix.unique && len(bkt.ids) > 0 {
-		return b, fmt.Errorf("unique constraint violation on index %s", ix.name)
+		return b, errf("unique constraint violation on index %s", ix.name)
 	}
 	bkt.ids = append(bkt.ids, rowid)
 	return b, nil
@@ -121,10 +121,17 @@ func (ix *index) remove(rowid int64, row []sqlval.Value, scratch []byte) []byte 
 }
 
 // table is the storage for one table: schema, rows keyed by rowid, an
-// append-only scan order, and indexes. All mutation happens under the
-// engine's exclusive lock; readers hold it shared and only call scan and
-// lookup, so keyBuf (write-path scratch) is never touched concurrently.
+// append-only scan order, and indexes.
+//
+// Locking: store is the per-table storage latch. DML (INSERT/UPDATE/DELETE)
+// holds the engine lock shared plus store exclusive, so writes to disjoint
+// tables mutate concurrently; SELECT and snapshots hold the engine lock
+// shared plus store shared for every table they scan. DDL and undo replay
+// hold the engine lock fully exclusive and need no latches. keyBuf (the
+// write-path scratch) is only touched under store exclusive or the full
+// engine lock, so it is never shared between concurrent writers.
 type table struct {
+	store   sync.RWMutex
 	schema  *Schema
 	rows    map[int64][]sqlval.Value
 	order   []int64            // insertion order; may contain ids of deleted rows
@@ -174,7 +181,7 @@ func (t *table) insertRow(row []sqlval.Value) (int64, error) {
 			var dup bool
 			dup, t.keyBuf = ix.conflicts(row, t.keyBuf)
 			if dup {
-				return 0, fmt.Errorf("engine: unique constraint violation on %s.%s", t.schema.Name, ix.name)
+				return 0, errf("unique constraint violation on %s.%s", t.schema.Name, ix.name)
 			}
 		}
 	}
@@ -246,7 +253,7 @@ func (t *table) updateRow(id int64, newRow []sqlval.Value) error {
 			continue
 		}
 		if bkt := ix.m[string(nb)]; bkt != nil && len(bkt.ids) > 0 {
-			return fmt.Errorf("engine: unique constraint violation on %s.%s", t.schema.Name, ix.name)
+			return errf("unique constraint violation on %s.%s", t.schema.Name, ix.name)
 		}
 	}
 	for _, ix := range t.indexes {
@@ -311,7 +318,7 @@ func (t *table) lookup(colIdx int, v sqlval.Value) (ids []int64, ok bool) {
 // addIndex builds a new index over existing rows.
 func (t *table) addIndex(name string, cols []int, unique bool) error {
 	if _, dup := t.indexes[name]; dup {
-		return fmt.Errorf("engine: index %s already exists on %s", name, t.schema.Name)
+		return errf("index %s already exists on %s", name, t.schema.Name)
 	}
 	ix := &index{name: name, columns: cols, unique: unique, m: map[string]*idBucket{}}
 	for id, row := range t.rows {

@@ -1,0 +1,26 @@
+package sqlparser
+
+import (
+	"errors"
+	"fmt"
+
+	"cjdbc/internal/senterr"
+)
+
+// ErrParse is the errors.Is sentinel for every parse-time failure: lexer
+// errors, grammar errors and parameter-binding errors. Statement errors are
+// deterministic — every replica rejects the same text identically — so the
+// request manager must never treat them as a backend fault (no failover, no
+// disable). Match with errors.Is(err, ErrParse) instead of sniffing message
+// prefixes.
+var ErrParse = errors.New("sql: statement parse error")
+
+// parseErrf builds a parse error carrying the ErrParse sentinel. All parser
+// and lexer failures are constructed through it.
+func parseErrf(format string, args ...any) error {
+	return senterr.Wrap(ErrParse, fmt.Errorf("sql: "+format, args...))
+}
+
+// Is marks bind errors as parse errors: an unbound placeholder fails the
+// same way on every replica.
+func (e *BindError) Is(target error) bool { return target == ErrParse }

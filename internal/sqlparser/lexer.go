@@ -10,7 +10,6 @@
 package sqlparser
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -172,7 +171,7 @@ func (l *lexer) lexString() (string, error) {
 		b.WriteByte(c)
 		l.pos++
 	}
-	return "", fmt.Errorf("sql: unterminated string literal at offset %d", l.pos)
+	return "", parseErrf("unterminated string literal at offset %d", l.pos)
 }
 
 func (l *lexer) lexNumber() string {
@@ -209,7 +208,7 @@ func (l *lexer) lexIdent() (string, error) {
 			l.pos++
 		}
 		if l.pos >= len(l.src) {
-			return "", fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+			return "", parseErrf("unterminated quoted identifier at offset %d", start)
 		}
 		id := l.src[start:l.pos]
 		l.pos++
@@ -238,5 +237,5 @@ func (l *lexer) lexOp() (string, error) {
 		l.pos++
 		return string(c), nil
 	}
-	return "", fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+	return "", parseErrf("unexpected character %q at offset %d", c, l.pos)
 }

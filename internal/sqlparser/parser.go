@@ -72,7 +72,7 @@ func (p *parser) expectKw(kw string) error {
 }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return fmt.Errorf("sql: %s (at offset %d in %q)", fmt.Sprintf(format, args...), p.cur().pos, truncate(p.src))
+	return parseErrf("%s (at offset %d in %q)", fmt.Sprintf(format, args...), p.cur().pos, truncate(p.src))
 }
 
 func truncate(s string) string {

@@ -1,0 +1,20 @@
+package sqlval
+
+import (
+	"errors"
+	"fmt"
+
+	"cjdbc/internal/senterr"
+)
+
+// ErrValue is the errors.Is sentinel for value-level statement failures:
+// division by zero, failed type conversions, unknown operators. These are
+// properties of the statement and its (replicated) data — every replica
+// fails identically — so the clustering middleware classifies them as
+// semantic, never as backend faults. All sqlval errors carry it.
+var ErrValue = errors.New("sqlval: value error")
+
+// errf builds a value error carrying the ErrValue sentinel.
+func errf(format string, args ...any) error {
+	return senterr.Wrap(ErrValue, fmt.Errorf("sqlval: "+format, args...))
+}

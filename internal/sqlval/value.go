@@ -114,13 +114,13 @@ func (v Value) AsInt() (int64, error) {
 	case KindString:
 		i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
 		if err != nil {
-			return 0, fmt.Errorf("sqlval: cannot convert %q to integer", v.S)
+			return 0, errf("cannot convert %q to integer", v.S)
 		}
 		return i, nil
 	case KindNull:
 		return 0, nil
 	}
-	return 0, fmt.Errorf("sqlval: cannot convert %s to integer", v.K)
+	return 0, errf("cannot convert %s to integer", v.K)
 }
 
 // AsFloat coerces v to a float, returning an error when the conversion is
@@ -134,13 +134,13 @@ func (v Value) AsFloat() (float64, error) {
 	case KindString:
 		f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
 		if err != nil {
-			return 0, fmt.Errorf("sqlval: cannot convert %q to float", v.S)
+			return 0, errf("cannot convert %q to float", v.S)
 		}
 		return f, nil
 	case KindNull:
 		return 0, nil
 	}
-	return 0, fmt.Errorf("sqlval: cannot convert %s to float", v.K)
+	return 0, errf("cannot convert %s to float", v.K)
 }
 
 // AsString renders v as a string using SQL text conventions.
@@ -314,7 +314,7 @@ func Div(a, b Value) (Value, error) {
 		return Null, err
 	}
 	if bf == 0 {
-		return Null, fmt.Errorf("sqlval: division by zero")
+		return Null, errf("division by zero")
 	}
 	af, err := a.AsFloat()
 	if err != nil {
@@ -337,7 +337,7 @@ func Mod(a, b Value) (Value, error) {
 		return Null, err
 	}
 	if bi == 0 {
-		return Null, fmt.Errorf("sqlval: modulo by zero")
+		return Null, errf("modulo by zero")
 	}
 	return Int(ai % bi), nil
 }
@@ -372,7 +372,7 @@ func arith(a, b Value, op byte) (Value, error) {
 	case '*':
 		return Float(af * bf), nil
 	}
-	return Null, fmt.Errorf("sqlval: unknown operator %q", op)
+	return Null, errf("unknown operator %q", op)
 }
 
 // Clone returns a deep copy of v (BLOB payloads are copied).
