@@ -81,6 +81,13 @@ type VirtualDatabaseConfig struct {
 	// checkpointing).
 	RecoveryLogPath string
 
+	// RecoveryWorkers is the number of parallel appliers used to replay the
+	// recovery log when a backend is backed up, restored or integrated:
+	// disjoint conflict classes replay concurrently while each class keeps
+	// its logged order. 0 means GOMAXPROCS; 1 replays sequentially (the
+	// paper's §3.2 behavior).
+	RecoveryWorkers int
+
 	// EarlyResponse is "all" (default), "first" or "majority" (§2.4.4).
 	EarlyResponse string
 
@@ -176,15 +183,16 @@ func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualD
 		auth.AddUser(u, p)
 	}
 	inner, err := c.inner.AddVirtualDatabase(controller.VDBConfig{
-		Name:          cfg.Name,
-		Replication:   repl,
-		Balancer:      bal,
-		Cache:         rc,
-		RecoveryLog:   log,
-		EarlyResponse: early,
-		ParallelTx:    !cfg.DisableParallelTransactions,
-		Auth:          auth,
-		PlanCacheSize: cfg.PlanCacheSize,
+		Name:            cfg.Name,
+		Replication:     repl,
+		Balancer:        bal,
+		Cache:           rc,
+		RecoveryLog:     log,
+		EarlyResponse:   early,
+		ParallelTx:      !cfg.DisableParallelTransactions,
+		Auth:            auth,
+		PlanCacheSize:   cfg.PlanCacheSize,
+		RecoveryWorkers: cfg.RecoveryWorkers,
 		CtrlCost: controller.CtrlCost{
 			PerRequest:      cfg.CtrlCostPerRequest,
 			PerCacheHit:     cfg.CtrlCostPerCacheHit,

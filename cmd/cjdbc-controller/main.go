@@ -19,6 +19,7 @@
 //	      "loadBalancer": "lprf",
 //	      "earlyResponse": "first",
 //	      "recoveryLog": "memory",
+//	      "recoveryWorkers": 0,
 //	      "cache": {"granularity": "table", "maxEntries": 4096},
 //	      "backends": [{"name": "db0"}, {"name": "db1"}],
 //	      "group": "mydb-group"
@@ -55,6 +56,7 @@ type vdbFileConfig struct {
 	LoadBalancer       string              `json:"loadBalancer"`
 	EarlyResponse      string              `json:"earlyResponse"`
 	RecoveryLog        string              `json:"recoveryLog"`
+	RecoveryWorkers    int                 `json:"recoveryWorkers"`
 	PartialReplication map[string][]string `json:"partialReplication"`
 	Cache              *cacheFileConfig    `json:"cache"`
 	Backends           []backendFileConfig `json:"backends"`
@@ -100,6 +102,7 @@ func main() {
 			LoadBalancer:       vc.LoadBalancer,
 			EarlyResponse:      vc.EarlyResponse,
 			RecoveryLogPath:    vc.RecoveryLog,
+			RecoveryWorkers:    vc.RecoveryWorkers,
 			PartialReplication: vc.PartialReplication,
 		}
 		if vc.Cache != nil {

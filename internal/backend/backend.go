@@ -1,12 +1,13 @@
 package backend
 
 import (
-	"cjdbc/internal/senterr"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"cjdbc/internal/conflictsched"
+	"cjdbc/internal/senterr"
 	"cjdbc/internal/sqlparser"
 )
 
@@ -106,17 +107,14 @@ type Backend struct {
 	mu  sync.Mutex
 	txs map[uint64]*txConn
 
-	// Auto-commit conflict lanes: laneMu orders lane assignment, autoSem
-	// bounds queued-plus-running auto-commit tasks (the backpressure the
-	// bounded FIFO queue used to provide), lastByTable holds the completion
-	// signal of the newest task touching each table, and lastBarrier the
-	// newest barrier task (DDL / unknown footprint). A new task waits on
-	// lastBarrier plus its tables' lastByTable entries; a barrier waits on
-	// lastBarrier plus every lastByTable entry, then resets the map.
-	laneMu      sync.Mutex
-	autoSem     chan struct{}
-	lastByTable map[string]chan struct{}
-	lastBarrier chan struct{}
+	// Auto-commit conflict lanes: lanes assigns each task its dependencies
+	// (the newest earlier task per table of its footprint; DDL / unknown
+	// footprints are barriers — the shared conflict-class dependency rule in
+	// internal/conflictsched), and autoSem bounds queued-plus-running
+	// auto-commit tasks (the backpressure the bounded FIFO queue used to
+	// provide).
+	lanes   *conflictsched.Tracker
+	autoSem chan struct{}
 
 	// chargeMu serializes the cost-model charge of auto-commit writes: the
 	// simulated machine applies broadcast updates on one write thread (the
@@ -192,22 +190,19 @@ func New(cfg Config) *Backend {
 	if cfg.CostParallelism <= 0 {
 		cfg.CostParallelism = 4
 	}
-	closedBarrier := make(chan struct{})
-	close(closedBarrier)
 	b := &Backend{
-		name:        cfg.Name,
-		weight:      cfg.Weight,
-		driver:      cfg.Driver,
-		cost:        cfg.Cost,
-		maxConns:    cfg.MaxConns,
-		sem:         make(chan struct{}, cfg.MaxConns),
-		idle:        make(chan Conn, cfg.MaxConns),
-		costSem:     make(chan struct{}, cfg.CostParallelism),
-		txs:         make(map[uint64]*txConn),
-		autoSem:     make(chan struct{}, 4096),
-		lastByTable: make(map[string]chan struct{}),
-		lastBarrier: closedBarrier,
-		closed:      make(chan struct{}),
+		name:     cfg.Name,
+		weight:   cfg.Weight,
+		driver:   cfg.Driver,
+		cost:     cfg.Cost,
+		maxConns: cfg.MaxConns,
+		sem:      make(chan struct{}, cfg.MaxConns),
+		idle:     make(chan Conn, cfg.MaxConns),
+		costSem:  make(chan struct{}, cfg.CostParallelism),
+		txs:      make(map[uint64]*txConn),
+		lanes:    conflictsched.NewTracker(),
+		autoSem:  make(chan struct{}, 4096),
+		closed:   make(chan struct{}),
 	}
 	return b
 }
@@ -577,8 +572,8 @@ func (b *Backend) EnqueueWriteClassTo(txID uint64, class sqlparser.StatementClas
 	}
 
 	// Auto-commit conflict lanes. The semaphore preserves the bounded-queue
-	// backpressure; lane assignment under laneMu records which previously
-	// enqueued tasks this one conflicts with.
+	// backpressure; b.lanes (the shared conflictsched tracker) records which
+	// previously enqueued tasks this one conflicts with.
 	select {
 	case b.autoSem <- struct{}{}:
 	case <-b.closed:
@@ -596,35 +591,10 @@ func (b *Backend) EnqueueWriteClassTo(txID uint64, class sqlparser.StatementClas
 	default:
 	}
 	b.pending.Add(1)
-	barrier := global
-
-	fin := make(chan struct{})
-	b.laneMu.Lock()
-	deps := []chan struct{}{b.lastBarrier}
-	if barrier {
-		// Conflicts with everything: wait for every lane's newest task
-		// (each lane chain is linked through lastByTable, so waiting on the
-		// newest transitively waits on the whole lane), then become the
-		// signal every later task must wait for.
-		for _, ch := range b.lastByTable {
-			deps = append(deps, ch)
-		}
-		b.lastByTable = make(map[string]chan struct{})
-		b.lastBarrier = fin
-	} else {
-		for _, tbl := range tables {
-			if ch, ok := b.lastByTable[tbl]; ok {
-				deps = append(deps, ch)
-			}
-			b.lastByTable[tbl] = fin
-		}
-	}
-	b.laneMu.Unlock()
+	deps, fin := b.lanes.Enter(tables, global)
 
 	go func() {
-		for _, dep := range deps {
-			<-dep
-		}
+		conflictsched.Wait(deps)
 		b.runAuto(t)
 		close(fin)
 		// Slot release is the task's final action; Close's drain keys on it.

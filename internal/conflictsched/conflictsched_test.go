@@ -1,0 +1,148 @@
+package conflictsched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDisjointKeysShareNoDependencies: tasks on disjoint keys get only the
+// (already closed) initial barrier as dependency, so neither waits on the
+// other.
+func TestDisjointKeysShareNoDependencies(t *testing.T) {
+	tr := NewTracker()
+	depsA, finA := tr.Enter([]string{"a"}, false)
+	depsB, finB := tr.Enter([]string{"b"}, false)
+	defer close(finA)
+	defer close(finB)
+
+	done := make(chan struct{})
+	go func() {
+		Wait(depsB) // must not block on task A
+		Wait(depsA)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("disjoint tasks blocked on each other")
+	}
+}
+
+// TestSameKeyChainsInOrder: tasks sharing a key run strictly in Enter
+// order.
+func TestSameKeyChainsInOrder(t *testing.T) {
+	tr := NewTracker()
+	const n = 50
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		deps, fin := tr.Enter([]string{"t"}, false)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			Wait(deps)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			close(fin)
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-key order violated: %v", order)
+		}
+	}
+}
+
+// TestBarrierOrdersEverything: a barrier waits for all earlier tasks and
+// every later task waits for the barrier, across all keys.
+func TestBarrierOrdersEverything(t *testing.T) {
+	tr := NewTracker()
+	var phase atomic.Int32 // 0: before barrier, 1: barrier ran, 2: after ran
+
+	depsA, finA := tr.Enter([]string{"a"}, false)
+	depsBar, finBar := tr.Enter(nil, true)
+	depsB, finB := tr.Enter([]string{"b"}, false) // disjoint key, still behind the barrier
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		Wait(depsB)
+		if phase.Load() != 1 {
+			t.Error("post-barrier task ran before the barrier completed")
+		}
+		phase.Store(2)
+		close(finB)
+	}()
+	go func() {
+		defer wg.Done()
+		Wait(depsBar)
+		if phase.Load() != 0 {
+			t.Error("barrier ran before earlier tasks completed")
+		}
+		phase.Store(1)
+		close(finBar)
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond) // let the others reach their waits
+		Wait(depsA)
+		close(finA)
+	}()
+	wg.Wait()
+}
+
+// TestConcurrentEnterIsSafe: Enter under -race from many goroutines.
+func TestConcurrentEnterIsSafe(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	keys := []string{"a", "b", "c", "d"}
+	for i := 0; i < 200; i++ {
+		deps, fin := tr.Enter([]string{keys[i%len(keys)]}, i%17 == 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Wait(deps)
+			close(fin)
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMultiKeyTaskJoinsAllChains: a task with footprint {a,b} waits for the
+// newest task of both chains and becomes the head of both.
+func TestMultiKeyTaskJoinsAllChains(t *testing.T) {
+	tr := NewTracker()
+	_, finA := tr.Enter([]string{"a"}, false)
+	_, finB := tr.Enter([]string{"b"}, false)
+	depsAB, finAB := tr.Enter([]string{"a", "b"}, false)
+	defer close(finAB)
+
+	ran := make(chan struct{})
+	go func() {
+		Wait(depsAB)
+		close(ran)
+	}()
+	select {
+	case <-ran:
+		t.Fatal("multi-key task ran before its chains completed")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(finA)
+	select {
+	case <-ran:
+		t.Fatal("multi-key task ran with one chain still pending")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(finB)
+	select {
+	case <-ran:
+	case <-time.After(time.Second):
+		t.Fatal("multi-key task never ran")
+	}
+}

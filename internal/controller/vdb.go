@@ -54,6 +54,12 @@ type VDBConfig struct {
 	// PlanCacheSize bounds the parsing cache (§2.4.2): 0 means the default
 	// capacity, negative disables the cache (every request re-parses).
 	PlanCacheSize int
+	// RecoveryWorkers is the number of parallel appliers recovery-log
+	// replay fans out on when a backend re-integrates (disjoint conflict
+	// classes replay concurrently; see recovery.ReplayParallel). 0 means
+	// GOMAXPROCS; 1 replays sequentially in Seq order (the paper's §3.2
+	// behavior).
+	RecoveryWorkers int
 }
 
 // Stats counts virtual database activity.
@@ -80,6 +86,10 @@ type VirtualDatabase struct {
 	log   recovery.Log
 	sched *Scheduler
 	cost  CtrlCost
+
+	// recoveryWorkers is the replay fan-out for backend re-integration
+	// (VDBConfig.RecoveryWorkers): 0 = GOMAXPROCS, 1 = sequential.
+	recoveryWorkers int
 
 	mu       sync.RWMutex
 	backends []*backend.Backend
@@ -126,15 +136,16 @@ func NewVirtualDatabase(cfg VDBConfig) *VirtualDatabase {
 		plans = plancache.New(cfg.PlanCacheSize)
 	}
 	return &VirtualDatabase{
-		name:  cfg.Name,
-		auth:  auth,
-		repl:  repl,
-		bal:   bal,
-		cache: cfg.Cache,
-		plans: plans,
-		log:   cfg.RecoveryLog,
-		sched: NewScheduler(cfg.ControllerID, cfg.EarlyResponse, cfg.ParallelTx),
-		cost:  cfg.CtrlCost,
+		name:            cfg.Name,
+		auth:            auth,
+		repl:            repl,
+		bal:             bal,
+		cache:           cfg.Cache,
+		plans:           plans,
+		log:             cfg.RecoveryLog,
+		sched:           NewScheduler(cfg.ControllerID, cfg.EarlyResponse, cfg.ParallelTx),
+		cost:            cfg.CtrlCost,
+		recoveryWorkers: cfg.RecoveryWorkers,
 	}
 }
 
@@ -609,54 +620,42 @@ func (v *VirtualDatabase) distributorSnapshot() Distributor {
 	return v.distributor
 }
 
-// DispatchOrdered is the entry point the distributed request manager uses
-// when a totally ordered write is delivered: group communication supplies
-// the delivery order, and the sequential applier hands each delivery to the
-// same conflict-class sequencer the local path uses (orderedWrite), so
-// conflicting deliveries keep their total-order position while disjoint
-// classes execute in parallel on the backends' conflict lanes. It never
-// blocks on backend execution, so a transactional write waiting on
-// database locks cannot stall the delivery of the commit that would release
-// them. The parsing cache is consulted but not populated here: ordered
-// writes arrive with parameters already rendered as literals, so their
-// texts rarely repeat and would only churn the LRU.
-func (v *VirtualDatabase) DispatchOrdered(txID uint64, class sqlparser.StatementClass, sql string, user string) (backend.Outcomes, error) {
-	var st sqlparser.Statement
-	var cTables []string
-	var cGlobal bool
+// PlanWrite resolves an ordered write delivery to its parsed statement and
+// conflict footprint, the class DispatchPlanned will sequence it under. The
+// parsing cache is consulted but not populated: ordered writes arrive with
+// parameters already rendered as literals, so their texts rarely repeat and
+// would only churn the LRU. Demarcations carry no statement footprint —
+// their class is the transaction's accumulated footprint, resolved inside
+// the sequencer at lock time.
+func (v *VirtualDatabase) PlanWrite(class sqlparser.StatementClass, sql string) (st sqlparser.Statement, tables []string, global bool, err error) {
 	switch class {
 	case sqlparser.ClassCommit:
-		st = &sqlparser.Commit{}
+		return &sqlparser.Commit{}, nil, false, nil
 	case sqlparser.ClassRollback:
-		st = &sqlparser.Rollback{}
-	default:
-		key := plancache.Normalize(sql)
-		if v.plans != nil {
-			if p := v.plans.Get(key); p != nil {
-				st = p.Stmt
-				cTables, cGlobal = p.ConflictTables, p.ConflictGlobal
-			}
-		}
-		if st == nil {
-			var err error
-			st, err = sqlparser.Parse(key)
-			if err != nil {
-				return backend.Outcomes{}, err
-			}
-			cTables, cGlobal = sqlparser.ConflictClass(st)
+		return &sqlparser.Rollback{}, nil, false, nil
+	}
+	key := plancache.Normalize(sql)
+	if v.plans != nil {
+		if p := v.plans.Get(key); p != nil {
+			return p.Stmt, p.ConflictTables, p.ConflictGlobal, nil
 		}
 	}
-	return v.orderedWrite(txID, class, st, sql, user, cTables, cGlobal)
+	st, err = sqlparser.Parse(key)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	tables, global = sqlparser.ConflictClass(st)
+	return st, tables, global, nil
 }
 
-// ApplyOrderedWrite dispatches one ordered write and waits per the
-// early-response policy; a convenience wrapper over DispatchOrdered.
-func (v *VirtualDatabase) ApplyOrderedWrite(txID uint64, class sqlparser.StatementClass, sql string, user string) (*backend.Result, error) {
-	outs, err := v.DispatchOrdered(txID, class, sql, user)
-	if err != nil {
-		return nil, err
-	}
-	return v.sched.WaitOutcomes(v.sched.Policy(), outs)
+// DispatchPlanned hands one ordered delivery, pre-resolved by PlanWrite, to
+// the same conflict-class sequencer the local path uses (orderedWrite), so
+// conflicting deliveries keep their total-order position while disjoint
+// classes execute in parallel on the backends' conflict lanes. It never
+// blocks on backend execution, so a transactional write waiting on database
+// locks cannot stall the delivery of the commit that would release them.
+func (v *VirtualDatabase) DispatchPlanned(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement, sql, user string, tables []string, global bool) (backend.Outcomes, error) {
+	return v.orderedWrite(txID, class, st, sql, user, tables, global)
 }
 
 // WaitPolicy applies the virtual database's early-response policy to a

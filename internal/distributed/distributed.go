@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"cjdbc/internal/backend"
+	"cjdbc/internal/conflictsched"
 	"cjdbc/internal/controller"
 	"cjdbc/internal/groupcomm"
 	"cjdbc/internal/sqlparser"
@@ -163,12 +164,34 @@ func (d *VDB) SubmitWrite(txID uint64, class sqlparser.StatementClass, sql strin
 	return r.res, r.err
 }
 
-// run is the applier: it processes deliveries strictly in total order.
-// Dispatch is non-blocking (the backends' write lanes execute
-// asynchronously), so a write stalled on database locks cannot prevent the
-// commit that releases them from being delivered.
+// run is the applier: deliveries arrive strictly in total order, and each
+// is handed to a dispatch goroutine chained through a conflict-class
+// dependency tracker — a delivery's ticket acquisition waits only for the
+// newest earlier conflicting delivery to finish its own acquisition and
+// enqueue, so disjoint classes sequence concurrently while every
+// conflicting pair keeps its total-order position on all controllers
+// (delivery order is the same everywhere, and so are the footprints, so
+// every controller chains the same pairs). This removes the serial
+// delivery window the old one-at-a-time applier imposed: a delivery stalled
+// behind a held class lock no longer prevents disjoint deliveries behind it
+// from sequencing. Dispatch is non-blocking past the enqueue (the backends'
+// write lanes execute asynchronously), so a write stalled on database locks
+// cannot prevent the commit that releases them from being delivered.
+// applierBacklog bounds queued-plus-dispatching deliveries, mirroring the
+// backpressure of the backends' bounded lane semaphore: when this many
+// dispatch goroutines are in flight (e.g. every class is quiesced behind
+// LockAllWrites during a re-integration catch-up), the applier stops
+// consuming deliveries until some drain. Group members have unbounded
+// mailboxes, so a paused applier never blocks the group.
+const applierBacklog = 4096
+
 func (d *VDB) run() {
 	defer close(d.done)
+	app := &applier{
+		tracker: conflictsched.NewTracker(),
+		slots:   make(chan struct{}, applierBacklog),
+	}
+	defer app.inflight.Wait()
 	msgs := d.member.Deliver()
 	views := d.member.Views()
 	for {
@@ -177,7 +200,7 @@ func (d *VDB) run() {
 			if !ok {
 				return
 			}
-			d.handleMessage(msg)
+			d.handleMessage(msg, app)
 		case view, ok := <-views:
 			if !ok {
 				return
@@ -187,7 +210,14 @@ func (d *VDB) run() {
 	}
 }
 
-func (d *VDB) handleMessage(msg groupcomm.Message) {
+// applier is the delivery-dispatch state owned by run.
+type applier struct {
+	tracker  *conflictsched.Tracker
+	slots    chan struct{}
+	inflight sync.WaitGroup
+}
+
+func (d *VDB) handleMessage(msg groupcomm.Message, app *applier) {
 	switch msg.Kind {
 	case "config":
 		var cm configMsg
@@ -201,32 +231,66 @@ func (d *VDB) handleMessage(msg groupcomm.Message) {
 		if err := json.Unmarshal(msg.Payload, &wm); err != nil {
 			return
 		}
-		outs, err := d.vdb.DispatchOrdered(wm.TxID, sqlparser.StatementClass(wm.Class), wm.SQL, wm.User)
-		if wm.Origin != d.name {
-			// Remote origin: outcomes drain in the background; local
-			// failures disable local backends via their callbacks.
-			if err == nil {
-				go func() { _, _ = d.vdb.WaitPolicy(outs) }()
-			}
-			return
-		}
-		d.mu.Lock()
-		ch := d.waiters[wm.ReqID]
-		delete(d.waiters, wm.ReqID)
-		d.mu.Unlock()
-		if ch == nil {
-			return
-		}
-		if err != nil {
-			ch <- submitResult{err: err}
-			return
-		}
-		// Wait for the local policy outside the applier loop.
+		class := sqlparser.StatementClass(wm.Class)
+		// Resolve the delivery's conflict footprint once, in delivery
+		// order; DispatchPlanned sequences under exactly this footprint, so
+		// the tracker's chains and the sequencer's class locks agree.
+		st, tables, global, planErr := d.vdb.PlanWrite(class, wm.SQL)
+		app.slots <- struct{}{}
+		deps, fin := app.tracker.Enter(deliveryKeys(wm, class, tables, global, planErr))
+		app.inflight.Add(1)
 		go func() {
+			defer func() {
+				<-app.slots
+				app.inflight.Done()
+			}()
+			conflictsched.Wait(deps)
+			var outs backend.Outcomes
+			err := planErr
+			if err == nil {
+				outs, err = d.vdb.DispatchPlanned(wm.TxID, class, st, wm.SQL, wm.User, tables, global)
+			}
+			// The class ticket is released: conflicting deliveries behind
+			// this one may sequence now, without waiting for execution.
+			close(fin)
+			if wm.Origin != d.name {
+				// Remote origin: outcomes drain here; local failures
+				// disable local backends via their callbacks.
+				if err == nil {
+					_, _ = d.vdb.WaitPolicy(outs)
+				}
+				return
+			}
+			d.mu.Lock()
+			ch := d.waiters[wm.ReqID]
+			delete(d.waiters, wm.ReqID)
+			d.mu.Unlock()
+			if ch == nil {
+				return
+			}
+			if err != nil {
+				ch <- submitResult{err: err}
+				return
+			}
 			res, werr := d.vdb.WaitPolicy(outs)
 			ch <- submitResult{res: res, err: werr}
 		}()
 	}
+}
+
+// deliveryKeys maps one delivery to conflict-tracker keys: a write's table
+// footprint plus the per-transaction key (a transaction's operations must
+// sequence in delivery order even when their tables are disjoint).
+// Demarcations are barriers — their conflict class is the transaction's
+// accumulated footprint, known only inside the sequencer, so the applier
+// conservatively orders them against everything. Global writes (DDL,
+// unknown footprints) and deliveries whose SQL fails to parse are barriers
+// too.
+func deliveryKeys(wm writeMsg, class sqlparser.StatementClass, tables []string, global bool, planErr error) (keys []string, barrier bool) {
+	if class == sqlparser.ClassCommit || class == sqlparser.ClassRollback || global || planErr != nil {
+		return nil, true
+	}
+	return conflictsched.KeysWithTx(tables, wm.TxID), false
 }
 
 func (d *VDB) handleView(view groupcomm.View) {

@@ -248,6 +248,81 @@ func TestSurvivorKeepsServingAfterPeerFailure(t *testing.T) {
 	}
 }
 
+// TestDisjointDeliveriesBypassStalledClass: the applier no longer hands
+// deliveries to the sequencer one at a time — a delivery blocked on a held
+// class lock must not prevent a later delivery of a disjoint class from
+// sequencing and executing (the ROADMAP's "sequential delivery window").
+func TestDisjointDeliveriesBypassStalledClass(t *testing.T) {
+	g := groupcomm.NewGroup("app")
+	nodes := mkCluster(t, g, 2)
+	defer func() {
+		for _, n := range nodes {
+			n.dist.Leave()
+		}
+	}()
+
+	// Both tables exist everywhere before the class lock is taken (DDL is a
+	// barrier and must flush first).
+	s, _ := nodes[0].vdb.NewSession("u", "")
+	defer s.Close()
+	if _, err := s.Exec("CREATE TABLE hot (id INTEGER PRIMARY KEY)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("CREATE TABLE cold (id INTEGER PRIMARY KEY)", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the "hot" conflict class on controller 0: the next delivery
+	// touching hot blocks inside LockClass until the ticket is released.
+	ticket := nodes[0].vdb.Scheduler().LockClass([]string{"hot"}, false)
+
+	hotDone := make(chan error, 1)
+	go func() {
+		_, err := s.Exec("INSERT INTO hot (id) VALUES (1)", nil)
+		hotDone <- err
+	}()
+	// The hot write must be stuck (its class is locked), not completed.
+	select {
+	case err := <-hotDone:
+		ticket.Unlock()
+		t.Fatalf("hot write completed under a held class lock (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// A later delivery on a disjoint class sails past the stalled one.
+	s2, _ := nodes[1].vdb.NewSession("u", "")
+	defer s2.Close()
+	coldDone := make(chan error, 1)
+	go func() {
+		_, err := s2.Exec("INSERT INTO cold (id) VALUES (1)", nil)
+		coldDone <- err
+	}()
+	select {
+	case err := <-coldDone:
+		if err != nil {
+			ticket.Unlock()
+			t.Fatalf("cold write failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		ticket.Unlock()
+		t.Fatal("disjoint delivery stuck behind a stalled class: applier still serializes deliveries")
+	}
+
+	// Releasing the class lets the hot write finish, and both rows land on
+	// both controllers.
+	ticket.Unlock()
+	if err := <-hotDone; err != nil {
+		t.Fatalf("hot write after release: %v", err)
+	}
+	for i, n := range nodes {
+		n := n
+		waitFor(t, func() bool {
+			return count(t, n.engine, "SELECT COUNT(*) FROM hot") == 1 &&
+				count(t, n.engine, "SELECT COUNT(*) FROM cold") == 1
+		}, fmt.Sprintf("convergence on controller %d", i))
+	}
+}
+
 func TestSubmitAfterLeaveFails(t *testing.T) {
 	g := groupcomm.NewGroup("app")
 	nodes := mkCluster(t, g, 1)

@@ -240,36 +240,3 @@ func ReadDump(r io.Reader) (*Dump, error) {
 	}
 	return &d, nil
 }
-
-// Replay applies the committed writes recorded after seq to a backend, in
-// log order. Entries belonging to transactions that aborted (or never
-// finished) are skipped; writes replay in their original serialized order,
-// which preserves replica equivalence.
-func Replay(l Log, seq uint64, b *backend.Backend) (applied int, err error) {
-	entries, err := l.Since(seq)
-	if err != nil {
-		return 0, err
-	}
-	outcome := make(map[uint64]EntryClass)
-	for _, e := range entries {
-		if e.Class == ClassCommit || e.Class == ClassRollback {
-			if _, seen := outcome[e.TxID]; !seen {
-				outcome[e.TxID] = e.Class
-			}
-		}
-	}
-	for _, e := range entries {
-		if e.Class != ClassWrite {
-			continue
-		}
-		// Auto-commit writes have TxID 0 and always replay.
-		if e.TxID != 0 && outcome[e.TxID] != ClassCommit {
-			continue
-		}
-		if _, err := b.DirectExec(nil, e.SQL); err != nil {
-			return applied, fmt.Errorf("recovery: replay seq %d (%s): %w", e.Seq, e.SQL, err)
-		}
-		applied++
-	}
-	return applied, nil
-}

@@ -1,0 +1,160 @@
+package recovery
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/conflictsched"
+)
+
+// Replay applies the committed writes recorded after seq to a backend, in
+// log order. Entries belonging to transactions that aborted (or never
+// finished) are skipped. It is the sequential (workers = 1) form of
+// ReplayParallel, kept as the conservative default for callers that do not
+// configure a worker count.
+func Replay(l Log, seq uint64, b *backend.Backend) (applied int, err error) {
+	return ReplayParallel(l, seq, b, 1)
+}
+
+// ReplayParallel applies the committed writes recorded after seq to a
+// backend on up to workers concurrent appliers. The paper replays the write
+// log sequentially when a backend re-integrates (§3.2) and flags the
+// resulting re-integration time as the cost of cluster elasticity; the
+// conflict footprint every entry carries (recorded under the sequencer's
+// class locks, see Entry) lets disjoint conflict classes replay
+// concurrently instead. Each entry waits only on the completion of the
+// newest earlier conflicting entry — the same per-table dependency rule the
+// backend's write lanes use — so Seq order restricted to any conflict class
+// is preserved, which is exactly the order every backend originally applied
+// those entries in. Entries of the same transaction are chained through a
+// synthetic per-transaction key; globally sequenced entries (DDL, unknown
+// footprints) and entries predating footprints (V = 0, or read from a
+// legacy log table) are barriers that serialize against everything.
+//
+// workers <= 0 defaults to GOMAXPROCS; workers == 1 replays sequentially in
+// Seq order (the legacy behavior). On error the first failing entry (by
+// Seq) is reported, every in-flight applier is drained before returning,
+// and no entry that conflicts with the failed one has been applied out of
+// order; entries of classes disjoint from the failure may or may not have
+// applied, which is why the caller must keep the backend disabled on error.
+func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	entries, err := l.Since(seq)
+	if err != nil {
+		return 0, err
+	}
+	// A transaction's writes replay only when the log records its COMMIT
+	// (§3.2: aborted or unfinished transactions are skipped).
+	outcome := make(map[uint64]EntryClass)
+	for _, e := range entries {
+		if e.Class == ClassCommit || e.Class == ClassRollback {
+			if _, seen := outcome[e.TxID]; !seen {
+				outcome[e.TxID] = e.Class
+			}
+		}
+	}
+	replayable := func(e *Entry) bool {
+		if e.Class != ClassWrite {
+			return false
+		}
+		// Auto-commit writes have TxID 0 and always replay.
+		return e.TxID == 0 || outcome[e.TxID] == ClassCommit
+	}
+
+	if workers == 1 {
+		for i := range entries {
+			e := &entries[i]
+			if !replayable(e) {
+				continue
+			}
+			if _, err := b.DirectExec(nil, e.SQL); err != nil {
+				return applied, replayErr(e, err)
+			}
+			applied++
+		}
+		return applied, nil
+	}
+
+	var (
+		tracker = conflictsched.NewTracker()
+		slots   = make(chan struct{}, workers)
+		wg      sync.WaitGroup
+		done    atomic.Int64
+		failed  atomic.Bool
+		errMu   sync.Mutex
+		failSeq uint64
+		failErr error
+	)
+	recordFailure := func(e *Entry, execErr error) {
+		failed.Store(true)
+		errMu.Lock()
+		// Appliers race; keep the lowest-Seq failure so the reported entry
+		// is deterministic for a given log and failure set.
+		if failErr == nil || e.Seq < failSeq {
+			failSeq, failErr = e.Seq, replayErr(e, execErr)
+		}
+		errMu.Unlock()
+	}
+
+	// The scheduling loop walks entries in Seq order, so per-class
+	// dependency chains follow Seq order. Acquiring a worker slot before
+	// spawning bounds concurrency and cannot deadlock: an applier only
+	// waits on strictly earlier entries, and the earliest in-flight entry's
+	// dependencies have all completed.
+	for i := range entries {
+		e := &entries[i]
+		if !replayable(e) {
+			continue
+		}
+		if failed.Load() {
+			break
+		}
+		deps, fin := tracker.Enter(replayKeys(e))
+		slots <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				close(fin)
+				<-slots
+				wg.Done()
+			}()
+			conflictsched.Wait(deps)
+			if failed.Load() {
+				return
+			}
+			if _, execErr := b.DirectExec(nil, e.SQL); execErr != nil {
+				recordFailure(e, execErr)
+				return
+			}
+			done.Add(1)
+		}()
+	}
+	wg.Wait()
+	errMu.Lock()
+	err = failErr
+	errMu.Unlock()
+	return int(done.Load()), err
+}
+
+// replayKeys converts an entry's conflict footprint into tracker keys:
+// its table set plus a synthetic per-transaction key (entries of one
+// transaction conflict with each other regardless of tables, matching
+// Entry.ConflictsWith). The entry is a barrier when it was sequenced
+// gate-exclusive or its footprint is unknown — no tables recorded, or a
+// pre-footprint entry (V = 0: written before footprints existed, or read
+// back from a storage that cannot persist them).
+func replayKeys(e *Entry) (keys []string, barrier bool) {
+	if e.Global || e.V < FootprintVersion || len(e.Tables) == 0 {
+		return nil, true
+	}
+	return conflictsched.KeysWithTx(e.Tables, e.TxID), false
+}
+
+func replayErr(e *Entry, err error) error {
+	return fmt.Errorf("recovery: replay seq %d (%s): %w", e.Seq, e.SQL, err)
+}

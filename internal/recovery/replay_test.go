@@ -1,0 +1,320 @@
+package recovery
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/sqlengine"
+)
+
+// randomLog builds a recovery log of overlapping and disjoint writers the
+// way the conflict-class sequencer would have recorded them: auto-commit
+// writes with per-table footprints, multi-statement transactions whose
+// demarcations carry the accumulated footprint, occasional DDL sequenced
+// globally, and occasional pre-footprint (V=0) entries. It returns the log
+// and the schema statements both replay targets must be seeded with.
+func randomLog(rng *rand.Rand, nTables, nOps int) (*MemoryLog, []string) {
+	l := NewMemoryLog()
+	tables := make([]string, nTables)
+	schema := make([]string, nTables)
+	for i := range tables {
+		tables[i] = fmt.Sprintf("t%d", i)
+		schema[i] = fmt.Sprintf("CREATE TABLE t%d (id INTEGER PRIMARY KEY AUTO_INCREMENT, v INTEGER, w VARCHAR)", i)
+	}
+	nextTx := uint64(100)
+	extraTables := 0
+
+	writeSQL := func(tbl string, n int) string {
+		switch rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("UPDATE %s SET v = v + %d WHERE id <= %d", tbl, n%7+1, n%5+1)
+		case 1:
+			return fmt.Sprintf("DELETE FROM %s WHERE v = %d", tbl, n%3)
+		default:
+			return fmt.Sprintf("INSERT INTO %s (v, w) VALUES (%d, 'op%d')", tbl, n%10, n)
+		}
+	}
+
+	for op := 0; op < nOps; op++ {
+		switch r := rng.Intn(100); {
+		case r < 5:
+			// DDL: a new table, sequenced gate-exclusive.
+			name := fmt.Sprintf("x%d", extraTables)
+			extraTables++
+			l.Append(Entry{Class: ClassWrite, Global: true, V: FootprintVersion,
+				SQL: fmt.Sprintf("CREATE TABLE %s (id INTEGER PRIMARY KEY AUTO_INCREMENT, v INTEGER)", name)})
+		case r < 10:
+			// Legacy entry with an unknown footprint (V=0): replays as a
+			// barrier.
+			tbl := tables[rng.Intn(len(tables))]
+			l.Append(Entry{Class: ClassWrite, SQL: writeSQL(tbl, op), Tables: []string{tbl}})
+		case r < 40:
+			// A transaction touching 1-3 tables, committed or aborted.
+			tx := nextTx
+			nextTx++
+			l.Append(Entry{TxID: tx, Class: ClassBegin})
+			foot := map[string]bool{}
+			for j := 0; j < rng.Intn(3)+1; j++ {
+				tbl := tables[rng.Intn(len(tables))]
+				foot[tbl] = true
+				l.Append(Entry{TxID: tx, Class: ClassWrite, SQL: writeSQL(tbl, op*10+j),
+					Tables: []string{tbl}, V: FootprintVersion})
+			}
+			var ft []string
+			for t := range foot {
+				ft = append(ft, t)
+			}
+			end := ClassCommit
+			if rng.Intn(4) == 0 {
+				end = ClassRollback
+			}
+			l.Append(Entry{TxID: tx, Class: end, Tables: ft, V: FootprintVersion})
+		default:
+			// Auto-commit write on one table.
+			tbl := tables[rng.Intn(len(tables))]
+			l.Append(Entry{Class: ClassWrite, SQL: writeSQL(tbl, op),
+				Tables: []string{tbl}, V: FootprintVersion})
+		}
+	}
+	return l, schema
+}
+
+// dumpState snapshots a backend's full content keyed by table name, so two
+// replay targets can be compared byte-for-byte without depending on table
+// enumeration order.
+func dumpState(t *testing.T, b *backend.Backend) map[string]string {
+	t.Helper()
+	d, err := TakeDump("state", b.Driver().(backend.SchemaProvider))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(d.Tables))
+	for _, td := range d.Tables {
+		bs, err := json.Marshal(td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[td.Name] = string(bs)
+	}
+	return out
+}
+
+// TestPropertyParallelReplayMatchesSequential replays randomized logs of
+// overlapping/disjoint writers both sequentially and on parallel appliers
+// and requires the restored engines to be byte-identical (runs under -race
+// in CI). This is the correctness proof of the parallel replay pipeline:
+// per-table dependency chains plus barriers reconstruct exactly the partial
+// order the conflict-class sequencer recorded.
+func TestPropertyParallelReplayMatchesSequential(t *testing.T) {
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("seed %d", seed)
+
+	iters := 8
+	if testing.Short() {
+		iters = 2
+	}
+	for iter := 0; iter < iters; iter++ {
+		nTables := rng.Intn(5) + 2
+		nOps := rng.Intn(150) + 50
+		l, schema := randomLog(rng, nTables, nOps)
+
+		seqB := mkBackend(t, fmt.Sprintf("seq%d", iter), schema...)
+		parB := mkBackend(t, fmt.Sprintf("par%d", iter), schema...)
+
+		seqApplied, err := ReplayParallel(l, 0, seqB, 1)
+		if err != nil {
+			t.Fatalf("iter %d: sequential replay: %v", iter, err)
+		}
+		parApplied, err := ReplayParallel(l, 0, parB, 8)
+		if err != nil {
+			t.Fatalf("iter %d: parallel replay: %v", iter, err)
+		}
+		if seqApplied != parApplied {
+			t.Fatalf("iter %d: applied %d sequentially but %d in parallel", iter, seqApplied, parApplied)
+		}
+
+		seqState := dumpState(t, seqB)
+		parState := dumpState(t, parB)
+		if len(seqState) != len(parState) {
+			t.Fatalf("iter %d: table sets differ: %d vs %d", iter, len(seqState), len(parState))
+		}
+		for name, want := range seqState {
+			if got := parState[name]; got != want {
+				t.Fatalf("iter %d: table %s diverged after parallel replay\nsequential: %s\nparallel:   %s",
+					iter, name, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelReplayAppliesOnlyCommitted: the transaction-outcome filter is
+// shared with the sequential path; prove it holds on the parallel one too.
+func TestParallelReplayAppliesOnlyCommitted(t *testing.T) {
+	l := NewMemoryLog()
+	l.Append(Entry{TxID: 1, Class: ClassBegin})
+	l.Append(Entry{TxID: 1, Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (1)", Tables: []string{"t"}, V: FootprintVersion})
+	l.Append(Entry{TxID: 2, Class: ClassBegin})
+	l.Append(Entry{TxID: 2, Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (2)", Tables: []string{"t"}, V: FootprintVersion})
+	l.Append(Entry{TxID: 1, Class: ClassCommit, Tables: []string{"t"}, V: FootprintVersion})
+	l.Append(Entry{TxID: 2, Class: ClassRollback, Tables: []string{"t"}, V: FootprintVersion})
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (3)", Tables: []string{"t"}, V: FootprintVersion})
+
+	b := mkBackend(t, "ponly", "CREATE TABLE t (a INTEGER)")
+	applied, err := ReplayParallel(l, 0, b, 4)
+	if err != nil || applied != 2 {
+		t.Fatalf("applied = %d, %v", applied, err)
+	}
+	res, _ := b.Read(0, nil, "SELECT a FROM t ORDER BY a")
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 1 || res.Rows[1][0].I != 3 {
+		t.Fatalf("replayed rows: %v", res.Rows)
+	}
+}
+
+// TestParallelReplayCrashConsistency: an entry that fails mid-replay must
+// surface its error (lowest failing Seq, with the SQL), the worker pool
+// must drain cleanly (ReplayParallel returns with no appliers left
+// running), and entries conflicting with the failed one must not have been
+// applied after it.
+func TestParallelReplayCrashConsistency(t *testing.T) {
+	l := NewMemoryLog()
+	// A healthy disjoint class (t0) around a poisoned class (t1): entry 3
+	// fails, entry 4 conflicts with it and must not apply.
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO t0 (a) VALUES (1)", Tables: []string{"t0"}, V: FootprintVersion})
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO t1 (a) VALUES (1)", Tables: []string{"t1"}, V: FootprintVersion})
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO missing (a) VALUES (1)", Tables: []string{"t1"}, V: FootprintVersion})
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO t1 (a) VALUES (2)", Tables: []string{"t1"}, V: FootprintVersion})
+
+	b := mkBackend(t, "crash", "CREATE TABLE t0 (a INTEGER)", "CREATE TABLE t1 (a INTEGER)")
+	applied, err := ReplayParallel(l, 0, b, 4)
+	if err == nil {
+		t.Fatal("mid-replay failure did not surface")
+	}
+	if !strings.Contains(err.Error(), "seq 3") || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("error does not name the failing entry: %v", err)
+	}
+	if applied > 3 {
+		t.Fatalf("applied = %d after failure", applied)
+	}
+	// The failed entry's conflict class stopped at the failure: t1 must not
+	// contain the value inserted by the entry behind the poisoned one.
+	res, rerr := b.Read(0, nil, "SELECT a FROM t1 WHERE a = 2")
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("entry conflicting with the failed one was applied past the failure")
+	}
+}
+
+// TestParallelReplayLegacyEntriesSerialize: V=0 entries (unknown footprint)
+// must act as barriers, so a legacy log parallel-replays in pure Seq order
+// and still matches the sequential result.
+func TestParallelReplayLegacyEntriesSerialize(t *testing.T) {
+	l := NewMemoryLog()
+	for i := 0; i < 20; i++ {
+		l.Append(Entry{Class: ClassWrite, SQL: fmt.Sprintf("INSERT INTO t (a) VALUES (%d)", i)})
+	}
+	b := mkBackend(t, "legacy", "CREATE TABLE t (a INTEGER, id INTEGER PRIMARY KEY AUTO_INCREMENT)")
+	applied, err := ReplayParallel(l, 0, b, 8)
+	if err != nil || applied != 20 {
+		t.Fatalf("applied = %d, %v", applied, err)
+	}
+	res, _ := b.Read(0, nil, "SELECT a FROM t ORDER BY id")
+	for i, r := range res.Rows {
+		if int(r[0].I) != i {
+			t.Fatalf("legacy entries applied out of order: row %d = %v", i, r[0])
+		}
+	}
+}
+
+// TestReplayParallelDefaultsWorkers: workers <= 0 means GOMAXPROCS, and the
+// replay still succeeds.
+func TestReplayParallelDefaultsWorkers(t *testing.T) {
+	l := NewMemoryLog()
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO t (a) VALUES (1)", Tables: []string{"t"}, V: FootprintVersion})
+	b := mkBackend(t, "defw", "CREATE TABLE t (a INTEGER)")
+	if applied, err := ReplayParallel(l, 0, b, 0); err != nil || applied != 1 {
+		t.Fatalf("applied = %d, %v", applied, err)
+	}
+}
+
+// errLog wraps a Log whose Since fails, to cover the error path.
+type errLog struct{ Log }
+
+func (e errLog) Since(uint64) ([]Entry, error) { return nil, errSince }
+
+var errSince = errors.New("boom")
+
+func TestReplayParallelSurfacesSinceError(t *testing.T) {
+	b := mkBackend(t, "since", "CREATE TABLE t (a INTEGER)")
+	if _, err := ReplayParallel(errLog{NewMemoryLog()}, 0, b, 4); !errors.Is(err, errSince) {
+		t.Fatalf("Since error lost: %v", err)
+	}
+}
+
+// seedEngineBackend builds an engine-backed backend with nTables tables of
+// nRows rows each, for the replay benchmarks.
+func seedEngineBackend(tb testing.TB, name string, nTables, nRows int) *backend.Backend {
+	tb.Helper()
+	e := sqlengine.New(name)
+	s := e.NewSession()
+	for i := 0; i < nTables; i++ {
+		if _, err := s.ExecSQL(fmt.Sprintf("CREATE TABLE t%d (id INTEGER PRIMARY KEY, v INTEGER)", i)); err != nil {
+			tb.Fatal(err)
+		}
+		for r := 0; r < nRows; r++ {
+			if _, err := s.ExecSQL(fmt.Sprintf("INSERT INTO t%d (id, v) VALUES (%d, 0)", i, r)); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	s.Close()
+	b := backend.New(backend.Config{Name: name, Driver: &backend.EngineDriver{Engine: e}})
+	b.Enable()
+	tb.Cleanup(b.Close)
+	return b
+}
+
+// updateLog builds a log of idempotent UPDATEs spread over nTables disjoint
+// conflict classes, so one backend can absorb repeated replays.
+func updateLog(nTables, nEntries int) *MemoryLog {
+	l := NewMemoryLog()
+	for i := 0; i < nEntries; i++ {
+		tbl := fmt.Sprintf("t%d", i%nTables)
+		l.Append(Entry{Class: ClassWrite, Tables: []string{tbl}, V: FootprintVersion,
+			SQL: fmt.Sprintf("UPDATE %s SET v = %d WHERE id = %d", tbl, i, i%64)})
+	}
+	return l
+}
+
+// BenchmarkSequentialReplay is the legacy one-entry-at-a-time baseline.
+func BenchmarkSequentialReplay(b *testing.B) {
+	bk := seedEngineBackend(b, "bseq", 8, 64)
+	l := updateLog(8, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayParallel(l, 0, bk, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelReplay replays the same 8-class log with GOMAXPROCS
+// appliers; disjoint classes apply concurrently.
+func BenchmarkParallelReplay(b *testing.B) {
+	bk := seedEngineBackend(b, "bpar", 8, 64)
+	l := updateLog(8, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayParallel(l, 0, bk, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# check_package_docs.sh — fail CI when any internal package (or a main
+# package under cmd/ or examples/) is missing a package-level godoc
+# comment. A package comment is a "// Package <name> ..." (or
+# "// Command <name> ..." / a leading doc comment for main packages)
+# block in at least one non-test file of the directory.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for d in $(find internal cmd examples -type d | sort); do
+	set -- "$d"/*.go
+	[ -e "$1" ] || continue
+	ok=0
+	for f in "$d"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		# The doc comment must immediately precede the package clause.
+		if awk 'prev ~ /^\/\// && /^package / { found = 1 } { prev = $0 } END { exit !found }' "$f"; then
+			ok=1
+			break
+		fi
+	done
+	if [ "$ok" -eq 0 ]; then
+		echo "missing package comment: $d" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	echo "every package needs a godoc package comment (// Package <name> ... above the package clause)" >&2
+fi
+exit "$fail"
