@@ -390,7 +390,7 @@ func BenchmarkClusterRead(b *testing.B) {
 // benchWriteVDB builds a one-backend virtual database with k disjoint
 // tables t0..t(k-1), each seeded with `rows` rows, for the write-pipeline
 // benchmarks (no cost model: real engine concurrency is what is measured).
-func benchWriteVDB(b *testing.B, k, rows int) *cjdbc.VirtualDatabase {
+func benchWriteVDB(b *testing.B, k, rows int, opts ...cjdbc.BackendOption) *cjdbc.VirtualDatabase {
 	b.Helper()
 	ctrl := cjdbc.NewController("bench", 1)
 	b.Cleanup(ctrl.Close)
@@ -398,7 +398,7 @@ func benchWriteVDB(b *testing.B, k, rows int) *cjdbc.VirtualDatabase {
 	if err != nil {
 		b.Fatal(err)
 	}
-	vdb.AddInMemoryBackend("db0")
+	vdb.AddInMemoryBackend("db0", opts...)
 	sess, _ := vdb.OpenSession("u", "")
 	defer sess.Close()
 	for i := 0; i < k; i++ {
@@ -459,6 +459,74 @@ func BenchmarkSameTableWrites(b *testing.B) {
 	const rows = 64
 	vdb := benchWriteVDB(b, 1, rows)
 	benchParallelWrites(b, vdb, 1, rows)
+}
+
+// BenchmarkAutoCommitWorkerPool measures the auto-commit write path with
+// the per-backend worker pool (the default): enqueue-time ticket
+// reservation on a pre-bound connection, ready-task handoff, resident
+// workers. Compare with BenchmarkAutoCommitGoroutinePerWrite, which runs
+// the identical workload through the goroutine-per-write execution model
+// the pool replaced (the PR-3/PR-4 lanes baseline).
+func BenchmarkAutoCommitWorkerPool(b *testing.B) {
+	const tables, rows = 4, 64
+	vdb := benchWriteVDB(b, tables, rows)
+	benchParallelWrites(b, vdb, tables, rows)
+}
+
+// BenchmarkAutoCommitGoroutinePerWrite is the spawn-a-goroutine-per-write
+// baseline (WriteWorkers < 0), kept solely for this comparison.
+func BenchmarkAutoCommitGoroutinePerWrite(b *testing.B) {
+	const tables, rows = 4, 64
+	vdb := benchWriteVDB(b, tables, rows, cjdbc.WithWriteWorkers(-1))
+	benchParallelWrites(b, vdb, tables, rows)
+}
+
+// BenchmarkMixedAutoCommitTxContention drives auto-commit writers and
+// short transactions over the same tables: the contended case where
+// enqueue-time tickets, not each replica's lock queue, decide the order of
+// every auto-commit/transactional pair.
+func BenchmarkMixedAutoCommitTxContention(b *testing.B) {
+	const tables, rows = 2, 64
+	vdb := benchWriteVDB(b, tables, rows)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(next.Add(1) - 1)
+		tbl := id % tables
+		s, err := vdb.OpenSession("u", "")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer s.Close()
+		i := 0
+		for pb.Next() {
+			// Alternate per iteration, not per goroutine, so the mix is
+			// real even when RunParallel spawns a single goroutine
+			// (GOMAXPROCS=1, the CI bench host).
+			if i%2 == 0 {
+				// Auto-commit writer.
+				if _, err := s.Exec(fmt.Sprintf("UPDATE t%d SET v = %d WHERE id = %d", tbl, i, i%rows)); err != nil {
+					b.Error(err)
+					return
+				}
+			} else {
+				// Transactional writer on the same tables.
+				for _, q := range []string{
+					"BEGIN",
+					fmt.Sprintf("UPDATE t%d SET v = v + 1 WHERE id = %d", tbl, i%rows),
+					"COMMIT",
+				} {
+					if _, err := s.Exec(q); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkClusterWrite measures the full write-all path on 3 backends.

@@ -261,6 +261,15 @@ func WithCostParallelism(n int) BackendOption {
 	return func(c *backend.Config) { c.CostParallelism = n }
 }
 
+// WithWriteWorkers sizes the backend's auto-commit write worker pool: ready
+// writes (lane dependencies satisfied, engine lock ticket granted) execute
+// on this many resident workers with lane work-stealing. 0 means GOMAXPROCS
+// (minimum 2); negative restores the goroutine-per-write execution model as
+// a measurement baseline.
+func WithWriteWorkers(n int) BackendOption {
+	return func(c *backend.Config) { c.WriteWorkers = n }
+}
+
 // AddInMemoryBackend creates a fresh in-process SQL engine and attaches it
 // as a backend, returning the engine's name.
 func (v *VirtualDatabase) AddInMemoryBackend(name string, opts ...BackendOption) error {

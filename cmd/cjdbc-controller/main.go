@@ -21,7 +21,7 @@
 //	      "recoveryLog": "memory",
 //	      "recoveryWorkers": 0,
 //	      "cache": {"granularity": "table", "maxEntries": 4096},
-//	      "backends": [{"name": "db0"}, {"name": "db1"}],
+//	      "backends": [{"name": "db0"}, {"name": "db1", "writeWorkers": 4}],
 //	      "group": "mydb-group"
 //	    }
 //	  ]
@@ -75,6 +75,9 @@ type backendFileConfig struct {
 	Name   string `json:"name"`
 	DSN    string `json:"dsn"` // cjdbc:// URL for a nested controller; empty = in-memory engine
 	Weight int    `json:"weight"`
+	// WriteWorkers sizes the backend's auto-commit write worker pool
+	// (0 = GOMAXPROCS, minimum 2; negative = goroutine-per-write baseline).
+	WriteWorkers int `json:"writeWorkers"`
 }
 
 func main() {
@@ -122,6 +125,9 @@ func main() {
 			var opts []cjdbc.BackendOption
 			if bc.Weight > 0 {
 				opts = append(opts, cjdbc.WithWeight(bc.Weight))
+			}
+			if bc.WriteWorkers != 0 {
+				opts = append(opts, cjdbc.WithWriteWorkers(bc.WriteWorkers))
 			}
 			if bc.DSN != "" {
 				err = vdb.AddClusterBackend(bc.Name, bc.DSN, opts...)

@@ -3,8 +3,10 @@ package backend
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cjdbc/internal/conflictsched"
 	"cjdbc/internal/senterr"
@@ -59,31 +61,41 @@ type Config struct {
 	// serves concurrently (its CPU/disk parallelism); 0 means 4. Only
 	// meaningful with a cost model.
 	CostParallelism int
+	// WriteWorkers sizes the auto-commit write worker pool: 0 means
+	// GOMAXPROCS (minimum 2, so a write parked on a remote driver's locks
+	// cannot starve disjoint writes on a one-CPU host); negative spawns one
+	// goroutine per ready write instead of resident workers — the execution
+	// model the pool replaced, kept as the measurement baseline.
+	WriteWorkers int
 }
 
 // Backend is one database of a virtual database: a native driver plus the
-// connection manager, ordered write lanes, and monitoring counters.
+// connection manager, the ordered write pipeline, and monitoring counters.
 //
-// Writes are executed on two kinds of lanes, mirroring C-JDBC's
-// per-transaction backend worker threads: each transaction has its own
-// connection and worker (so a transaction blocked on database locks never
-// prevents another transaction's commit from being delivered), and
-// auto-commit writes run on per-conflict-class lanes — each task waits only
+// Writes execute on two paths, mirroring C-JDBC's per-transaction backend
+// worker threads: each transaction has its own connection and worker (so a
+// transaction blocked on database locks never prevents another
+// transaction's commit from being delivered), and auto-commit writes run on
+// a per-backend worker pool fed by conflict lanes — each task waits only
 // for the previously enqueued tasks whose conflict footprint (table set)
 // intersects its own, so writes to disjoint tables execute concurrently
 // while writes sharing a table apply strictly in enqueue order. DDL and
 // statements with unknown footprints are barriers: they wait for everything
-// ahead and everything behind waits for them. The cluster-wide submission
-// order established by the scheduler (which holds the conflict class's
-// locks across the enqueues to all backends) keeps conflicting auto-commit
-// writes in the same order on every replica via the lanes, and conflicting
-// transactional writes via enqueue-time lock reservations plus the engine's
-// FIFO lock granting; non-conflicting writes commute, so their order is
-// free. A conflicting auto-commit/transactional *pair* is ordered by each
-// replica's own lock queue — the auto-commit side acquires its table lock
-// at execution time on a pooled connection, not at enqueue time — which is
-// the same per-replica timing C-JDBC relied on (see the ROADMAP open item
-// on auto-commit reservations).
+// ahead and everything behind waits for them.
+//
+// Enqueue-time reservation is the single ordering authority: while the
+// scheduler holds the conflict class's locks across the enqueues to all
+// backends, every write — transactional or auto-commit — queues its engine
+// lock ticket in that cluster submission order. Transactional writes
+// reserve on their dedicated connection; auto-commit writes pre-bind a
+// dedicated connection at enqueue and hold its ticket from enqueue to
+// apply, parked out of the worker pool until the engine grants it. The
+// engine's per-table FIFO of tickets then grants conflicting writes —
+// including auto-commit/transactional pairs — in the same order on every
+// replica; non-conflicting writes commute, so their order is free. Drivers
+// whose connections cannot reserve (remote backends) fall back to
+// execution-time locking and rely on their database's own lock queueing,
+// as C-JDBC did.
 type Backend struct {
 	name     string
 	weight   int
@@ -107,14 +119,18 @@ type Backend struct {
 	mu  sync.Mutex
 	txs map[uint64]*txConn
 
-	// Auto-commit conflict lanes: lanes assigns each task its dependencies
+	// Auto-commit worker pool: pool assigns each task its lane dependencies
 	// (the newest earlier task per table of its footprint; DDL / unknown
 	// footprints are barriers — the shared conflict-class dependency rule in
-	// internal/conflictsched), and autoSem bounds queued-plus-running
+	// internal/conflictsched) plus a readiness gate tied to the task's
+	// engine lock ticket, and runs ready tasks on a fixed set of workers
+	// with lane work-stealing. autoSem bounds queued-plus-running
 	// auto-commit tasks (the backpressure the bounded FIFO queue used to
-	// provide).
-	lanes   *conflictsched.Tracker
-	autoSem chan struct{}
+	// provide). noTickets caches that the driver's connections cannot
+	// reserve, so the pre-bind probe is not repeated per write.
+	pool      *conflictsched.Pool
+	autoSem   chan struct{}
+	noTickets atomic.Bool
 
 	// chargeMu serializes the cost-model charge of auto-commit writes: the
 	// simulated machine applies broadcast updates on one write thread (the
@@ -154,6 +170,10 @@ type writeTask struct {
 	st    sqlparser.Statement
 	sql   string
 	done  chan<- WriteOutcome
+	// conn is the pre-bound connection holding the task's engine lock
+	// ticket from enqueue to apply (auto-commit path); nil means the task
+	// checks a pooled connection out at execution time instead.
+	conn Conn
 }
 
 // WriteOutcome is the terminal result of an asynchronous write.
@@ -190,6 +210,10 @@ func New(cfg Config) *Backend {
 	if cfg.CostParallelism <= 0 {
 		cfg.CostParallelism = 4
 	}
+	workers := cfg.WriteWorkers
+	if workers == 0 {
+		workers = max(2, runtime.GOMAXPROCS(0))
+	}
 	b := &Backend{
 		name:     cfg.Name,
 		weight:   cfg.Weight,
@@ -200,7 +224,7 @@ func New(cfg Config) *Backend {
 		idle:     make(chan Conn, cfg.MaxConns),
 		costSem:  make(chan struct{}, cfg.CostParallelism),
 		txs:      make(map[uint64]*txConn),
-		lanes:    conflictsched.NewTracker(),
+		pool:     conflictsched.NewPool(workers),
 		autoSem:  make(chan struct{}, 4096),
 		closed:   make(chan struct{}),
 	}
@@ -281,11 +305,14 @@ func (b *Backend) notifyFailure(err error) {
 	}
 }
 
-// Close shuts the backend down, closing pooled connections. Draining the
-// lane semaphore to capacity waits for every in-flight auto-commit task (a
+// Close shuts the backend down, closing pooled connections. Forcing the
+// pool's readiness gates lets tasks whose lock tickets would never be
+// granted (queued behind a transaction that will not end) run, observe the
+// closed state, and release their pre-bound connections. Draining the lane
+// semaphore to capacity then waits for every in-flight auto-commit task (a
 // task releases its slot as its final action) and, because enqueuers
 // re-check closed after acquiring a slot, guarantees no task can start
-// afterwards.
+// afterwards; the worker pool is stopped once drained.
 func (b *Backend) Close() {
 	select {
 	case <-b.closed:
@@ -294,9 +321,11 @@ func (b *Backend) Close() {
 	}
 	b.Disable()
 	close(b.closed)
+	b.pool.ForceGates()
 	for i := 0; i < cap(b.autoSem); i++ {
 		b.autoSem <- struct{}{}
 	}
+	b.pool.Stop()
 	for {
 		select {
 		case c := <-b.idle:
@@ -571,9 +600,21 @@ func (b *Backend) EnqueueWriteClassTo(txID uint64, class sqlparser.StatementClas
 		}
 	}
 
-	// Auto-commit conflict lanes. The semaphore preserves the bounded-queue
-	// backpressure; b.lanes (the shared conflictsched tracker) records which
-	// previously enqueued tasks this one conflicts with.
+	// Auto-commit worker pool. The semaphore preserves the bounded-queue
+	// backpressure; the pool records which previously enqueued tasks this
+	// one conflicts with (lane dependencies) and parks the task until its
+	// engine lock ticket — issued below, still inside the scheduler's
+	// critical section — is granted.
+	if t.st == nil && sql != "" {
+		// Direct callers (tests, ad-hoc tooling) may enqueue raw SQL; parse
+		// it here so the task gets a real footprint and a lock ticket
+		// instead of degrading to an unticketed barrier. Parse failures
+		// stay barriers and surface at execution.
+		if st, err := sqlparser.Parse(sql); err == nil {
+			t.st = st
+			tables, global = sqlparser.ConflictClass(st)
+		}
+	}
 	select {
 	case b.autoSem <- struct{}{}:
 	case <-b.closed:
@@ -591,15 +632,108 @@ func (b *Backend) EnqueueWriteClassTo(txID uint64, class sqlparser.StatementClas
 	default:
 	}
 	b.pending.Add(1)
-	deps, fin := b.lanes.Enter(tables, global)
-
-	go func() {
-		conflictsched.Wait(deps)
+	run := func() {
 		b.runAuto(t)
-		close(fin)
 		// Slot release is the task's final action; Close's drain keys on it.
 		<-b.autoSem
-	}()
+	}
+
+	// Pre-bind a dedicated connection and queue the write's engine lock
+	// ticket now, in cluster submission order; the task becomes runnable
+	// only once both its lane dependencies and its ticket grant arrive, so
+	// a write parked behind a transaction's lock occupies no pool worker.
+	// The ticket is reserved BEFORE the task is submitted: until the gate
+	// opens, only this goroutine touches the pre-bound session, so even a
+	// concurrent Close (which force-opens gates) cannot run the task — and
+	// close its session — while the reservation is still being placed.
+	if reserver, tbl := b.prebind(t); reserver != nil {
+		g := &ticketGate{}
+		reserver.ReserveWriteLockNotify(tbl, g.notify)
+		g.bind(b.pool.SubmitGated(tables, global, run))
+		return
+	}
+	b.pool.Submit(tables, global, run)
+}
+
+// ticketEscape bounds how long a write may stay parked on an ungranted
+// ticket. The paper's backends resolve deadlock and starvation by lock
+// timeout; a parked task sees no engine deadline (that clock starts at
+// execution), so after this delay the task is released to a worker anyway
+// and blocks in the engine's own lock wait, which fails with its
+// ErrLockTimeout if the holder never lets go — restoring the pre-pool
+// liveness bound (a stuck transaction can stall same-table writes only for
+// ticketEscape + the engine lock timeout, never wedge the backend).
+const ticketEscape = time.Second
+
+// ticketGate splices an engine ticket's grant notification onto a pool
+// task's readiness gate that does not exist yet when the ticket is
+// reserved (the reservation must precede the task submission; see
+// EnqueueWriteClassTo). notify may fire at any point — synchronously
+// inside ReserveWriteLockNotify, or from a lock release on another
+// goroutine — before or after bind supplies the gate's release function.
+type ticketGate struct {
+	mu      sync.Mutex
+	release func()
+	fired   bool
+	timer   *time.Timer
+}
+
+// notify is the ticket's grant/drop callback.
+func (g *ticketGate) notify() {
+	g.mu.Lock()
+	g.fired = true
+	r := g.release
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	g.mu.Unlock()
+	if r != nil {
+		r()
+	}
+}
+
+// bind wires the pool's release function and arms the escape timer when
+// the grant has not already arrived. release is idempotent, so a racing
+// grant, the timer, and a Close-time ForceGates may all fire it.
+func (g *ticketGate) bind(release func()) {
+	g.mu.Lock()
+	g.release = release
+	fired := g.fired
+	if !fired {
+		g.timer = time.AfterFunc(ticketEscape, release)
+	}
+	g.mu.Unlock()
+	if fired {
+		release()
+	}
+}
+
+// prebind opens the dedicated connection an auto-commit write holds from
+// enqueue to apply, returning its ticket interface and target table. It
+// returns nil when the statement has no single write target (parse failure:
+// a lane barrier) or the driver's connections cannot reserve — those tasks
+// fall back to execution-time locking on a pooled connection.
+func (b *Backend) prebind(t *writeTask) (TicketReserver, string) {
+	if t.st == nil || b.noTickets.Load() {
+		return nil, ""
+	}
+	tbl, ok := sqlparser.WriteTarget(t.st)
+	if !ok {
+		return nil, ""
+	}
+	c, err := b.driver.Open()
+	if err != nil {
+		// Surface the failure at execution time, as the pooled path would.
+		return nil, ""
+	}
+	r, ok := c.(TicketReserver)
+	if !ok {
+		b.noTickets.Store(true)
+		_ = c.Close()
+		return nil, ""
+	}
+	t.conn = c
+	return r, tbl
 }
 
 func (b *Backend) runAuto(t *writeTask) {
@@ -613,6 +747,12 @@ func (b *Backend) runAuto(t *writeTask) {
 }
 
 func (b *Backend) execAuto(t *writeTask) (*Result, error) {
+	if t.conn != nil {
+		// Closing the pre-bound connection is unconditional: it releases the
+		// task's lock ticket (granted or not) whether the write executed,
+		// failed, or was skipped because the backend shut down.
+		defer func() { _ = t.conn.Close() }()
+	}
 	if b.State() == StateDisabled {
 		return nil, ErrDisabled
 	}
@@ -620,11 +760,15 @@ func (b *Backend) execAuto(t *writeTask) (*Result, error) {
 		return nil, err
 	}
 	b.ops.Add(1)
-	c, err := b.checkout()
-	if err != nil {
-		return nil, err
+	c := t.conn
+	if c == nil {
+		pc, err := b.checkout()
+		if err != nil {
+			return nil, err
+		}
+		defer b.checkin(pc)
+		c = pc
 	}
-	defer b.checkin(c)
 	if b.cost != nil && b.cost.TimeScale != 0 {
 		b.chargeMu.Lock()
 		b.charge(t.st)
@@ -663,9 +807,9 @@ func (b *Backend) TableNames() ([]string, error) {
 	return out, nil
 }
 
-// Exec executes any statement in auto-commit mode through the write lanes
-// (for writes) or directly (for reads); a convenience used by recovery
-// replay and examples.
+// Exec executes any statement in auto-commit mode through the ordered
+// write pipeline (for writes) or directly (for reads); a convenience used
+// by recovery replay and examples.
 func (b *Backend) Exec(st sqlparser.Statement, sql string) (*Result, error) {
 	if st == nil {
 		var err error

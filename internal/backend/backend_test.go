@@ -387,3 +387,30 @@ func mustStmt(t *testing.T, sql string) sqlparser.Statement {
 	}
 	return st
 }
+
+// TestParkedWriteEscapesStuckTransaction: a transaction that never ends
+// holds a table lock; an auto-commit write to that table parks on its
+// ungranted ticket, then the escape timer hands it to a worker where the
+// engine's own lock timeout fails it — the backend must not wedge, and the
+// failure must be the semantic lock-timeout, not a hang.
+func TestParkedWriteEscapesStuckTransaction(t *testing.T) {
+	b, _ := newTestBackend(t) // engine default lock timeout: 2s
+	const tx = uint64(77)
+	out := <-b.EnqueueWrite(tx, sqlparser.ClassWrite, nil, "INSERT INTO t (id, v) VALUES (1, 'x')")
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	done := b.EnqueueWrite(0, sqlparser.ClassWrite, nil, "UPDATE t SET v = 'y' WHERE id = 1")
+	select {
+	case o := <-done:
+		if o.Err == nil {
+			t.Fatal("write completed while the transaction held the lock")
+		}
+		if !errors.Is(o.Err, sqlengine.ErrLockTimeout) {
+			t.Fatalf("want ErrLockTimeout, got %v", o.Err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("parked write never escaped a stuck transaction")
+	}
+	b.AbortTx(tx)
+}

@@ -1,7 +1,8 @@
 // Package backend abstracts one database backend of a virtual database: a
 // native driver, a connection manager (pool), an enable/disable state
-// machine, conflict-class write lanes that preserve the cluster-wide order
-// of conflicting writes while letting disjoint-table writes flow
+// machine, a conflict-ordered write worker pool that preserves the
+// cluster-wide order of conflicting writes — via enqueue-time lock tickets
+// on pre-bound connections — while letting disjoint-table writes flow
 // concurrently, and a service-cost model standing in for the paper's
 // physical database machines.
 package backend
@@ -47,6 +48,18 @@ type Driver interface {
 // their database's own lock queueing.
 type LockReserver interface {
 	ReserveWriteLock(table string)
+}
+
+// TicketReserver is implemented by connections whose enqueue-time lock
+// tickets can report their grant asynchronously. The backend's auto-commit
+// worker pool uses it to pre-bind a connection per write at enqueue time and
+// park the task until the engine grants its ticket, so a write queued behind
+// a transaction's lock never occupies a pool worker while it waits.
+type TicketReserver interface {
+	// ReserveWriteLockNotify queues an exclusive lock ticket for table and
+	// invokes granted exactly once when the ticket is granted (possibly
+	// synchronously) or dropped unconsumed.
+	ReserveWriteLockNotify(table string, granted func())
 }
 
 // SchemaProvider is implemented by drivers that can describe their tables,
@@ -107,8 +120,13 @@ func (c *engineConn) Exec(st sqlparser.Statement, sql string) (*Result, error) {
 	}, nil
 }
 
-// ReserveWriteLock queues a write lock request in submission order.
+// ReserveWriteLock queues a write lock ticket in submission order.
 func (c *engineConn) ReserveWriteLock(table string) { c.s.ReserveWriteLock(table) }
+
+// ReserveWriteLockNotify queues a write lock ticket and reports its grant.
+func (c *engineConn) ReserveWriteLockNotify(table string, granted func()) {
+	c.s.ReserveWriteLockNotify(table, granted)
+}
 
 func (c *engineConn) Begin() error    { return c.s.Begin() }
 func (c *engineConn) Commit() error   { return c.s.Commit() }

@@ -1,8 +1,8 @@
 // Package conflictsched implements the conflict-class dependency rule
 // shared by every pipeline that turns a totally ordered stream of write
 // operations into parallel execution: the backend's auto-commit write
-// lanes, the parallel recovery-log replayer, and the distributed
-// controller's delivery applier. A task entering the tracker waits only on
+// pool, the parallel recovery-log replayer, and the distributed
+// controller's delivery applier. A task entering the pool waits only on
 // the completion of the newest earlier task per key of its conflict
 // footprint (keys are table names, plus synthetic keys such as transaction
 // identifiers); a barrier task — DDL, an unknown footprint — waits for
@@ -10,80 +10,14 @@
 // Because each per-key chain is linked through the newest task, waiting on
 // the newest transitively waits on the whole chain, so submission order
 // restricted to any conflict class is preserved while disjoint classes run
-// concurrently.
+// concurrently. The rule lives in Pool (pool.go), which also supplies the
+// execution vehicle: dependency-counted ready-task handoff onto a fixed
+// worker set.
 package conflictsched
 
-import (
-	"strconv"
-	"sync"
-)
+import "strconv"
 
-// Done is one task's completion signal: closed by the task when it
-// finishes. Tasks wait on the Done signals the tracker hands them.
-type Done <-chan struct{}
-
-// Tracker assigns dependencies to a sequence of tasks submitted in their
-// required serialization order. Enter is safe for concurrent use, but the
-// order of Enter calls is the order the tracker preserves per key — callers
-// that need a specific serialization (delivery order, log sequence order)
-// must call Enter in that order.
-type Tracker struct {
-	mu        sync.Mutex
-	lastByKey map[string]chan struct{}
-	// lastBarrier is the newest barrier task's completion signal; it starts
-	// closed so the first tasks have no barrier to wait for.
-	lastBarrier chan struct{}
-}
-
-// NewTracker creates an empty tracker.
-func NewTracker() *Tracker {
-	closed := make(chan struct{})
-	close(closed)
-	return &Tracker{
-		lastByKey:   make(map[string]chan struct{}),
-		lastBarrier: closed,
-	}
-}
-
-// Enter registers the next task of the sequence. keys is the task's
-// conflict footprint; barrier marks a task that conflicts with everything
-// (ignored keys). It returns the dependencies the task must wait for before
-// running, and the task's own completion signal fin, which the caller MUST
-// close when the task finishes (whether it succeeded, failed or was
-// skipped) — a fin left open blocks every later task of the same class
-// forever.
-func (t *Tracker) Enter(keys []string, barrier bool) (deps []Done, fin chan struct{}) {
-	fin = make(chan struct{})
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	deps = append(deps, Done(t.lastBarrier))
-	if barrier {
-		// Wait for every chain's newest task (transitively, the whole
-		// chain), then become the signal every later task waits on.
-		for _, ch := range t.lastByKey {
-			deps = append(deps, Done(ch))
-		}
-		t.lastByKey = make(map[string]chan struct{})
-		t.lastBarrier = fin
-		return deps, fin
-	}
-	for _, k := range keys {
-		if ch, ok := t.lastByKey[k]; ok {
-			deps = append(deps, Done(ch))
-		}
-		t.lastByKey[k] = fin
-	}
-	return deps, fin
-}
-
-// Wait blocks until every dependency has completed.
-func Wait(deps []Done) {
-	for _, d := range deps {
-		<-d
-	}
-}
-
-// TxKey returns the synthetic tracker key chaining the operations of one
+// TxKey returns the synthetic pool key chaining the operations of one
 // transaction: they must keep their submission order even when their table
 // footprints are disjoint. Table names are SQL identifiers, so the NUL
 // prefix cannot collide with a table key.
@@ -91,7 +25,7 @@ func TxKey(id uint64) string {
 	return "\x00tx:" + strconv.FormatUint(id, 10)
 }
 
-// KeysWithTx returns a task's tracker keys: its table footprint plus, for
+// KeysWithTx returns a task's pool keys: its table footprint plus, for
 // a transactional task (txID != 0), the transaction key. The result is a
 // fresh slice; tables is not modified.
 func KeysWithTx(tables []string, txID uint64) []string {

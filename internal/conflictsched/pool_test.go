@@ -1,0 +1,129 @@
+package conflictsched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolPreservesPerKeyOrder: tasks sharing a key run in submission
+// order; the recorded sequence restricted to any key must be ascending.
+func TestPoolPreservesPerKeyOrder(t *testing.T) {
+	for _, workers := range []int{-1, 1, 4} {
+		p := NewPool(workers)
+		var mu sync.Mutex
+		order := make(map[string][]int)
+		const n = 200
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%d", i%4)
+			i := i
+			p.Submit([]string{key}, false, func() {
+				mu.Lock()
+				order[key] = append(order[key], i)
+				mu.Unlock()
+			})
+		}
+		p.Stop()
+		for key, seq := range order {
+			for j := 1; j < len(seq); j++ {
+				if seq[j] < seq[j-1] {
+					t.Fatalf("workers=%d: key %s ran out of order: %v", workers, key, seq)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolBarrierSplitsPhases: everything before a barrier finishes before
+// it runs, and everything after waits for it.
+func TestPoolBarrierSplitsPhases(t *testing.T) {
+	p := NewPool(4)
+	var before, after atomic.Int32
+	var barrierSawBefore, afterSawBarrier atomic.Int32
+	for i := 0; i < 16; i++ {
+		p.Submit([]string{fmt.Sprintf("k%d", i)}, false, func() {
+			time.Sleep(time.Millisecond)
+			before.Add(1)
+		})
+	}
+	var barrierDone atomic.Bool
+	p.Submit(nil, true, func() {
+		barrierSawBefore.Store(before.Load())
+		barrierDone.Store(true)
+	})
+	for i := 0; i < 16; i++ {
+		p.Submit([]string{fmt.Sprintf("k%d", i)}, false, func() {
+			if barrierDone.Load() {
+				afterSawBarrier.Add(1)
+			}
+			after.Add(1)
+		})
+	}
+	p.Stop()
+	if barrierSawBefore.Load() != 16 {
+		t.Fatalf("barrier ran after %d/16 predecessors", barrierSawBefore.Load())
+	}
+	if afterSawBarrier.Load() != 16 {
+		t.Fatalf("%d/16 successors ran before the barrier finished", afterSawBarrier.Load())
+	}
+	if after.Load() != 16 {
+		t.Fatalf("after = %d", after.Load())
+	}
+}
+
+// TestPoolGateParksTask: a gated task does not run — and does not occupy a
+// worker — until its gate is released, even on a one-worker pool.
+func TestPoolGateParksTask(t *testing.T) {
+	p := NewPool(1)
+	var gatedRan, freeRan atomic.Bool
+	release := p.SubmitGated([]string{"hot"}, false, func() { gatedRan.Store(true) })
+	p.Submit([]string{"cold"}, false, func() { freeRan.Store(true) })
+	deadline := time.Now().Add(2 * time.Second)
+	for !freeRan.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !freeRan.Load() {
+		t.Fatal("a parked gated task starved the single worker")
+	}
+	if gatedRan.Load() {
+		t.Fatal("gated task ran before its gate was released")
+	}
+	release()
+	release() // idempotent
+	p.Stop()
+	if !gatedRan.Load() {
+		t.Fatal("gated task never ran after release")
+	}
+}
+
+// TestPoolForceGates: ForceGates opens outstanding gates and makes new
+// gates open immediately, so a shutdown can always drain.
+func TestPoolForceGates(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int32
+	p.SubmitGated([]string{"a"}, false, func() { ran.Add(1) })
+	p.SubmitGated([]string{"b"}, false, func() { ran.Add(1) })
+	p.ForceGates()
+	p.SubmitGated([]string{"c"}, false, func() { ran.Add(1) }) // post-force gate opens immediately
+	p.Stop()
+	if ran.Load() != 3 {
+		t.Fatalf("ran = %d, want 3", ran.Load())
+	}
+}
+
+// TestPoolDrainWaitsForAll: Drain returns only after every submitted task
+// (including chained dependents) finished.
+func TestPoolDrainWaitsForAll(t *testing.T) {
+	p := NewPool(3)
+	var ran atomic.Int32
+	for i := 0; i < 50; i++ {
+		p.Submit([]string{"k"}, false, func() { ran.Add(1) })
+	}
+	p.Drain()
+	if ran.Load() != 50 {
+		t.Fatalf("Drain returned with %d/50 done", ran.Load())
+	}
+	p.Stop()
+}

@@ -17,6 +17,13 @@ import (
 // t0..t(k-1), each holding rows (id, v) = (0..rows-1, 0). Engines get a
 // long lock timeout so deliberately blocked writers never time out in CI.
 func mkConflictVDB(t *testing.T, n, k, rows int) (*VirtualDatabase, []*sqlengine.Engine) {
+	return mkConflictVDBWorkers(t, n, k, rows, 0)
+}
+
+// mkConflictVDBWorkers is mkConflictVDB with the backends' auto-commit
+// write worker pool size pinned (0 = default pool, negative = the
+// goroutine-per-write baseline).
+func mkConflictVDBWorkers(t *testing.T, n, k, rows, writeWorkers int) (*VirtualDatabase, []*sqlengine.Engine) {
 	t.Helper()
 	var seed []string
 	for i := 0; i < k; i++ {
@@ -37,7 +44,11 @@ func mkConflictVDB(t *testing.T, n, k, rows int) (*VirtualDatabase, []*sqlengine
 		}
 		s.Close()
 		engines[i] = e
-		b := backend.New(backend.Config{Name: fmt.Sprintf("db%d", i), Driver: &backend.EngineDriver{Engine: e}})
+		b := backend.New(backend.Config{
+			Name:         fmt.Sprintf("db%d", i),
+			Driver:       &backend.EngineDriver{Engine: e},
+			WriteWorkers: writeWorkers,
+		})
 		t.Cleanup(b.Close)
 		if err := v.AddBackend(b); err != nil {
 			t.Fatal(err)
@@ -230,6 +241,17 @@ func sortedTableDump(t *testing.T, e *sqlengine.Engine, table string) string {
 // conflicting writes are applied in one conflict-class order everywhere.
 // Run with -race this doubles as the mixed disjoint/overlapping stress.
 func TestReplicaConsistencyUnderConcurrentWrites(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		runReplicaConsistency(t, 0, seed)
+	}
+}
+
+// runReplicaConsistency is the randomized replica-consistency property body
+// shared with the worker-pool equivalence test: writeWorkers selects the
+// auto-commit execution vehicle (0 = default worker pool, 1 = single
+// worker, negative = the goroutine-per-write baseline); whatever runs the
+// writes, all backends must stay byte-identical.
+func runReplicaConsistency(t *testing.T, writeWorkers int, seed int64) {
 	const (
 		nBackends = 3
 		nTables   = 4
@@ -237,8 +259,8 @@ func TestReplicaConsistencyUnderConcurrentWrites(t *testing.T) {
 		nOps      = 60
 		seedRows  = 8
 	)
-	for _, seed := range []int64{1, 7} {
-		v, engines := mkConflictVDB(t, nBackends, nTables, seedRows)
+	{
+		v, engines := mkConflictVDBWorkers(t, nBackends, nTables, seedRows, writeWorkers)
 
 		var wg sync.WaitGroup
 		for w := 0; w < nWriters; w++ {

@@ -236,6 +236,27 @@ func (s *Scheduler) TakeTxFootprint(txID uint64) (tables []string, global bool) 
 	return tables, f.global
 }
 
+// PeekTxFootprint returns a transaction's accumulated conflict footprint
+// (sorted) without clearing it. The distributed request manager attaches it
+// to commit/abort broadcasts so every controller's applier can chain the
+// demarcation through the conflict tracker instead of treating it as a
+// barrier; the sequencer itself still takes (and clears) the footprint at
+// lock time via TakeTxFootprint.
+func (s *Scheduler) PeekTxFootprint(txID uint64) (tables []string, global bool) {
+	s.classMu.Lock()
+	f := s.txFeet[txID]
+	if f != nil {
+		tables = make([]string, 0, len(f.tables))
+		for t := range f.tables {
+			tables = append(tables, t)
+		}
+		global = f.global
+	}
+	s.classMu.Unlock()
+	sort.Strings(tables)
+	return tables, global
+}
+
 // ForgetTx drops a transaction's footprint without locking anything, for
 // abort paths that bypass SQL demarcation.
 func (s *Scheduler) ForgetTx(txID uint64) {

@@ -364,7 +364,9 @@ func (v *VirtualDatabase) planFor(sql string) (*plancache.Plan, error) {
 	}
 	p := plancache.Build(key, st)
 	if v.plans != nil {
-		v.plans.Put(p)
+		// Offer, not Put: literal-bound one-off statements pass the
+		// admission doorkeeper so they cannot churn the LRU.
+		v.plans.Offer(p)
 	}
 	return p, nil
 }

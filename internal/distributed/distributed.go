@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -23,14 +24,25 @@ import (
 // ErrLeft is returned when submitting to a distributed vdb that left its group.
 var ErrLeft = errors.New("distributed: controller has left the group")
 
-// writeMsg is the payload of one ordered write broadcast.
+// writeMsg is the payload of one ordered write broadcast. Demarcations
+// (COMMIT/ROLLBACK) carry the transaction's accumulated write footprint
+// (Tables/Global, with Footprint marking it present), so the appliers can
+// chain them through the conflict tracker like ordinary writes instead of
+// treating every demarcation as a conservative barrier — disjoint
+// transactions' demarcations pipeline. The footprint travels for the
+// tracker only; each controller's sequencer still locks its own accumulated
+// footprint (identical everywhere, since every controller sequenced the
+// same writes).
 type writeMsg struct {
-	ReqID  uint64 `json:"req"`
-	Origin string `json:"origin"`
-	TxID   uint64 `json:"tx"`
-	Class  uint8  `json:"class"`
-	SQL    string `json:"sql"`
-	User   string `json:"user"`
+	ReqID     uint64   `json:"req"`
+	Origin    string   `json:"origin"`
+	TxID      uint64   `json:"tx"`
+	Class     uint8    `json:"class"`
+	SQL       string   `json:"sql"`
+	User      string   `json:"user"`
+	Tables    []string `json:"tables,omitempty"`
+	Global    bool     `json:"global,omitempty"`
+	Footprint bool     `json:"fp,omitempty"`
 }
 
 // configMsg announces a controller's backend configuration so that peers
@@ -65,9 +77,13 @@ type VDB struct {
 	done   chan struct{}
 }
 
+// submitResult hands the local dispatch outcome back to the submitting
+// client goroutine: the shared outcome channel of the enqueued cluster
+// write, or the dispatch error. The client applies the early-response
+// policy itself, so no applier-side goroutine ever blocks on execution.
 type submitResult struct {
-	res *backend.Result
-	err error
+	outs backend.Outcomes
+	err  error
 }
 
 // Join attaches a virtual database to a controller group. The returned VDB
@@ -148,9 +164,17 @@ func (d *VDB) SubmitWrite(txID uint64, class sqlparser.StatementClass, sql strin
 	d.waiters[reqID] = ch
 	d.mu.Unlock()
 
-	payload, err := json.Marshal(writeMsg{
-		ReqID: reqID, Origin: d.name, TxID: txID, Class: uint8(class), SQL: sql,
-	})
+	wm := writeMsg{ReqID: reqID, Origin: d.name, TxID: txID, Class: uint8(class), SQL: sql}
+	if class == sqlparser.ClassCommit || class == sqlparser.ClassRollback {
+		// Attach the transaction's accumulated footprint. All of the tx's
+		// writes have been sequenced locally before the client can demarcate
+		// (SubmitWrite returns only after dispatch), so the snapshot is
+		// complete — and identical on every controller, which sequenced the
+		// same writes.
+		wm.Tables, wm.Global = d.vdb.Scheduler().PeekTxFootprint(txID)
+		wm.Footprint = true
+	}
+	payload, err := json.Marshal(wm)
 	if err != nil {
 		return nil, err
 	}
@@ -161,37 +185,47 @@ func (d *VDB) SubmitWrite(txID uint64, class sqlparser.StatementClass, sql strin
 		return nil, fmt.Errorf("distributed: broadcast: %w", err)
 	}
 	r := <-ch
-	return r.res, r.err
+	if r.err != nil {
+		return nil, r.err
+	}
+	return d.vdb.WaitPolicy(r.outs)
 }
 
 // run is the applier: deliveries arrive strictly in total order, and each
-// is handed to a dispatch goroutine chained through a conflict-class
-// dependency tracker — a delivery's ticket acquisition waits only for the
+// is submitted to a dispatch worker pool chained through the conflict-class
+// dependency rule — a delivery's ticket acquisition waits only for the
 // newest earlier conflicting delivery to finish its own acquisition and
 // enqueue, so disjoint classes sequence concurrently while every
 // conflicting pair keeps its total-order position on all controllers
 // (delivery order is the same everywhere, and so are the footprints, so
-// every controller chains the same pairs). This removes the serial
-// delivery window the old one-at-a-time applier imposed: a delivery stalled
-// behind a held class lock no longer prevents disjoint deliveries behind it
-// from sequencing. Dispatch is non-blocking past the enqueue (the backends'
-// write lanes execute asynchronously), so a write stalled on database locks
-// cannot prevent the commit that releases them from being delivered.
+// every controller chains the same pairs). Ready deliveries are handed to a
+// fixed set of dispatch workers instead of one goroutine per delivery; a
+// dispatch ends at the enqueue (the backends' write pipeline executes
+// asynchronously, and the submitting client applies the early-response
+// policy itself), so a write stalled on database locks cannot prevent the
+// commit that releases them from being delivered. A dispatch blocked inside
+// LockClass (its class held by a local writer or quiesced by
+// LockAllWrites) occupies one worker; disjoint deliveries keep flowing on
+// the others.
+//
 // applierBacklog bounds queued-plus-dispatching deliveries, mirroring the
-// backpressure of the backends' bounded lane semaphore: when this many
-// dispatch goroutines are in flight (e.g. every class is quiesced behind
-// LockAllWrites during a re-integration catch-up), the applier stops
-// consuming deliveries until some drain. Group members have unbounded
+// backpressure of the backends' bounded lane semaphore: past it the applier
+// stops consuming deliveries until some drain. Group members have unbounded
 // mailboxes, so a paused applier never blocks the group.
 const applierBacklog = 4096
+
+// applierWorkers sizes the dispatch pool. Dispatch is enqueue-only and
+// cheap, but can block on a held class lock; a few spare workers keep
+// disjoint classes sequencing past a stalled one even on one-CPU hosts.
+var applierWorkers = max(4, runtime.GOMAXPROCS(0))
 
 func (d *VDB) run() {
 	defer close(d.done)
 	app := &applier{
-		tracker: conflictsched.NewTracker(),
-		slots:   make(chan struct{}, applierBacklog),
+		pool:  conflictsched.NewPool(applierWorkers),
+		slots: make(chan struct{}, applierBacklog),
 	}
-	defer app.inflight.Wait()
+	defer app.pool.Stop()
 	msgs := d.member.Deliver()
 	views := d.member.Views()
 	for {
@@ -212,9 +246,8 @@ func (d *VDB) run() {
 
 // applier is the delivery-dispatch state owned by run.
 type applier struct {
-	tracker  *conflictsched.Tracker
-	slots    chan struct{}
-	inflight sync.WaitGroup
+	pool  *conflictsched.Pool
+	slots chan struct{}
 }
 
 func (d *VDB) handleMessage(msg groupcomm.Message, app *applier) {
@@ -237,57 +270,50 @@ func (d *VDB) handleMessage(msg groupcomm.Message, app *applier) {
 		// the tracker's chains and the sequencer's class locks agree.
 		st, tables, global, planErr := d.vdb.PlanWrite(class, wm.SQL)
 		app.slots <- struct{}{}
-		deps, fin := app.tracker.Enter(deliveryKeys(wm, class, tables, global, planErr))
-		app.inflight.Add(1)
-		go func() {
-			defer func() {
-				<-app.slots
-				app.inflight.Done()
-			}()
-			conflictsched.Wait(deps)
+		keys, barrier := deliveryKeys(wm, class, tables, global, planErr)
+		app.pool.Submit(keys, barrier, func() {
+			defer func() { <-app.slots }()
 			var outs backend.Outcomes
 			err := planErr
 			if err == nil {
 				outs, err = d.vdb.DispatchPlanned(wm.TxID, class, st, wm.SQL, wm.User, tables, global)
 			}
-			// The class ticket is released: conflicting deliveries behind
-			// this one may sequence now, without waiting for execution.
-			close(fin)
+			// Dispatch ends here — the class ticket is released and
+			// conflicting deliveries behind this one may sequence without
+			// waiting for execution. Remote-origin outcomes need no waiter:
+			// the channel is buffered for every backend, and local failures
+			// disable local backends via their own callbacks.
 			if wm.Origin != d.name {
-				// Remote origin: outcomes drain here; local failures
-				// disable local backends via their callbacks.
-				if err == nil {
-					_, _ = d.vdb.WaitPolicy(outs)
-				}
 				return
 			}
 			d.mu.Lock()
 			ch := d.waiters[wm.ReqID]
 			delete(d.waiters, wm.ReqID)
 			d.mu.Unlock()
-			if ch == nil {
-				return
+			if ch != nil {
+				ch <- submitResult{outs: outs, err: err}
 			}
-			if err != nil {
-				ch <- submitResult{err: err}
-				return
-			}
-			res, werr := d.vdb.WaitPolicy(outs)
-			ch <- submitResult{res: res, err: werr}
-		}()
+		})
 	}
 }
 
 // deliveryKeys maps one delivery to conflict-tracker keys: a write's table
 // footprint plus the per-transaction key (a transaction's operations must
 // sequence in delivery order even when their tables are disjoint).
-// Demarcations are barriers — their conflict class is the transaction's
-// accumulated footprint, known only inside the sequencer, so the applier
-// conservatively orders them against everything. Global writes (DDL,
-// unknown footprints) and deliveries whose SQL fails to parse are barriers
-// too.
+// Demarcations chain through the footprint their broadcast carries — the
+// transaction's accumulated write footprint, identical on every controller
+// — so disjoint transactions' demarcations pipeline; a demarcation whose
+// footprint is global (the tx ran DDL) or missing (an old peer) is a
+// barrier. Global writes (DDL, unknown footprints) and deliveries whose SQL
+// fails to parse are barriers too.
 func deliveryKeys(wm writeMsg, class sqlparser.StatementClass, tables []string, global bool, planErr error) (keys []string, barrier bool) {
-	if class == sqlparser.ClassCommit || class == sqlparser.ClassRollback || global || planErr != nil {
+	if class == sqlparser.ClassCommit || class == sqlparser.ClassRollback {
+		if !wm.Footprint || wm.Global {
+			return nil, true
+		}
+		return conflictsched.KeysWithTx(wm.Tables, wm.TxID), false
+	}
+	if global || planErr != nil {
 		return nil, true
 	}
 	return conflictsched.KeysWithTx(tables, wm.TxID), false

@@ -335,3 +335,92 @@ func TestSubmitAfterLeaveFails(t *testing.T) {
 	}
 	nodes[0].dist.Leave() // idempotent
 }
+
+// TestDisjointTxDemarcationsPipeline: commit broadcasts carry the
+// transaction's write footprint, so a commit stalled behind a held conflict
+// class no longer acts as a barrier for demarcations of disjoint
+// transactions — they pipeline through the applier. Before this PR every
+// demarcation was a conservative barrier and txB's commit would have been
+// stuck behind txA's.
+func TestDisjointTxDemarcationsPipeline(t *testing.T) {
+	g := groupcomm.NewGroup("app")
+	nodes := mkCluster(t, g, 2)
+	defer func() {
+		for _, n := range nodes {
+			n.dist.Leave()
+		}
+	}()
+
+	s, _ := nodes[0].vdb.NewSession("u", "")
+	defer s.Close()
+	for _, q := range []string{
+		"CREATE TABLE hot (id INTEGER PRIMARY KEY)",
+		"CREATE TABLE cold (id INTEGER PRIMARY KEY)",
+	} {
+		if _, err := s.Exec(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// txA writes hot and fully sequences its write, then its commit is
+	// stalled: the hot class is held on controller 0, so the commit's
+	// dispatch blocks inside LockClass({hot}) there.
+	sA, _ := nodes[0].vdb.NewSession("u", "")
+	defer sA.Close()
+	if _, err := sA.Exec("BEGIN", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sA.Exec("INSERT INTO hot (id) VALUES (1)", nil); err != nil {
+		t.Fatal(err)
+	}
+	ticket := nodes[0].vdb.Scheduler().LockClass([]string{"hot"}, false)
+	commitADone := make(chan error, 1)
+	go func() {
+		_, err := sA.Exec("COMMIT", nil)
+		commitADone <- err
+	}()
+	select {
+	case err := <-commitADone:
+		ticket.Unlock()
+		t.Fatalf("txA commit completed under a held class lock (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// txB, also submitted on controller 0, touches only cold: its write and
+	// its commit must sail past txA's stalled commit.
+	sB, _ := nodes[0].vdb.NewSession("u", "")
+	defer sB.Close()
+	commitBDone := make(chan error, 1)
+	go func() {
+		var err error
+		for _, q := range []string{"BEGIN", "INSERT INTO cold (id) VALUES (1)", "COMMIT"} {
+			if _, err = sB.Exec(q, nil); err != nil {
+				break
+			}
+		}
+		commitBDone <- err
+	}()
+	select {
+	case err := <-commitBDone:
+		if err != nil {
+			ticket.Unlock()
+			t.Fatalf("txB failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		ticket.Unlock()
+		t.Fatal("disjoint transaction's commit stuck behind a stalled demarcation: commits still act as barriers")
+	}
+
+	// Releasing the class completes txA everywhere.
+	ticket.Unlock()
+	if err := <-commitADone; err != nil {
+		t.Fatalf("txA commit after release: %v", err)
+	}
+	for i, n := range nodes {
+		n := n
+		waitFor(t, func() bool {
+			return count(t, n.engine, "SELECT COUNT(*) FROM hot") == 1 &&
+				count(t, n.engine, "SELECT COUNT(*) FROM cold") == 1
+		}, fmt.Sprintf("convergence on controller %d", i))
+	}
+}

@@ -82,6 +82,9 @@ type Stats struct {
 	Misses    int64
 	Puts      int64
 	Evictions int64
+	// Deferred counts Offer calls that the doorkeeper held out of the LRU
+	// (first sight of a literal-bound text).
+	Deferred int64
 }
 
 // Cache is a sharded LRU of parsed plans, safe for concurrent use.
@@ -93,6 +96,7 @@ type Cache struct {
 	misses    atomic.Int64
 	puts      atomic.Int64
 	evictions atomic.Int64
+	deferred  atomic.Int64
 }
 
 type shard struct {
@@ -100,6 +104,11 @@ type shard struct {
 	entries map[string]*list.Element // value: *Plan wrapped in lruItem
 	lru     *list.List               // front = most recent
 	max     int
+	// recent is the admission doorkeeper: one hash slot per recently missed
+	// literal-bound statement text (0 = empty). A one-off statement leaves
+	// only its hash here; only a second miss while the hash survives admits
+	// the plan, so auto-generated never-repeating SQL cannot churn the LRU.
+	recent []uint32
 }
 
 type lruItem struct {
@@ -120,9 +129,14 @@ func New(maxEntries int) *Cache {
 		c.shards[i].entries = make(map[string]*list.Element)
 		c.shards[i].lru = list.New()
 		c.shards[i].max = perShard
+		c.shards[i].recent = make([]uint32, doorkeeperSlots)
 	}
 	return c
 }
+
+// doorkeeperSlots sizes each shard's recent-miss table. Collisions only
+// admit a one-off early — never reject a repeater — so small is fine.
+const doorkeeperSlots = 512
 
 func (c *Cache) shardFor(key string) *shard {
 	return &c.shards[shardutil.Hash(key)&c.mask]
@@ -143,6 +157,37 @@ func (c *Cache) Get(sql string) *Plan {
 	s.mu.Unlock()
 	c.hits.Add(1)
 	return p
+}
+
+// Offer submits a freshly built plan for admission. Parameterized plans
+// (placeholders: the prepared-statement shape that repeats by construction)
+// admit immediately; literal-bound plans pass the doorkeeper — admitted
+// only on their second sighting — mirroring how the ordered/distributed
+// write path bypasses admission for its literal-bound SQL. This keeps
+// auto-generated one-off statements (unique literals baked into the text)
+// from evicting the hot repeating plans the cache exists for.
+func (c *Cache) Offer(p *Plan) {
+	if p.NumParams > 0 {
+		c.Put(p)
+		return
+	}
+	h := shardutil.Hash(p.SQL)
+	if h == 0 {
+		h = 1 // 0 marks an empty doorkeeper slot
+	}
+	s := c.shardFor(p.SQL)
+	slot := (h >> 7) % doorkeeperSlots
+	s.mu.Lock()
+	seen := s.recent[slot] == h
+	if !seen {
+		s.recent[slot] = h
+	}
+	s.mu.Unlock()
+	if !seen {
+		c.deferred.Add(1)
+		return
+	}
+	c.Put(p)
 }
 
 // Put admits a plan, evicting the shard's least recently used entry when
@@ -206,5 +251,6 @@ func (c *Cache) StatsSnapshot() Stats {
 		Misses:    c.misses.Load(),
 		Puts:      c.puts.Load(),
 		Evictions: c.evictions.Load(),
+		Deferred:  c.deferred.Load(),
 	}
 }

@@ -183,3 +183,53 @@ func TestConcurrentStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestOfferDoorkeeperDefersOneOffs: a literal-bound text is admitted only
+// on its second sighting, while a parameterized text admits immediately —
+// the admission policy that keeps auto-generated one-off statements from
+// churning the LRU.
+func TestOfferDoorkeeperDefersOneOffs(t *testing.T) {
+	c := New(64)
+
+	lit := plan(t, "SELECT a FROM t WHERE id = 42")
+	c.Offer(lit)
+	if got := c.Get(lit.SQL); got != nil {
+		t.Fatal("one-off literal text admitted on first sight")
+	}
+	c.Offer(lit)
+	if got := c.Get(lit.SQL); got == nil {
+		t.Fatal("repeating literal text not admitted on second sight")
+	}
+
+	param := plan(t, "SELECT a FROM t WHERE id = ?")
+	c.Offer(param)
+	if got := c.Get(param.SQL); got == nil {
+		t.Fatal("parameterized text must admit immediately")
+	}
+
+	st := c.StatsSnapshot()
+	if st.Deferred != 1 {
+		t.Fatalf("deferred = %d, want 1", st.Deferred)
+	}
+}
+
+// TestOfferDoorkeeperBoundsChurn: a stream of unique one-off texts leaves
+// the cache (nearly) untouched, where Put would have cycled the whole LRU.
+func TestOfferDoorkeeperBoundsChurn(t *testing.T) {
+	c := New(64)
+	hot := plan(t, "SELECT a FROM t WHERE id = 1")
+	c.Offer(hot)
+	c.Offer(hot) // admitted
+	if c.Get(hot.SQL) == nil {
+		t.Fatal("hot plan not cached")
+	}
+	for i := 0; i < 10000; i++ {
+		c.Offer(plan(t, fmt.Sprintf("INSERT INTO t (id) VALUES (%d)", i)))
+	}
+	if c.Get(hot.SQL) == nil {
+		t.Fatal("one-off flood evicted the hot plan through the doorkeeper")
+	}
+	if got := c.StatsSnapshot().Deferred; got < 9000 {
+		t.Fatalf("deferred = %d, want most of the 10000 one-offs held out", got)
+	}
+}

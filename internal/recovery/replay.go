@@ -81,9 +81,7 @@ func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied
 	}
 
 	var (
-		tracker = conflictsched.NewTracker()
-		slots   = make(chan struct{}, workers)
-		wg      sync.WaitGroup
+		pool    = conflictsched.NewPool(workers)
 		done    atomic.Int64
 		failed  atomic.Bool
 		errMu   sync.Mutex
@@ -101,11 +99,11 @@ func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied
 		errMu.Unlock()
 	}
 
-	// The scheduling loop walks entries in Seq order, so per-class
-	// dependency chains follow Seq order. Acquiring a worker slot before
-	// spawning bounds concurrency and cannot deadlock: an applier only
-	// waits on strictly earlier entries, and the earliest in-flight entry's
-	// dependencies have all completed.
+	// The scheduling loop submits entries in Seq order, so per-class
+	// dependency chains follow Seq order; the pool's workers pull whichever
+	// entry becomes ready first (ready-task handoff — no goroutine per
+	// entry), and an applier only waits on strictly earlier entries, so the
+	// dependency graph is acyclic and replay cannot deadlock.
 	for i := range entries {
 		e := &entries[i]
 		if !replayable(e) {
@@ -114,16 +112,8 @@ func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied
 		if failed.Load() {
 			break
 		}
-		deps, fin := tracker.Enter(replayKeys(e))
-		slots <- struct{}{}
-		wg.Add(1)
-		go func() {
-			defer func() {
-				close(fin)
-				<-slots
-				wg.Done()
-			}()
-			conflictsched.Wait(deps)
+		keys, barrier := replayKeys(e)
+		pool.Submit(keys, barrier, func() {
 			if failed.Load() {
 				return
 			}
@@ -132,9 +122,9 @@ func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied
 				return
 			}
 			done.Add(1)
-		}()
+		})
 	}
-	wg.Wait()
+	pool.Stop()
 	errMu.Lock()
 	err = failErr
 	errMu.Unlock()

@@ -213,18 +213,31 @@ func (e *Engine) Indexes(name string) ([]string, error) {
 
 // lockManager grants table-granularity shared/exclusive locks with
 // timeout-based deadlock resolution (strict two-phase locking: locks are
-// held until commit or rollback). Waiters are granted in FIFO order, which
-// makes the conflict-resolution order on every replica follow the cluster's
-// write submission order — the property §2.4.1's total write order needs.
+// held until commit or rollback). Every exclusive acquisition flows through
+// a per-table FIFO of reservation tickets: the clustering middleware issues
+// a ticket at enqueue time (in cluster submission order) for transactional
+// and auto-commit writes alike, and a standalone engine user's exclusive
+// acquisition issues its ticket at execution time, at the tail of the same
+// queue. Tickets are granted strictly in issue order, which makes the
+// conflict-resolution order on every replica follow the cluster's write
+// submission order — the single ordering authority §2.4.1's total write
+// order needs. A ticket may carry a grant callback, so a scheduler can park
+// the work bound to the ticket until the engine grants it instead of
+// blocking a thread on the wait.
 type lockManager struct {
 	mu    sync.Mutex
 	locks map[string]*tableLock
 }
 
+// lockRequest is one queued lock ticket.
 type lockRequest struct {
 	s         *Session
 	exclusive bool
 	ready     chan struct{} // closed when granted
+	// granted, when set, is invoked (outside the lock-manager mutex) exactly
+	// once: when the ticket is granted, or when it is dropped unconsumed so
+	// a parked owner is never stranded waiting for a grant that cannot come.
+	granted func()
 }
 
 type tableLock struct {
@@ -271,8 +284,10 @@ func (l *tableLock) grantLocked(s *Session, tbl string, exclusive bool) {
 }
 
 // pumpLocked grants queued requests in FIFO order while the head is
-// compatible; consecutive shared requests batch.
-func (l *tableLock) pumpLocked(tbl string) {
+// compatible; consecutive shared requests batch. Grant callbacks are
+// collected into fire, to be invoked by the caller after releasing the
+// lock-manager mutex.
+func (l *tableLock) pumpLocked(tbl string, fire *[]func()) {
 	for len(l.queue) > 0 {
 		head := l.queue[0]
 		if !l.grantableLocked(head.s, head.exclusive) {
@@ -280,33 +295,52 @@ func (l *tableLock) pumpLocked(tbl string) {
 		}
 		l.grantLocked(head.s, tbl, head.exclusive)
 		close(head.ready)
+		if head.granted != nil {
+			*fire = append(*fire, head.granted)
+		}
 		l.queue = l.queue[1:]
 	}
 }
 
-// reserve appends an exclusive lock request for s to the table's FIFO queue
+// fireAll invokes collected grant callbacks; callers run it after unlocking
+// the lock-manager mutex.
+func fireAll(fire []func()) {
+	for _, f := range fire {
+		f()
+	}
+}
+
+// reserve appends an exclusive lock ticket for s to the table's FIFO queue
 // without blocking, granting immediately when possible. The cluster's
 // scheduler calls this at dispatch time, in cluster submission order, so
-// every replica queues conflicting transactional writes identically and
-// grants them in the same order — without this, two transactions can take
-// the same lock in opposite orders on two replicas and deadlock the
-// cluster (§2.4.1's "updates are sent to all backends in the same order").
-func (lm *lockManager) reserve(s *Session, tbl string) {
+// every replica queues conflicting writes — transactional and auto-commit —
+// identically and grants them in the same order; without this, two
+// conflicting writes can take the same lock in opposite orders on two
+// replicas and diverge or deadlock the cluster (§2.4.1's "updates are sent
+// to all backends in the same order"). granted, when non-nil, is notified
+// once the ticket is granted (possibly synchronously, before reserve
+// returns) or dropped.
+func (lm *lockManager) reserve(s *Session, tbl string, granted func()) {
+	var fire []func()
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
 	l := lm.get(tbl)
-	req := &lockRequest{s: s, exclusive: true, ready: make(chan struct{})}
+	req := &lockRequest{s: s, exclusive: true, ready: make(chan struct{}), granted: granted}
 	// Immediate grant when compatible and either nothing is queued or the
 	// session already holds the lock (re-entrant requests may jump the
 	// queue: the holder cannot wait behind requests blocked on it).
 	if l.grantableLocked(s, true) && (len(l.queue) == 0 || l.writer == s || l.readers[s] > 0) {
 		l.grantLocked(s, tbl, true)
 		close(req.ready)
+		if granted != nil {
+			fire = append(fire, granted)
+		}
 	} else {
 		l.queue = append(l.queue, req)
 	}
 	s.reserved[tbl] = append(s.reserved[tbl], req)
 	s.lockState.Store(true)
+	lm.mu.Unlock()
+	fireAll(fire)
 }
 
 // takeReservation pops the oldest unconsumed reservation of s on tbl.
@@ -329,12 +363,14 @@ func (lm *lockManager) takeReservation(s *Session, tbl string) *lockRequest {
 // cancelReservations drops every unconsumed reservation of s on tbl (used
 // for temporary tables, which are session-private and never lock).
 func (lm *lockManager) cancelReservations(s *Session, tbl string) {
+	var fire []func()
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	lm.dropReservationsLocked(s, tbl)
+	lm.dropReservationsLocked(s, tbl, &fire)
+	lm.mu.Unlock()
+	fireAll(fire)
 }
 
-func (lm *lockManager) dropReservationsLocked(s *Session, tbl string) {
+func (lm *lockManager) dropReservationsLocked(s *Session, tbl string, fire *[]func()) {
 	list := s.reserved[tbl]
 	if len(list) == 0 {
 		return
@@ -357,11 +393,15 @@ func (lm *lockManager) dropReservationsLocked(s *Session, tbl string) {
 				break
 			}
 		}
+		if req.granted != nil {
+			// Dropped unconsumed: notify so a parked owner is not stranded.
+			*fire = append(*fire, req.granted)
+		}
 	}
-	l.pumpLocked(tbl)
+	l.pumpLocked(tbl, fire)
 }
 
-// waitReservation blocks on a reservation until granted or the deadline.
+// waitReservation blocks on a ticket until granted or the deadline.
 func (lm *lockManager) waitReservation(req *lockRequest, tbl string, deadline time.Time) error {
 	select {
 	case <-req.ready:
@@ -375,10 +415,11 @@ func (lm *lockManager) waitReservation(req *lockRequest, tbl string, deadline ti
 		return nil
 	case <-timer.C:
 	}
+	var fire []func()
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
 	select {
 	case <-req.ready:
+		lm.mu.Unlock()
 		return nil
 	default:
 	}
@@ -389,24 +430,47 @@ func (lm *lockManager) waitReservation(req *lockRequest, tbl string, deadline ti
 				break
 			}
 		}
-		l.pumpLocked(tbl)
+		l.pumpLocked(tbl, &fire)
 	}
+	lm.mu.Unlock()
+	fireAll(fire)
 	return ErrLockTimeout
 }
 
-// acquire blocks until the lock is granted or the deadline passes.
-func (lm *lockManager) acquire(s *Session, tbl string, exclusive bool, deadline time.Time) error {
+// issueNow issues an exclusive ticket at the tail of the table's queue for
+// immediate consumption — the execution-time form of reserve, used by
+// statements that carry no enqueue-time ticket (standalone engine use).
+// Together with reserve it makes the ticket FIFO the single path every
+// exclusive table-lock grant flows through.
+func (lm *lockManager) issueNow(s *Session, tbl string) *lockRequest {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	l := lm.get(tbl)
+	req := &lockRequest{s: s, exclusive: true, ready: make(chan struct{})}
+	// Grant immediately when compatible and nobody is queued ahead
+	// (re-entrant grants may jump the queue: the holder cannot wait behind
+	// requests that are blocked on it).
+	if (len(l.queue) == 0 || s.held[tbl]) && l.grantableLocked(s, true) {
+		l.grantLocked(s, tbl, true)
+		close(req.ready)
+	} else {
+		l.queue = append(l.queue, req)
+	}
+	return req
+}
+
+// acquireShared blocks until a shared lock is granted or the deadline
+// passes. Shared requests join the same FIFO queue as tickets, so a reader
+// cannot overtake an already-queued writer of the same table.
+func (lm *lockManager) acquireShared(s *Session, tbl string, deadline time.Time) error {
 	lm.mu.Lock()
 	l := lm.get(tbl)
-	// Fast path: grant immediately when compatible and nobody is queued
-	// ahead (re-entrant grants may jump the queue: the holder cannot wait
-	// behind requests that are blocked on it).
-	if (len(l.queue) == 0 || s.held[tbl]) && l.grantableLocked(s, exclusive) {
-		l.grantLocked(s, tbl, exclusive)
+	if (len(l.queue) == 0 || s.held[tbl]) && l.grantableLocked(s, false) {
+		l.grantLocked(s, tbl, false)
 		lm.mu.Unlock()
 		return nil
 	}
-	req := &lockRequest{s: s, exclusive: exclusive, ready: make(chan struct{})}
+	req := &lockRequest{s: s, exclusive: false, ready: make(chan struct{})}
 	l.queue = append(l.queue, req)
 	lm.mu.Unlock()
 
@@ -418,10 +482,11 @@ func (lm *lockManager) acquire(s *Session, tbl string, exclusive bool, deadline 
 	case <-timer.C:
 	}
 	// Timed out: remove the request unless it was granted concurrently.
+	var fire []func()
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
 	select {
 	case <-req.ready:
+		lm.mu.Unlock()
 		return nil
 	default:
 	}
@@ -431,7 +496,9 @@ func (lm *lockManager) acquire(s *Session, tbl string, exclusive bool, deadline 
 			break
 		}
 	}
-	l.pumpLocked(tbl) // our departure may unblock the new head
+	l.pumpLocked(tbl, &fire) // our departure may unblock the new head
+	lm.mu.Unlock()
+	fireAll(fire)
 	return ErrLockTimeout
 }
 
@@ -445,8 +512,8 @@ func (lm *lockManager) releaseShared(s *Session) {
 	if !s.lockState.Load() {
 		return
 	}
+	var fire []func()
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
 	for tbl := range s.held {
 		l := lm.locks[tbl]
 		if l == nil {
@@ -460,7 +527,7 @@ func (lm *lockManager) releaseShared(s *Session) {
 		}
 		delete(l.readers, s)
 		delete(s.held, tbl)
-		l.pumpLocked(tbl)
+		l.pumpLocked(tbl, &fire)
 		if l.writer == nil && len(l.readers) == 0 && len(l.queue) == 0 {
 			delete(lm.locks, tbl)
 		}
@@ -468,6 +535,8 @@ func (lm *lockManager) releaseShared(s *Session) {
 	if len(s.held) == 0 && len(s.reserved) == 0 {
 		s.lockState.Store(false)
 	}
+	lm.mu.Unlock()
+	fireAll(fire)
 }
 
 // releaseAll drops every lock the session holds, purges its unconsumed
@@ -476,10 +545,10 @@ func (lm *lockManager) releaseAll(s *Session) {
 	if !s.lockState.Load() {
 		return
 	}
+	var fire []func()
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
 	for tbl := range s.reserved {
-		lm.dropReservationsLocked(s, tbl)
+		lm.dropReservationsLocked(s, tbl, &fire)
 	}
 	for tbl := range s.held {
 		l := lm.locks[tbl]
@@ -490,13 +559,15 @@ func (lm *lockManager) releaseAll(s *Session) {
 		if l.writer == s {
 			l.writer = nil
 		}
-		l.pumpLocked(tbl)
+		l.pumpLocked(tbl, &fire)
 		if l.writer == nil && len(l.readers) == 0 && len(l.queue) == 0 {
 			delete(lm.locks, tbl)
 		}
 	}
 	s.held = make(map[string]bool)
 	s.lockState.Store(false)
+	lm.mu.Unlock()
+	fireAll(fire)
 }
 
 // undoOp is one entry of a transaction's undo log.
@@ -554,17 +625,30 @@ func (s *Session) statShard() *statShard {
 	return &s.engine.stats[s.shard&s.engine.mu.mask]
 }
 
-// ReserveWriteLock queues an exclusive lock request for a table without
+// ReserveWriteLock queues an exclusive lock ticket for a table without
 // blocking. The clustering middleware calls it at dispatch time, in cluster
-// submission order, so that conflicting transactional writes are granted in
-// the same order on every replica. Temporary tables are session-private and
-// are not reserved.
+// submission order, so that conflicting writes are granted in the same
+// order on every replica. Temporary tables are session-private and are not
+// reserved.
 func (s *Session) ReserveWriteLock(table string) {
+	s.ReserveWriteLockNotify(table, nil)
+}
+
+// ReserveWriteLockNotify is ReserveWriteLock with a grant notification:
+// granted (when non-nil) is invoked exactly once, as soon as the ticket is
+// granted — possibly synchronously, before this call returns — or when the
+// ticket is dropped unconsumed (session close). A scheduler uses it to park
+// the write bound to this ticket until the engine reaches it in the FIFO,
+// instead of blocking a worker on the wait.
+func (s *Session) ReserveWriteLockNotify(table string, granted func()) {
 	table = strings.ToLower(table)
 	if _, isTemp := s.temp[table]; isTemp {
+		if granted != nil {
+			granted()
+		}
 		return
 	}
-	s.engine.locks.reserve(s, table)
+	s.engine.locks.reserve(s, table, granted)
 }
 
 // InTransaction reports whether an explicit transaction is open.
@@ -676,21 +760,27 @@ func (s *Session) lockDeadline() time.Time {
 	return time.Now().Add(s.engine.lockTimeout)
 }
 
-// lockTable acquires a table lock for the current statement, consuming a
-// pending reservation when one exists. Temporary tables are session-private
-// and need no locks. When the session is not in an explicit transaction the
-// caller releases locks at statement end.
+// lockTable acquires a table lock for the current statement. Exclusive
+// acquisition always goes through the ticket FIFO: it consumes the oldest
+// pending reservation when the dispatcher issued one at enqueue time, and
+// issues a ticket at the tail of the queue otherwise — so every exclusive
+// grant follows one per-table ticket order, whatever path requested it.
+// Temporary tables are session-private and need no locks. When the session
+// is not in an explicit transaction the caller releases locks at statement
+// end.
 func (s *Session) lockTable(name string, exclusive bool, deadline time.Time) error {
 	if _, isTemp := s.temp[name]; isTemp {
 		s.engine.locks.cancelReservations(s, name)
 		return nil
 	}
 	if exclusive {
-		if req := s.engine.locks.takeReservation(s, name); req != nil {
-			return s.engine.locks.waitReservation(req, name, deadline)
+		req := s.engine.locks.takeReservation(s, name)
+		if req == nil {
+			req = s.engine.locks.issueNow(s, name)
 		}
+		return s.engine.locks.waitReservation(req, name, deadline)
 	}
-	return s.engine.locks.acquire(s, name, exclusive, deadline)
+	return s.engine.locks.acquireShared(s, name, deadline)
 }
 
 // endStatement releases locks and clears undo state when the statement ran

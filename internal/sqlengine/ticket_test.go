@@ -1,0 +1,145 @@
+package sqlengine
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func ticketTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New("tickets", WithLockTimeout(5*time.Second))
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecSQL("INSERT INTO t (id, v) VALUES (1, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	return e
+}
+
+// TestTicketGrantNotifies: a ticket queued behind a transaction's exclusive
+// lock reports its grant exactly when the transaction ends, not before —
+// the signal the backend's worker pool parks on.
+func TestTicketGrantNotifies(t *testing.T) {
+	e := ticketTestEngine(t)
+	holder := e.NewSession()
+	defer holder.Close()
+	if _, err := holder.ExecSQL("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := holder.ExecSQL("UPDATE t SET v = 99 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+
+	var granted atomic.Bool
+	w := e.NewSession()
+	defer w.Close()
+	w.ReserveWriteLockNotify("t", func() { granted.Store(true) })
+	time.Sleep(20 * time.Millisecond)
+	if granted.Load() {
+		t.Fatal("ticket granted while the transaction held the lock")
+	}
+	if _, err := holder.ExecSQL("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !granted.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !granted.Load() {
+		t.Fatal("ticket grant never notified after the lock released")
+	}
+	// The granted ticket is consumed by the write without further waiting.
+	if _, err := w.ExecSQL("UPDATE t SET v = 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTicketGrantNotifiesImmediatelyWhenFree: an uncontended reservation
+// reports its grant synchronously.
+func TestTicketGrantNotifiesImmediatelyWhenFree(t *testing.T) {
+	e := ticketTestEngine(t)
+	var granted atomic.Bool
+	s := e.NewSession()
+	defer s.Close()
+	s.ReserveWriteLockNotify("t", func() { granted.Store(true) })
+	if !granted.Load() {
+		t.Fatal("uncontended ticket not granted synchronously")
+	}
+}
+
+// TestDroppedTicketNotifies: closing a session with an ungranted queued
+// ticket still fires the notification, so a parked owner is never
+// stranded.
+func TestDroppedTicketNotifies(t *testing.T) {
+	e := ticketTestEngine(t)
+	holder := e.NewSession()
+	defer holder.Close()
+	if _, err := holder.ExecSQL("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := holder.ExecSQL("UPDATE t SET v = 5 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	var notified atomic.Bool
+	w := e.NewSession()
+	w.ReserveWriteLockNotify("t", func() { notified.Store(true) })
+	if notified.Load() {
+		t.Fatal("queued ticket reported granted")
+	}
+	w.Close() // drops the unconsumed ticket
+	if !notified.Load() {
+		t.Fatal("dropped ticket never notified")
+	}
+	if _, err := holder.ExecSQL("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecutionTimeAcquisitionJoinsTicketQueue: an exclusive acquisition
+// with no enqueue-time reservation issues its ticket at the tail of the
+// same FIFO, so it cannot overtake an earlier-issued ticket even while that
+// ticket's owner has not executed yet.
+func TestExecutionTimeAcquisitionJoinsTicketQueue(t *testing.T) {
+	e := ticketTestEngine(t)
+
+	// first holds an enqueue-time ticket (granted: table is free).
+	first := e.NewSession()
+	defer first.Close()
+	first.ReserveWriteLock("t")
+
+	// second writes without a reservation: its execution-time ticket joins
+	// the queue behind first's granted ticket and must wait.
+	done := make(chan error, 1)
+	second := e.NewSession()
+	defer second.Close()
+	go func() {
+		_, err := second.ExecSQL("UPDATE t SET v = v * 10 WHERE id = 1")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("execution-time acquisition overtook a granted ticket (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// first consumes its ticket; its write applies, then second's.
+	if _, err := first.ExecSQL("UPDATE t SET v = v + 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	r := e.NewSession()
+	defer r.Close()
+	res, err := r.ExecSQL("SELECT v FROM t WHERE id = 1")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("read back: %v %v", res, err)
+	}
+	if got, _ := res.Rows[0][0].AsInt(); got != 10 {
+		t.Fatalf("final v = %d, want 10 ((0+1)*10: ticket order)", got)
+	}
+}
