@@ -118,6 +118,14 @@ type CacheConfig struct {
 	// Staleness relaxes consistency: entries may serve stale data for up
 	// to this duration; 0 keeps strong consistency.
 	Staleness time.Duration
+	// StaleEpochs switches the cache to epoch-tagged invalidation: a write
+	// bumps a per-table epoch counter in O(1) instead of eagerly walking
+	// every cache shard, and entries are dropped lazily at lookup once
+	// their table has seen StaleEpochs or more writes since they were
+	// cached. 1 keeps table-granularity strong consistency without the
+	// write-side invalidation stampede; larger values relax consistency by
+	// write count; 0 keeps eager invalidation.
+	StaleEpochs int
 }
 
 // VirtualDatabase is the single-database view the middleware exposes.
@@ -154,6 +162,7 @@ func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualD
 			MaxBytes:    cfg.Cache.MaxBytes,
 			MaxRows:     cfg.Cache.MaxRows,
 			Staleness:   cfg.Cache.Staleness,
+			StaleEpochs: cfg.Cache.StaleEpochs,
 		})
 	}
 	var log recovery.Log

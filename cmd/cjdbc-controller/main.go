@@ -69,6 +69,10 @@ type cacheFileConfig struct {
 	MaxBytes    int    `json:"maxBytes"`
 	MaxRows     int    `json:"maxRows"`
 	StalenessMS int    `json:"stalenessMs"`
+	// StaleEpochs enables epoch-tagged invalidation: writes bump a
+	// per-table counter instead of eagerly evicting, and entries older
+	// than this many write epochs are dropped lazily at lookup.
+	StaleEpochs int `json:"staleEpochs"`
 }
 
 type backendFileConfig struct {
@@ -115,6 +119,7 @@ func main() {
 				MaxBytes:    vc.Cache.MaxBytes,
 				MaxRows:     vc.Cache.MaxRows,
 				Staleness:   time.Duration(vc.Cache.StalenessMS) * time.Millisecond,
+				StaleEpochs: vc.Cache.StaleEpochs,
 			}
 		}
 		vdb, err := ctrl.CreateVirtualDatabase(vcfg)

@@ -66,6 +66,11 @@ func main() {
 	run("no-cache", nil)
 	run("coherent", &cjdbc.CacheConfig{Granularity: "table"})
 	run("relaxed-1m", &cjdbc.CacheConfig{Granularity: "table", Staleness: time.Minute})
+	// StaleEpochs=1 keeps table-granularity coherence but writes bump an
+	// epoch counter in O(1) instead of eagerly walking the cache shards;
+	// stale entries are dropped lazily at their next lookup.
+	run("epoch-lazy", &cjdbc.CacheConfig{Granularity: "table", StaleEpochs: 1})
 	fmt.Println("note: the relaxed cache may report stale stock within its 1-minute window,")
-	fmt.Println("trading freshness for the backend CPU reduction measured in Table 1")
+	fmt.Println("trading freshness for the backend CPU reduction measured in Table 1;")
+	fmt.Println("the epoch-lazy cache stays coherent while making writes O(1) in cache size")
 }

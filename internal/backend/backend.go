@@ -88,8 +88,9 @@ type Config struct {
 // backends, every write — transactional or auto-commit — queues its engine
 // lock ticket in that cluster submission order. Transactional writes
 // reserve on their dedicated connection; auto-commit writes pre-bind a
-// dedicated connection at enqueue and hold its ticket from enqueue to
-// apply, parked out of the worker pool until the engine grants it. The
+// dedicated connection at enqueue (drawn from a reset-and-reuse free-list,
+// not opened per write) and hold its ticket from enqueue to apply, parked
+// out of the worker pool until the engine grants it. The
 // engine's per-table FIFO of tickets then grants conflicting writes —
 // including auto-commit/transactional pairs — in the same order on every
 // replica; non-conflicting writes commute, so their order is free. Drivers
@@ -131,6 +132,14 @@ type Backend struct {
 	pool      *conflictsched.Pool
 	autoSem   chan struct{}
 	noTickets atomic.Bool
+
+	// prebound is the free-list of dedicated auto-commit connections. Each
+	// write's enqueue-time lock ticket needs a connection of its own (the
+	// ticket lives from enqueue to apply), but opening a fresh session per
+	// write puts session setup and teardown on the broadcast path; instead a
+	// finished task resets its connection (ConnResetter) and parks it here
+	// for the next enqueue.
+	prebound chan Conn
 
 	// chargeMu serializes the cost-model charge of auto-commit writes: the
 	// simulated machine applies broadcast updates on one write thread (the
@@ -226,6 +235,7 @@ func New(cfg Config) *Backend {
 		txs:      make(map[uint64]*txConn),
 		pool:     conflictsched.NewPool(workers),
 		autoSem:  make(chan struct{}, 4096),
+		prebound: make(chan Conn, cfg.MaxConns),
 		closed:   make(chan struct{}),
 	}
 	return b
@@ -329,6 +339,8 @@ func (b *Backend) Close() {
 	for {
 		select {
 		case c := <-b.idle:
+			_ = c.Close()
+		case c := <-b.prebound:
 			_ = c.Close()
 		default:
 			return
@@ -721,10 +733,16 @@ func (b *Backend) prebind(t *writeTask) (TicketReserver, string) {
 	if !ok {
 		return nil, ""
 	}
-	c, err := b.driver.Open()
-	if err != nil {
-		// Surface the failure at execution time, as the pooled path would.
-		return nil, ""
+	var c Conn
+	select {
+	case c = <-b.prebound:
+	default:
+		var err error
+		c, err = b.driver.Open()
+		if err != nil {
+			// Surface the failure at execution time, as the pooled path would.
+			return nil, ""
+		}
 	}
 	r, ok := c.(TicketReserver)
 	if !ok {
@@ -734,6 +752,27 @@ func (b *Backend) prebind(t *writeTask) (TicketReserver, string) {
 	}
 	t.conn = c
 	return r, tbl
+}
+
+// releasePrebound returns a task's dedicated connection to the free-list
+// after resetting it — which releases the task's lock ticket (granted or
+// not) exactly as closing would — or closes it when the free-list is full,
+// the backend is shutting down, or the connection cannot reset.
+func (b *Backend) releasePrebound(c Conn) {
+	if r, ok := c.(ConnResetter); ok {
+		select {
+		case <-b.closed:
+		default:
+			if r.Reset() == nil {
+				select {
+				case b.prebound <- c:
+					return
+				default:
+				}
+			}
+		}
+	}
+	_ = c.Close()
 }
 
 func (b *Backend) runAuto(t *writeTask) {
@@ -748,10 +787,11 @@ func (b *Backend) runAuto(t *writeTask) {
 
 func (b *Backend) execAuto(t *writeTask) (*Result, error) {
 	if t.conn != nil {
-		// Closing the pre-bound connection is unconditional: it releases the
-		// task's lock ticket (granted or not) whether the write executed,
-		// failed, or was skipped because the backend shut down.
-		defer func() { _ = t.conn.Close() }()
+		// Releasing the pre-bound connection is unconditional: the reset (or
+		// close) drops the task's lock ticket (granted or not) whether the
+		// write executed, failed, or was skipped because the backend shut
+		// down.
+		defer func() { b.releasePrebound(t.conn) }()
 	}
 	if b.State() == StateDisabled {
 		return nil, ErrDisabled

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -413,4 +414,83 @@ func TestParkedWriteEscapesStuckTransaction(t *testing.T) {
 		t.Fatal("parked write never escaped a stuck transaction")
 	}
 	b.AbortTx(tx)
+}
+
+// countingDriver wraps a driver and counts Open calls.
+type countingDriver struct {
+	d     Driver
+	opens atomic.Int64
+}
+
+func (c *countingDriver) Open() (Conn, error) {
+	c.opens.Add(1)
+	return c.d.Open()
+}
+
+// TestPreboundConnectionFreeList: sequential auto-commit writes must reuse
+// the dedicated pre-bound connection through the reset free-list instead of
+// opening a fresh session per write.
+func TestPreboundConnectionFreeList(t *testing.T) {
+	e := sqlengine.New("freelist")
+	s := e.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	cd := &countingDriver{d: &EngineDriver{Engine: e}}
+	b := New(Config{Name: "freelist", Driver: cd})
+	b.Enable()
+	defer b.Close()
+
+	const writes = 50
+	for i := 0; i < writes; i++ {
+		out := <-b.EnqueueWrite(0, sqlparser.ClassWrite, nil,
+			fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'x')", i))
+		if out.Err != nil {
+			t.Fatal(out.Err)
+		}
+	}
+	res, err := b.Read(0, nil, "SELECT COUNT(*) FROM t")
+	if err != nil || res.Rows[0][0].I != writes {
+		t.Fatalf("count: %v %v", res, err)
+	}
+	// Sequential writes return their connection before the next enqueue, so
+	// the free-list satisfies nearly every prebind. Leave generous slack for
+	// scheduling overlap; without reuse this would be >= 50.
+	if n := cd.opens.Load(); n > writes/2 {
+		t.Fatalf("driver opened %d connections for %d sequential writes; free-list not reusing", n, writes)
+	}
+}
+
+// TestPreboundResetReleasesTicket: a reused connection must not carry its
+// previous task's lock ticket — a conflicting transactional write afterwards
+// must still be grantable, and the reused session must hold no stale state.
+func TestPreboundResetReleasesTicket(t *testing.T) {
+	b, _ := newTestBackend(t)
+	for i := 0; i < 3; i++ {
+		out := <-b.EnqueueWrite(0, sqlparser.ClassWrite, nil,
+			fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'a')", i))
+		if out.Err != nil {
+			t.Fatal(out.Err)
+		}
+	}
+	// A transaction writing the same table completes only if the pooled
+	// connections dropped their tickets on reuse.
+	done := make(chan error, 1)
+	go func() {
+		if out := <-b.EnqueueWrite(7, sqlparser.ClassWrite, nil, "UPDATE t SET v = 'b' WHERE id = 1"); out.Err != nil {
+			done <- out.Err
+			return
+		}
+		out := <-b.EnqueueWrite(7, sqlparser.ClassCommit, nil, "COMMIT")
+		done <- out.Err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("transactional write blocked behind a stale pooled ticket")
+	}
 }

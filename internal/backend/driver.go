@@ -62,6 +62,17 @@ type TicketReserver interface {
 	ReserveWriteLockNotify(table string, granted func())
 }
 
+// ConnResetter is implemented by connections that can be returned to a
+// clean baseline state — open transaction rolled back, locks and lock
+// tickets released, session-local state dropped — without closing. The
+// backend's auto-commit write path uses it to keep a free-list of dedicated
+// pre-bound connections instead of opening and closing one per write.
+type ConnResetter interface {
+	// Reset restores the connection to its just-opened state. A non-nil
+	// error means the connection is unusable and must be closed instead.
+	Reset() error
+}
+
 // SchemaProvider is implemented by drivers that can describe their tables,
 // the DatabaseMetaData facility of the paper used for dynamic schema
 // gathering and checkpoint dumps.
@@ -127,6 +138,9 @@ func (c *engineConn) ReserveWriteLock(table string) { c.s.ReserveWriteLock(table
 func (c *engineConn) ReserveWriteLockNotify(table string, granted func()) {
 	c.s.ReserveWriteLockNotify(table, granted)
 }
+
+// Reset returns the session to its just-opened state for free-list reuse.
+func (c *engineConn) Reset() error { c.s.Reset(); return nil }
 
 func (c *engineConn) Begin() error    { return c.s.Begin() }
 func (c *engineConn) Commit() error   { return c.s.Commit() }

@@ -409,3 +409,115 @@ func TestMaxRowsCompatAlias(t *testing.T) {
 		t.Fatal("negative MaxRows no longer disables weight accounting")
 	}
 }
+
+// TestStaleEpochsLazyInvalidation: in epoch mode a write bumps a counter
+// instead of evicting; the stale entry stays resident but is hidden (and
+// dropped) at its next lookup, while entries on other tables keep hitting.
+func TestStaleEpochsLazyInvalidation(t *testing.T) {
+	c := New(Config{Granularity: GranTable, StaleEpochs: 1})
+	qt := "SELECT a FROM t"
+	qu := "SELECT a FROM u"
+	c.Put(qt, stmt(t, qt), res(1))
+	c.Put(qu, stmt(t, qu), res(1))
+	if c.Get(qt) == nil || c.Get(qu) == nil {
+		t.Fatal("expected hits before the write")
+	}
+
+	if n := c.InvalidateWrite(stmt(t, "UPDATE t SET a = 2")); n != 0 {
+		t.Fatalf("epoch-mode invalidation eagerly dropped %d entries", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d after bump, want 2 (lazy mode keeps entries resident)", c.Len())
+	}
+	if c.Get(qt) != nil {
+		t.Fatal("stale entry served after its table's epoch bump")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (stale entry dropped at lookup)", c.Len())
+	}
+	if c.Get(qu) == nil {
+		t.Fatal("entry on an unwritten table lost its validity")
+	}
+	st := c.StatsSnapshot()
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1 (the lazy drop)", st.Invalidations)
+	}
+
+	// A re-put after the bump is valid again at the new epoch.
+	c.Put(qt, stmt(t, qt), res(2))
+	if c.Get(qt) == nil {
+		t.Fatal("re-cached entry at the current epoch should hit")
+	}
+}
+
+// TestStaleEpochsAllowsBoundedStaleness: StaleEpochs=N serves an entry
+// through N-1 write bumps and hides it at the Nth.
+func TestStaleEpochsAllowsBoundedStaleness(t *testing.T) {
+	c := New(Config{Granularity: GranTable, StaleEpochs: 3})
+	q := "SELECT a FROM t"
+	c.Put(q, stmt(t, q), res(1))
+	up := stmt(t, "UPDATE t SET a = 2")
+	for i := 0; i < 2; i++ {
+		c.InvalidateWrite(up)
+		if c.Get(q) == nil {
+			t.Fatalf("entry hidden after %d bumps, allowance is 3", i+1)
+		}
+	}
+	c.InvalidateWrite(up)
+	if c.Get(q) != nil {
+		t.Fatal("entry served after exhausting its epoch allowance")
+	}
+}
+
+// TestStaleEpochsJoinInvalidatedByEitherTable: an entry reading two tables
+// goes stale when either table's epoch advances.
+func TestStaleEpochsJoinInvalidatedByEitherTable(t *testing.T) {
+	c := New(Config{Granularity: GranTable, StaleEpochs: 1})
+	q := "SELECT t.a, u.a FROM t, u WHERE t.a = u.a"
+	c.Put(q, stmt(t, q), res(1))
+	c.InvalidateWrite(stmt(t, "UPDATE u SET a = 9"))
+	if c.Get(q) != nil {
+		t.Fatal("join entry served after its second table was written")
+	}
+}
+
+// TestStaleEpochsDatabaseGranularity: database granularity bumps the global
+// counter, hiding every entry.
+func TestStaleEpochsDatabaseGranularity(t *testing.T) {
+	c := New(Config{Granularity: GranDatabase, StaleEpochs: 1})
+	qt := "SELECT a FROM t"
+	qu := "SELECT a FROM u"
+	c.Put(qt, stmt(t, qt), res(1))
+	c.Put(qu, stmt(t, qu), res(1))
+	c.InvalidateWrite(stmt(t, "UPDATE t SET a = 2"))
+	if c.Get(qt) != nil || c.Get(qu) != nil {
+		t.Fatal("global epoch bump must hide every entry")
+	}
+}
+
+// TestStaleEpochsConcurrentStress drives readers, writers-as-bumps and puts
+// concurrently (run with -race): epoch counters are lock-free and must not
+// race with shard operations.
+func TestStaleEpochsConcurrentStress(t *testing.T) {
+	c := New(Config{Granularity: GranTable, StaleEpochs: 2, MaxEntries: 256})
+	up := stmt(t, "UPDATE t0 SET a = 1")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				q := fmt.Sprintf("SELECT a FROM t%d WHERE id = %d", i%4, i%16)
+				switch (g + i) % 3 {
+				case 0:
+					c.Put(q, stmt(t, q), res(1))
+				case 1:
+					c.Get(q)
+				default:
+					c.InvalidateWrite(up)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

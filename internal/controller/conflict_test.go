@@ -262,6 +262,99 @@ func runReplicaConsistency(t *testing.T, writeWorkers int, seed int64) {
 	{
 		v, engines := mkConflictVDBWorkers(t, nBackends, nTables, seedRows, writeWorkers)
 
+		// Two extra tables carry the snapshot-reader assertions: inv holds a
+		// conserved sum redistributed by multi-row transfer transactions
+		// (any torn read breaks the invariant), mono a counter incremented
+		// by auto-commit writes (any snapshot regression breaks per-session
+		// monotonicity). Both are created through the VDB so every backend
+		// replicates them.
+		setup := openSession(t, v)
+		exec(t, setup, "CREATE TABLE inv (id INTEGER PRIMARY KEY, v INTEGER)")
+		const invRows, invEach = 5, 100
+		for i := 0; i < invRows; i++ {
+			exec(t, setup, fmt.Sprintf("INSERT INTO inv (id, v) VALUES (%d, %d)", i, invEach))
+		}
+		exec(t, setup, "CREATE TABLE mono (id INTEGER PRIMARY KEY, n INTEGER)")
+		exec(t, setup, "INSERT INTO mono (id, n) VALUES (0, 0)")
+		setup.Close()
+
+		// Snapshot readers: one engine session per backend, reading
+		// latch-free while the cluster writes. Every SUM over inv must land
+		// on exactly one commit epoch, and mono's counter must never move
+		// backwards within a session (epochs only advance on one engine).
+		stopReaders := make(chan struct{})
+		var readersWG sync.WaitGroup
+		for bi := range engines {
+			readersWG.Add(1)
+			go func(e *sqlengine.Engine) {
+				defer readersWG.Done()
+				rs := e.NewSession()
+				defer rs.Close()
+				var lastN int64 = -1
+				for {
+					select {
+					case <-stopReaders:
+						return
+					default:
+					}
+					res, err := rs.ExecSQL("SELECT SUM(v) FROM inv")
+					if err != nil {
+						t.Errorf("snapshot reader: %v", err)
+						return
+					}
+					if sum := res.Rows[0][0].I; sum != invRows*invEach {
+						t.Errorf("torn snapshot: SUM(inv.v) = %d, want %d", sum, invRows*invEach)
+						return
+					}
+					res, err = rs.ExecSQL("SELECT n FROM mono WHERE id = 0")
+					if err != nil {
+						t.Errorf("snapshot reader: %v", err)
+						return
+					}
+					if n := res.Rows[0][0].I; n < lastN {
+						t.Errorf("snapshot went backwards: mono.n %d after %d", n, lastN)
+						return
+					} else {
+						lastN = n
+					}
+				}
+			}(engines[bi])
+		}
+
+		// Invariant-churning writers: transfers within inv and auto-commit
+		// increments of mono, running alongside the main random workload.
+		var invWG sync.WaitGroup
+		invWG.Add(1)
+		go func() {
+			defer invWG.Done()
+			rng := rand.New(rand.NewSource(seed * 31))
+			s, err := v.NewSession("user", "pw")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			for i := 0; i < nOps; i++ {
+				amt := rng.Intn(10)
+				from, to := rng.Intn(invRows), rng.Intn(invRows)
+				for _, q := range []string{
+					"BEGIN",
+					fmt.Sprintf("UPDATE inv SET v = v - %d WHERE id = %d", amt, from),
+					fmt.Sprintf("UPDATE inv SET v = v + %d WHERE id = %d", amt, to),
+					"COMMIT",
+				} {
+					if _, err := s.Exec(q, nil); err != nil {
+						t.Errorf("transfer op %d %q: %v", i, q, err)
+						return
+					}
+				}
+				if _, err := s.Exec("UPDATE mono SET n = n + 1 WHERE id = 0", nil); err != nil {
+					t.Errorf("mono increment %d: %v", i, err)
+					return
+				}
+			}
+		}()
+
 		var wg sync.WaitGroup
 		for w := 0; w < nWriters; w++ {
 			wg.Add(1)
@@ -320,14 +413,22 @@ func runReplicaConsistency(t *testing.T, writeWorkers int, seed int64) {
 			}(w)
 		}
 		wg.Wait()
+		invWG.Wait()
+		close(stopReaders)
+		readersWG.Wait()
 
+		tables := make([]string, 0, nTables+2)
 		for ti := 0; ti < nTables; ti++ {
-			want := sortedTableDump(t, engines[0], fmt.Sprintf("t%d", ti))
+			tables = append(tables, fmt.Sprintf("t%d", ti))
+		}
+		tables = append(tables, "inv", "mono")
+		for _, tbl := range tables {
+			want := sortedTableDump(t, engines[0], tbl)
 			for bi := 1; bi < nBackends; bi++ {
-				got := sortedTableDump(t, engines[bi], fmt.Sprintf("t%d", ti))
+				got := sortedTableDump(t, engines[bi], tbl)
 				if got != want {
-					t.Fatalf("seed %d: backend %d diverged on t%d:\n--- db0:\n%s\n--- db%d:\n%s",
-						seed, bi, ti, want, bi, got)
+					t.Fatalf("seed %d: backend %d diverged on %s:\n--- db0:\n%s\n--- db%d:\n%s",
+						seed, bi, tbl, want, bi, got)
 				}
 			}
 		}

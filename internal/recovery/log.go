@@ -12,9 +12,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // EntryClass classifies a log entry.
@@ -118,12 +122,47 @@ type Log interface {
 	Close() error
 }
 
-// MemoryLog keeps the log in process memory.
-type MemoryLog struct {
+// appendStripeCount is the number of per-conflict-class append stripes the
+// memory and SQL logs shard their append path over.
+const appendStripeCount = 16
+
+// classStripe maps an entry's conflict footprint to an append stripe.
+// Entries of one conflict class (same footprint) always land on the same
+// stripe — their appends are already serialized by the sequencer's
+// class critical section — while disjoint classes usually land on different
+// stripes and stop serializing on one log mutex. The mapping needs no
+// conflict-awareness for correctness: stripes only protect storage, and
+// ordering comes from the Seq allocation itself.
+func classStripe(e Entry) int {
+	h := fnv.New32a()
+	for _, t := range e.Tables {
+		h.Write([]byte(t))
+		h.Write([]byte{0})
+	}
+	return int(h.Sum32() % appendStripeCount)
+}
+
+// appendStripe is one shard of the memory log's entry storage, padded so
+// stripes never share a cache line.
+type appendStripe struct {
 	mu      sync.Mutex
-	seq     uint64
 	entries []Entry
-	marks   map[string]uint64
+	_       [88]byte
+}
+
+// MemoryLog keeps the log in process memory. Seq allocation is a lock-free
+// atomic counter and entries are stored under per-conflict-class stripe
+// locks, so appends from disjoint classes do not serialize on one mutex.
+type MemoryLog struct {
+	// seq counts allocated sequence numbers; stored counts entries whose
+	// store has completed. Readers spin until they match, which proves the
+	// prefix [1, seq] has no in-flight holes.
+	seq     atomic.Uint64
+	stored  atomic.Uint64
+	stripes [appendStripeCount]appendStripe
+
+	mu    sync.Mutex // guards marks only
+	marks map[string]uint64
 }
 
 // NewMemoryLog creates an empty in-memory log.
@@ -131,24 +170,29 @@ func NewMemoryLog() *MemoryLog {
 	return &MemoryLog{marks: make(map[string]uint64)}
 }
 
+func (l *MemoryLog) store(e Entry) {
+	st := &l.stripes[classStripe(e)]
+	st.mu.Lock()
+	st.entries = append(st.entries, e)
+	st.mu.Unlock()
+	l.stored.Add(1)
+}
+
 // Append implements Log.
 func (l *MemoryLog) Append(e Entry) (uint64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.seq++
-	e.Seq = l.seq
-	l.entries = append(l.entries, e)
+	e.Seq = l.seq.Add(1)
+	l.store(e)
 	return e.Seq, nil
 }
 
 // Checkpoint implements Log.
 func (l *MemoryLog) Checkpoint(name string) (uint64, error) {
+	e := Entry{Seq: l.seq.Add(1), Class: ClassCheckpoint, Name: name}
+	l.store(e)
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.seq++
-	l.entries = append(l.entries, Entry{Seq: l.seq, Class: ClassCheckpoint, Name: name})
-	l.marks[name] = l.seq
-	return l.seq, nil
+	l.marks[name] = e.Seq
+	l.mu.Unlock()
+	return e.Seq, nil
 }
 
 // CheckpointSeq implements Log.
@@ -159,24 +203,40 @@ func (l *MemoryLog) CheckpointSeq(name string) (uint64, bool, error) {
 	return s, ok, nil
 }
 
-// Since implements Log.
-func (l *MemoryLog) Since(seq uint64) ([]Entry, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var out []Entry
-	for _, e := range l.entries {
-		if e.Seq > seq {
-			out = append(out, e)
-		}
+// barrier snapshots the allocated-sequence high-water mark and waits until
+// every allocation at or below it has finished storing, so a subsequent
+// harvest of the stripes sees the complete prefix [1, target].
+func (l *MemoryLog) barrier() uint64 {
+	target := l.seq.Load()
+	for l.stored.Load() < target {
+		runtime.Gosched()
 	}
+	return target
+}
+
+// Since implements Log. Entries are harvested from every stripe and merged
+// back into Seq order; the result is the complete, hole-free prefix
+// (seq, target] as of the barrier.
+func (l *MemoryLog) Since(seq uint64) ([]Entry, error) {
+	target := l.barrier()
+	var out []Entry
+	for i := range l.stripes {
+		st := &l.stripes[i]
+		st.mu.Lock()
+		for _, e := range st.entries {
+			if e.Seq > seq && e.Seq <= target {
+				out = append(out, e)
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out, nil
 }
 
 // Len returns the number of entries, for tests and monitoring.
 func (l *MemoryLog) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.entries)
+	return int(l.barrier())
 }
 
 // Close implements Log.
@@ -319,10 +379,20 @@ type SQLExecutor interface {
 // created before that column existed is detected at open time and used in
 // legacy mode (no footprints persisted), since CREATE TABLE IF NOT EXISTS
 // cannot extend an existing schema.
+//
+// Like MemoryLog, Seq allocation is an atomic counter and the INSERT runs
+// under a per-conflict-class stripe lock, so appends from disjoint classes
+// reach the backing database concurrently instead of serializing on one
+// log mutex (the backing store — possibly itself a replicated virtual
+// database — handles its own write concurrency).
 type SQLLog struct {
-	mu     sync.Mutex
-	db     SQLExecutor
-	seq    uint64
+	db      SQLExecutor
+	seq     atomic.Uint64
+	stored  atomic.Uint64
+	stripes [appendStripeCount]struct {
+		mu sync.Mutex
+		_  [112]byte
+	}
 	name   string
 	legacy bool // pre-footprint 6-column table
 }
@@ -357,7 +427,13 @@ func NewSQLLog(db SQLExecutor, tableName string) (*SQLLog, error) {
 		return nil, err
 	}
 	if len(rows) == 1 && rows[0][0] != "NULL" {
-		fmt.Sscanf(rows[0][0], "%d", &l.seq)
+		var seq uint64
+		fmt.Sscanf(rows[0][0], "%d", &seq)
+		l.seq.Store(seq)
+		// Every restored sequence number is already in the backing table, so
+		// the stored counter starts level with seq — otherwise the first
+		// Since barrier would wait forever for appends that predate us.
+		l.stored.Store(seq)
 	}
 	return l, nil
 }
@@ -376,9 +452,16 @@ func encodeTables(e Entry) string {
 	return strings.Join(e.Tables, ",")
 }
 
-func (l *SQLLog) insertLocked(e Entry) (uint64, error) {
-	l.seq++
-	e.Seq = l.seq
+// insert allocates the entry's Seq and writes it to the backing store under
+// its conflict class's stripe lock. The stored counter advances even on an
+// insert error, so a concurrent Since barrier never waits on a failed
+// append (the sequence hole is harmless: Since orders by seq).
+func (l *SQLLog) insert(e Entry) (uint64, error) {
+	e.Seq = l.seq.Add(1)
+	defer l.stored.Add(1)
+	st := &l.stripes[classStripe(e)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	var err error
 	if l.legacy {
 		_, err = l.db.ExecSQL(fmt.Sprintf(
@@ -398,16 +481,12 @@ func (l *SQLLog) insertLocked(e Entry) (uint64, error) {
 
 // Append implements Log.
 func (l *SQLLog) Append(e Entry) (uint64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.insertLocked(e)
+	return l.insert(e)
 }
 
 // Checkpoint implements Log.
 func (l *SQLLog) Checkpoint(name string) (uint64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.insertLocked(Entry{Class: ClassCheckpoint, Name: name})
+	return l.insert(Entry{Class: ClassCheckpoint, Name: name})
 }
 
 // CheckpointSeq implements Log.
@@ -425,14 +504,22 @@ func (l *SQLLog) CheckpointSeq(name string) (uint64, bool, error) {
 	return seq, true, nil
 }
 
-// Since implements Log.
+// Since implements Log. The barrier spin mirrors MemoryLog's: every
+// allocated sequence number at or below the snapshot target has finished
+// its INSERT before the query runs, so the result is a hole-free prefix in
+// Seq order (modulo failed appends, whose holes were reported to their
+// callers).
 func (l *SQLLog) Since(seq uint64) ([]Entry, error) {
+	target := l.seq.Load()
+	for l.stored.Load() < target {
+		runtime.Gosched()
+	}
 	cols := "seq, usr, tx, class, sql_text, name, tables_csv"
 	if l.legacy {
 		cols = "seq, usr, tx, class, sql_text, name"
 	}
 	_, rows, err := l.db.QuerySQL(fmt.Sprintf(
-		"SELECT %s FROM %s WHERE seq > %d ORDER BY seq", cols, l.name, seq))
+		"SELECT %s FROM %s WHERE seq > %d AND seq <= %d ORDER BY seq", cols, l.name, seq, target))
 	if err != nil {
 		return nil, err
 	}

@@ -40,15 +40,19 @@ func (e *TableNotFoundError) Error() string {
 //
 // Concurrency model: mu is a sharded read/write lock over the catalog;
 // each table additionally carries its own storage latch (table.store).
-// Reads (SELECT and the metadata accessors) hold one mu shard shared plus
-// a shared latch on each scanned table; DML holds one mu shard shared plus
-// its target table's latch exclusive, so writes to disjoint tables execute
-// concurrently on one backend while writes to the same table — already
-// serialized by the lock manager's exclusive table locks — exclude that
-// table's readers. DDL and undo replay hold every mu shard exclusively and
-// serialize against everything. Stats counters are sharded atomics so the
-// read path never takes the exclusive lock and sessions do not contend on
-// one counter.
+// Reads (SELECT and the metadata accessors) hold one mu shard shared and
+// nothing else: they resolve rows through MVCC version chains against a
+// snapshot epoch pinned at statement (auto-commit) or transaction start, so
+// a reader never waits for an in-flight write. DML holds one mu shard
+// shared plus its target table's latch exclusive, so writes to disjoint
+// tables execute concurrently on one backend while writes to the same
+// table are serialized by the lock manager's ticket FIFO. Commit stamps the
+// transaction's versions with a fresh epoch from the global clock before
+// releasing its locks. Undo replay pops uncommitted versions under the
+// table latch; only DDL (and undo of DDL) holds every mu shard exclusively
+// and serializes against everything. Stats counters are sharded atomics so
+// the read path never takes the exclusive lock and sessions do not contend
+// on one counter.
 type Engine struct {
 	name string
 
@@ -59,9 +63,22 @@ type Engine struct {
 	locks       *lockManager
 	lockTimeout time.Duration
 
+	// clock is the global commit-epoch clock; writerSeq hands each session
+	// a unique uncommitted-version stamp; pins registers sessions for the
+	// GC watermark; gcDebt accrues superseded versions until a sweep.
+	clock     epochClock
+	writerSeq atomic.Uint64
+	pins      []pinShard
+	gcDebt    atomic.Int64
+	gcEvery   int64
+
 	// noIndexPlan forces full scans in the access planner. Tests use it to
 	// prove index-planned execution equivalent to scanning.
 	noIndexPlan bool
+	// latchedReads restores the pre-MVCC read path (storage latches plus
+	// writer-view rows). Tests and benchmarks use it to prove snapshot
+	// reads equivalent to latched reads and to measure their cost.
+	latchedReads atomic.Bool
 
 	sessionSeq atomic.Uint32 // round-robins sessions over lock/stat shards
 	stats      []statShard
@@ -85,6 +102,17 @@ func WithLockTimeout(d time.Duration) Option {
 	return func(e *Engine) { e.lockTimeout = d }
 }
 
+// WithGCThreshold sets how many superseded row versions may accrue before a
+// garbage-collection sweep runs (folded into statement end and session
+// close). Tests lower it to exercise reclamation.
+func WithGCThreshold(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.gcEvery = int64(n)
+		}
+	}
+}
+
 // New creates an empty database engine with the given name.
 func New(name string, opts ...Option) *Engine {
 	e := &Engine{
@@ -92,8 +120,10 @@ func New(name string, opts ...Option) *Engine {
 		mu:          newBRWMutex(),
 		tables:      make(map[string]*table),
 		lockTimeout: 2 * time.Second,
+		gcEvery:     16384,
 	}
 	e.stats = make([]statShard, len(e.mu.shards))
+	e.pins = make([]pinShard, len(e.mu.shards))
 	e.locks = newLockManager()
 	for _, o := range opts {
 		o(e)
@@ -165,9 +195,11 @@ func (e *Engine) RowCount(name string) (int, error) {
 	if !ok {
 		return 0, &TableNotFoundError{Table: name}
 	}
-	t.store.RLock()
-	defer t.store.RUnlock()
-	return len(t.rows), nil
+	// Latch-free snapshot count at the newest published epoch.
+	rv := readView{ep: e.clock.published.Load()}
+	n := 0
+	t.scanSnap(rv, func([]sqlval.Value) bool { n++; return true })
+	return n, nil
 }
 
 // SnapshotTable returns the schema and all rows of a table in insertion
@@ -180,12 +212,13 @@ func (e *Engine) SnapshotTable(name string) (*Schema, [][]sqlval.Value, error) {
 	if !ok {
 		return nil, nil, &TableNotFoundError{Table: name}
 	}
-	t.store.RLock()
-	defer t.store.RUnlock()
 	cp := *t.schema
 	cp.Columns = append([]Column(nil), t.schema.Columns...)
+	// Latch-free snapshot scan at the newest published epoch: the dump is a
+	// consistent committed view even while writers are mid-statement.
+	rv := readView{ep: e.clock.published.Load()}
 	var rows [][]sqlval.Value
-	t.scan(func(_ int64, row []sqlval.Value) bool {
+	t.scanSnap(rv, func(row []sqlval.Value) bool {
 		rows = append(rows, sqlval.CloneRow(row))
 		return true
 	})
@@ -570,12 +603,14 @@ func (lm *lockManager) releaseAll(s *Session) {
 	fireAll(fire)
 }
 
-// undoOp is one entry of a transaction's undo log.
+// undoOp is one entry of a transaction's undo log. DML undo ('i'/'d'/'u')
+// carries no row image: the pre-statement state lives in the row's version
+// chain, and undo pops the session's own uncommitted version off the chain
+// head (newest first, matching the log's LIFO replay).
 type undoOp struct {
 	kind    uint8 // 'i' undo-insert, 'd' undo-delete, 'u' undo-update, 'c' undo-create, 'r' undo-drop, 'x' undo-create-index, 'a' autoInc restore
 	table   string
 	rowid   int64
-	row     []sqlval.Value
 	tbl     *table // for undo of DROP TABLE / CREATE TABLE
 	index   string
 	autoInc int64
@@ -591,6 +626,17 @@ type Session struct {
 
 	inTx bool
 	undo []undoOp
+
+	// stamp marks this session's uncommitted row versions
+	// (uncommittedBit|writerID); commit re-stamps them with a commit epoch.
+	stamp uint64
+	// pin holds the session's snapshot epoch + 1 while a statement (auto-
+	// commit) or transaction is reading; 0 means unpinned. The GC watermark
+	// reads it from other goroutines.
+	pin atomic.Uint64
+	// dirty collects the versions the current statement/transaction pushed,
+	// for commit-time epoch stamping.
+	dirty []*rowVersion
 
 	// held and reserved are guarded by the engine lock manager's mutex:
 	// reservations are placed by the dispatcher goroutine while statements
@@ -611,13 +657,16 @@ type Session struct {
 
 // NewSession opens a session on the engine.
 func (e *Engine) NewSession() *Session {
-	return &Session{
+	s := &Session{
 		engine:   e,
 		shard:    e.sessionSeq.Add(1),
+		stamp:    uncommittedBit | e.writerSeq.Add(1),
 		held:     make(map[string]bool),
 		reserved: make(map[string][]*lockRequest),
 		temp:     make(map[string]*table),
 	}
+	e.registerSession(s)
+	return s
 }
 
 // statShard returns the session's slice of the engine counters.
@@ -664,17 +713,27 @@ func (s *Session) Begin() error {
 	}
 	s.inTx = true
 	s.statShard().transactions.Add(1)
+	// Pin the transaction's snapshot now: every read in the transaction sees
+	// one consistent epoch (plus the session's own writes).
+	_ = s.snapshotEpoch()
 	return nil
 }
 
 // Commit makes the transaction's effects durable and releases its locks.
+// The transaction's versions are stamped with a fresh commit epoch and
+// published before any lock releases, so the next ticket holder — and every
+// snapshot pinned after it — observes the commit.
 func (s *Session) Commit() error {
 	if !s.inTx {
 		return ErrNoTransaction
 	}
 	s.inTx = false
+	n := len(s.undo)
+	s.commitVersions()
 	s.undo = nil
+	s.unpin()
 	s.engine.locks.releaseAll(s)
+	s.engine.noteGarbage(n)
 	return nil
 }
 
@@ -684,33 +743,46 @@ func (s *Session) Rollback() error {
 		return ErrNoTransaction
 	}
 	s.inTx = false
+	n := len(s.undo)
 	s.applyUndo()
+	s.unpin()
 	s.engine.locks.releaseAll(s)
 	s.statShard().aborts.Add(1)
+	s.engine.noteGarbage(n)
 	return nil
 }
 
-// applyUndo reverses the undo log (newest first) under the engine lock.
+// applyUndo reverses the undo log (newest first). DML-only logs — the
+// common case — replay under the catalog's shared lock plus each target
+// table's latch: undoing insert/update/delete pops the session's own
+// uncommitted version off the row's chain head (the versions are invisible
+// to every other session, so reverting them needs no engine-exclusive
+// lock). A log containing DDL falls back to the engine-exclusive path,
+// since it rewrites the catalog itself.
 func (s *Session) applyUndo() {
 	e := s.engine
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	ddl := false
+	for i := range s.undo {
+		switch s.undo[i].kind {
+		case 'c', 'r', 'x':
+			ddl = true
+		}
+	}
+	if ddl {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	} else {
+		e.mu.RLock(s.shard)
+		defer e.mu.RUnlock(s.shard)
+	}
 	for i := len(s.undo) - 1; i >= 0; i-- {
 		op := s.undo[i]
 		switch op.kind {
-		case 'i': // undo insert: remove the row
+		case 'i', 'd', 'u': // pop the session's uncommitted version
 			if t := s.resolveLocked(op.table); t != nil {
-				t.deleteRow(op.rowid)
-			}
-		case 'd': // undo delete: restore the row
-			if t := s.resolveLocked(op.table); t != nil {
-				t.insertRowAt(op.rowid, op.row)
-			}
-		case 'u': // undo update: restore previous image
-			if t := s.resolveLocked(op.table); t != nil {
-				// Ignore unique violations: restoring the old image cannot
-				// violate constraints that held before the update.
-				_ = t.updateRow(op.rowid, op.row)
+				t.store.Lock()
+				t.popVersion(op.rowid, s.stamp)
+				t.store.Unlock()
 			}
 		case 'c': // undo create table: drop it
 			if op.tbl != nil && s.temp[op.table] == op.tbl {
@@ -722,19 +794,25 @@ func (s *Session) applyUndo() {
 			e.tables[op.table] = op.tbl
 		case 'x': // undo create index
 			if t := s.resolveLocked(op.table); t != nil {
+				t.idxMu.Lock()
 				delete(t.indexes, op.index)
+				t.idxMu.Unlock()
 			}
 		case 'a': // restore auto-increment counter
 			if t := s.resolveLocked(op.table); t != nil {
+				t.store.Lock()
 				t.autoInc = op.autoInc
+				t.store.Unlock()
 			}
 		}
 	}
 	s.undo = nil
+	s.dirty = nil
 }
 
 // resolveLocked finds a table by name, checking the session's temporary
-// namespace first. Caller holds e.mu.
+// namespace first. Caller holds e.mu (shared suffices: catalog writers hold
+// it exclusively).
 func (s *Session) resolveLocked(name string) *table {
 	if t, ok := s.temp[name]; ok {
 		return t
@@ -742,7 +820,31 @@ func (s *Session) resolveLocked(name string) *table {
 	return s.engine.tables[name]
 }
 
-// Close rolls back any open transaction and drops temporary tables.
+// Reset returns the session to its pristine just-opened state without
+// closing it: any open transaction rolls back, locks and unconsumed
+// reservations release, the snapshot pin drops and temporary tables are
+// discarded. The backend's dedicated-session free-list recycles auto-commit
+// writer sessions through it instead of paying open/close per write.
+func (s *Session) Reset() {
+	if s.closed {
+		return
+	}
+	if s.inTx {
+		_ = s.Rollback()
+	}
+	s.unpin()
+	s.engine.locks.releaseAll(s)
+	if len(s.temp) > 0 {
+		s.temp = make(map[string]*table)
+	}
+	s.undo = nil
+	s.dirty = nil
+}
+
+// Close rolls back any open transaction and drops temporary tables. Closing
+// also releases the session's snapshot pin and, when superseded versions
+// have accrued, runs a GC sweep — a draining reader may have been the pin
+// holding the watermark back.
 func (s *Session) Close() {
 	if s.closed {
 		return
@@ -750,9 +852,14 @@ func (s *Session) Close() {
 	if s.inTx {
 		_ = s.Rollback()
 	}
+	s.unpin()
 	s.engine.locks.releaseAll(s)
 	s.temp = make(map[string]*table)
 	s.closed = true
+	s.engine.deregisterSession(s)
+	if s.engine.gcDebt.Load() > 0 {
+		s.engine.GC()
+	}
 }
 
 // lockDeadline computes the lock wait deadline for one statement.
@@ -783,20 +890,24 @@ func (s *Session) lockTable(name string, exclusive bool, deadline time.Time) err
 	return s.engine.locks.acquireShared(s, name, deadline)
 }
 
-// endStatement releases locks and clears undo state when the statement ran
-// outside an explicit transaction (auto-commit). Inside a transaction,
-// shared locks release now (read committed) while exclusive locks stay
-// until commit or rollback (strict 2PL for writes).
+// endStatement commits or undoes an auto-commit statement and releases its
+// locks and snapshot pin. Inside a transaction it releases shared locks
+// only (exclusive locks are strict 2PL and the transaction's snapshot pin
+// stays until commit or rollback).
 func (s *Session) endStatement(err error) error {
 	if s.inTx {
 		s.engine.locks.releaseShared(s)
 		return err
 	}
+	n := len(s.undo)
 	if err != nil {
 		s.applyUndo()
 	} else {
+		s.commitVersions()
 		s.undo = nil
 	}
+	s.unpin()
 	s.engine.locks.releaseAll(s)
+	s.engine.noteGarbage(n)
 	return err
 }

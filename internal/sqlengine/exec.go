@@ -153,11 +153,13 @@ func (s *Session) execCreateTable(ct *sqlparser.CreateTable) (*Result, error) {
 		}
 	}
 	// Populate the table before publishing it: once it is visible in the
-	// catalog, concurrent readers (which hold the engine lock shared) may
-	// scan it, so no unlocked mutation can follow publication.
+	// catalog, concurrent readers may scan it, so no unlocked mutation can
+	// follow publication. Rows are stamped with epoch 0 — visible to every
+	// snapshot — which is sound precisely because nobody can hold a ref to
+	// the table before it is published; rollback undoes the whole CREATE.
 	tbl := newTable(schema)
 	for _, r := range rows {
-		if _, err := tbl.insertRow(r); err != nil {
+		if _, _, err := tbl.insertRow(r, 0); err != nil {
 			return nil, err
 		}
 	}
@@ -253,7 +255,9 @@ func (s *Session) execDropIndex(di *sqlparser.DropIndex) (*Result, error) {
 	if _, ok := t.indexes[ixName]; !ok {
 		return nil, errf("index %q does not exist on %s", di.Name, name)
 	}
+	t.idxMu.Lock()
 	delete(t.indexes, ixName)
+	t.idxMu.Unlock()
 	// Dropping an index is not undone (index rebuild on rollback is not
 	// supported); like MySQL, DDL here is effectively auto-committing.
 	return &Result{}, nil
@@ -307,7 +311,7 @@ func (s *Session) execInsert(ins *sqlparser.Insert) (*Result, error) {
 	name := strings.ToLower(ins.Table)
 	e := s.engine
 
-	// INSERT ... SELECT reads first (shared locks on sources).
+	// INSERT ... SELECT reads first, from the statement's snapshot.
 	var srcRows [][]sqlval.Value
 	if ins.Query != nil {
 		sel, err := s.execSelect(ins.Query)
@@ -392,11 +396,12 @@ func (s *Session) execInsert(ins *sqlparser.Insert) (*Result, error) {
 	var inserted int64
 	var lastID int64
 	insertOne := func(row []sqlval.Value) error {
-		id, err := t.insertRow(row)
+		id, v, err := t.insertRow(row, s.stamp)
 		if err != nil {
 			return err
 		}
 		s.undo = append(s.undo, undoOp{kind: 'i', table: name, rowid: id})
+		s.dirty = append(s.dirty, v)
 		inserted++
 		// LastInsertID reports the auto-increment value when one was assigned.
 		for i := range schema.Columns {
@@ -468,11 +473,12 @@ func (s *Session) execUpdate(up *sqlparser.Update) (*Result, error) {
 		setIdx = append(setIdx, idx)
 	}
 
-	ids := candidateIDs(e, t, cols, up.Where)
+	refs := candidateRefs(e, t, cols, up.Where)
 	var affected int64
-	for _, id := range ids {
-		row, ok := t.rows[id]
-		if !ok {
+	for _, ref := range refs {
+		// Writer view: the chain head is committed or this session's own.
+		row := ref.ch.latestRow()
+		if row == nil {
 			continue
 		}
 		ev := &env{cols: cols, row: row}
@@ -485,6 +491,10 @@ func (s *Session) execUpdate(up *sqlparser.Update) (*Result, error) {
 				continue
 			}
 		}
+		// Copy-on-write: the stored version is immutable once published, so
+		// the new image is built on a fresh slice and pushed as a new version.
+		// No old-image clone is needed for undo — the previous version stays
+		// on the chain and undo simply pops ours.
 		newRow := sqlval.CloneRow(row)
 		for i, a := range up.Set {
 			v, err := ev.eval(a.Value)
@@ -497,11 +507,12 @@ func (s *Session) execUpdate(up *sqlparser.Update) (*Result, error) {
 			}
 			newRow[setIdx[i]] = cv
 		}
-		old := sqlval.CloneRow(row)
-		if err := t.updateRow(id, newRow); err != nil {
+		v, err := t.updateRow(ref.id, newRow, s.stamp)
+		if err != nil {
 			return nil, err
 		}
-		s.undo = append(s.undo, undoOp{kind: 'u', table: name, rowid: id, row: old})
+		s.undo = append(s.undo, undoOp{kind: 'u', table: name, rowid: ref.id})
+		s.dirty = append(s.dirty, v)
 		affected++
 	}
 	return &Result{RowsAffected: affected}, nil
@@ -522,11 +533,11 @@ func (s *Session) execDelete(del *sqlparser.Delete) (*Result, error) {
 	t.store.Lock()
 	defer t.store.Unlock()
 	cols := t.cols
-	ids := candidateIDs(e, t, cols, del.Where)
+	refs := candidateRefs(e, t, cols, del.Where)
 	var affected int64
-	for _, id := range ids {
-		row, ok := t.rows[id]
-		if !ok {
+	for _, ref := range refs {
+		row := ref.ch.latestRow()
+		if row == nil {
 			continue
 		}
 		if del.Where != nil {
@@ -539,9 +550,14 @@ func (s *Session) execDelete(del *sqlparser.Delete) (*Result, error) {
 				continue
 			}
 		}
-		saved := sqlval.CloneRow(row)
-		t.deleteRow(id)
-		s.undo = append(s.undo, undoOp{kind: 'd', table: name, rowid: id, row: saved})
+		// A delete is a tombstone version; the old image stays on the chain
+		// for older snapshots and for undo.
+		v := t.deleteRow(ref.id, s.stamp)
+		if v == nil {
+			continue
+		}
+		s.undo = append(s.undo, undoOp{kind: 'd', table: name, rowid: ref.id})
+		s.dirty = append(s.dirty, v)
 		affected++
 	}
 	return &Result{RowsAffected: affected}, nil

@@ -21,8 +21,8 @@ import (
 
 // accessPlan describes how to enumerate one table's rows.
 type accessPlan struct {
-	ids     []int64 // candidate rowids, ascending; meaningful when indexed
-	indexed bool    // false means full scan
+	refs    []chainRef // candidate chains, ascending by rowid; meaningful when indexed
+	indexed bool       // false means full scan
 }
 
 // colResolver maps a column expression to its position in a table's schema,
@@ -66,23 +66,23 @@ func keyCompatible(ct sqlval.Kind, lit sqlval.Value) bool {
 
 // planAccess chooses an index-backed access path for t under the given WHERE
 // clause, or a full scan when no top-level conjunct is indexable. The
-// returned candidate list is a fresh slice sorted by rowid, so iterating it
-// is deterministic (rowids are assigned in insertion order) and safe while
-// the caller mutates the table's indexes.
+// returned candidate list is a fresh slice (lookup copies bucket refs under
+// idxMu) sorted by rowid, so iterating it is deterministic (rowids are
+// assigned in insertion order) and safe while writers keep appending refs.
+// Candidates may be stale — index buckets are insert-only — which is fine:
+// every caller resolves each chain through its read view and re-evaluates
+// the full WHERE clause.
 func planAccess(e *Engine, t *table, resolve colResolver, where *sqlparser.Expr) accessPlan {
 	if where == nil || e.noIndexPlan {
 		return accessPlan{}
 	}
-	var best []int64
+	var best []chainRef
 	found := false
-	consider := func(ids []int64, shared bool) {
-		if found && len(ids) >= len(best) {
+	consider := func(refs []chainRef) {
+		if found && len(refs) >= len(best) {
 			return
 		}
-		if shared {
-			ids = append([]int64(nil), ids...)
-		}
-		best, found = ids, true
+		best, found = refs, true
 	}
 	var walk func(ex *sqlparser.Expr)
 	walk = func(ex *sqlparser.Expr) {
@@ -102,8 +102,8 @@ func planAccess(e *Engine, t *table, resolve colResolver, where *sqlparser.Expr)
 			if !ok || !keyCompatible(t.schema.Columns[ci].Type, lit.Lit) {
 				return
 			}
-			if ids, indexed := t.lookup(ci, lit.Lit); indexed {
-				consider(ids, true)
+			if refs, indexed := t.lookup(ci, lit.Lit); indexed {
+				consider(refs)
 			}
 		case ex.Kind == sqlparser.ExprIn && !ex.Not:
 			if ex.Left == nil || ex.Left.Kind != sqlparser.ExprColumn {
@@ -119,46 +119,50 @@ func planAccess(e *Engine, t *table, resolve colResolver, where *sqlparser.Expr)
 					return
 				}
 			}
-			var union []int64
+			var union []chainRef
 			for _, item := range ex.List {
-				ids, indexed := t.lookup(ci, item.Lit)
+				refs, indexed := t.lookup(ci, item.Lit)
 				if !indexed {
 					return
 				}
-				union = append(union, ids...)
+				union = append(union, refs...)
 			}
-			consider(union, false)
+			consider(union)
 		}
 	}
 	walk(where)
 	if !found {
 		return accessPlan{}
 	}
-	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	sort.Slice(best, func(i, j int) bool { return best[i].id < best[j].id })
 	// Distinct IN-list values cannot share rowids, but values that hash to
-	// the same key (1 and 1.0) duplicate their lists; drop adjacent dups.
+	// the same key (1 and 1.0) duplicate their lists, and stale refs can
+	// repeat a rowid across buckets; drop adjacent dups.
 	out := best[:0]
-	for i, id := range best {
-		if i == 0 || id != best[i-1] {
-			out = append(out, id)
+	for i, ref := range best {
+		if i == 0 || ref.id != best[i-1].id {
+			out = append(out, ref)
 		}
 	}
-	return accessPlan{ids: out, indexed: true}
+	return accessPlan{refs: out, indexed: true}
 }
 
-// candidateIDs returns the rowids a WHERE clause can possibly match: the
-// planner's candidate list when an index applies, the full scan order
+// candidateRefs returns the row chains a WHERE clause can possibly match:
+// the planner's candidate list when an index applies, the full scan order
 // otherwise. UPDATE and DELETE iterate it while mutating the table, which is
-// safe because the planner copies index slices and a scan snapshot is taken
-// here. Caller holds e.mu exclusively.
-func candidateIDs(e *Engine, t *table, cols map[string]int, where *sqlparser.Expr) []int64 {
+// safe because the planner copies index slices and the order slab loaded
+// here is immutable up to its published length. Caller holds the table latch
+// exclusively and resolves liveness per chain (writer view).
+func candidateRefs(e *Engine, t *table, cols map[string]int, where *sqlparser.Expr) []chainRef {
 	if plan := planAccess(e, t, envResolver(cols, 0, len(t.schema.Columns)), where); plan.indexed {
-		return plan.ids
+		return plan.refs
 	}
-	out := make([]int64, 0, len(t.rows))
-	t.scan(func(id int64, _ []sqlval.Value) bool {
-		out = append(out, id)
-		return true
-	})
+	slab := t.order.Load()
+	n := int(slab.n.Load())
+	out := make([]chainRef, 0, n)
+	for i := 0; i < n; i++ {
+		en := slab.entries[i]
+		out = append(out, chainRef{id: en.id, ch: en.ch})
+	}
 	return out
 }

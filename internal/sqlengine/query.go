@@ -29,20 +29,21 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 		return s.selectNoFrom(sel)
 	}
 
-	// Reads take no lock-manager table locks: like the consistent
-	// nonblocking reads of the paper's InnoDB backends, readers never block
-	// writers at the transaction level and never participate in deadlock
-	// cycles. Statement-level atomicity comes from two layers: the engine's
-	// RW lock, held shared here (excluding DDL and undo replay, which hold
-	// it exclusively), plus a shared storage latch on every scanned table
-	// (excluding concurrent DML, which latches only its target table
-	// exclusively — so reads of one table run concurrently with writes to
-	// others). A reader may observe another transaction's uncommitted rows,
-	// which the clustering middleware tolerates exactly as C-JDBC tolerates
-	// its backends' isolation levels.
+	// Reads take no lock-manager table locks and no storage latches: like
+	// the consistent nonblocking reads of the paper's InnoDB backends, a
+	// SELECT resolves every row against a snapshot epoch pinned at statement
+	// (auto-commit) or transaction start, plus the session's own uncommitted
+	// writes. Readers never block writers, never wait for writers, and never
+	// participate in deadlock cycles. The only lock held is one shard of the
+	// engine's catalog RW lock, shared — excluding DDL and DDL-undo replay,
+	// which rewrite the catalog itself under the full exclusive lock.
 	e := s.engine
 	e.mu.RLock(s.shard)
 	defer e.mu.RUnlock(s.shard)
+	rv := readView{stamp: s.stamp}
+	if !e.latchedReads.Load() {
+		rv.ep = s.snapshotEpoch()
+	}
 
 	// Resolve sources and build the combined column map. An unaliased
 	// single-table query — the point-query hot path — reuses the table's
@@ -64,22 +65,16 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 	}
 	totalCols := offset
 
-	// Latch every scanned table shared for the duration of the statement.
-	// Deduplicate by table identity: a self-join names the same storage
-	// twice, and re-entrant RLock would deadlock against a queued writer.
-	// Acquisition is in sorted name order, and that ordering is
-	// load-bearing: sync.RWMutex blocks new readers behind a *pending*
-	// writer, so two joins latching in opposite orders plus one pending
-	// writer per table would cycle (reader A holds R(a) and queues behind
-	// the writer pending on b; reader B holds R(b) and queues behind the
-	// writer pending on a). With every reader latching in one global order
-	// a reader never holds a later-ordered latch while waiting for an
-	// earlier one, so no cycle can close; writers hold exactly one latch
-	// and never wait while holding it.
-	if len(srcs) == 1 {
-		srcs[0].t.store.RLock()
-		defer srcs[0].t.store.RUnlock()
-	} else {
+	// Latched mode (tests/benchmarks only): restore the pre-MVCC read path —
+	// shared storage latch on every scanned table, writer-view rows.
+	// Deduplicate by table identity (a self-join names the same storage
+	// twice, and re-entrant RLock would deadlock against a queued writer)
+	// and acquire in sorted name order; that ordering is load-bearing:
+	// sync.RWMutex blocks new readers behind a *pending* writer, so two
+	// joins latching in opposite orders plus one pending writer per table
+	// would cycle. With one global order a reader never holds a
+	// later-ordered latch while waiting for an earlier one.
+	if rv.latest = e.latchedReads.Load(); rv.latest {
 		latched := make([]*table, 0, len(srcs))
 		for _, src := range srcs {
 			dup := false
@@ -151,9 +146,9 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 	var whereDone bool
 	var err error
 	if len(srcs) == 1 {
-		rows, whereDone, err = s.singleTableRows(sel, srcs[0], cols, grouped)
+		rows, whereDone, err = s.singleTableRows(sel, srcs[0], cols, grouped, rv)
 	} else {
-		rows, err = s.joinRows(sel, srcs, cols, totalCols)
+		rows, err = s.joinRows(sel, srcs, cols, totalCols, rv)
 	}
 	if err != nil {
 		return nil, err
@@ -248,7 +243,7 @@ func (s *Session) selectNoFrom(sel *sqlparser.Select) (*Result, error) {
 // the WHERE clause is applied during the scan, and a LIMIT with no ORDER
 // BY, grouping or DISTINCT stops the scan as soon as enough rows matched.
 // The returned flag reports that WHERE has already been applied.
-func (s *Session) singleTableRows(sel *sqlparser.Select, src srcTable, cols map[string]int, grouped bool) ([][]sqlval.Value, bool, error) {
+func (s *Session) singleTableRows(sel *sqlparser.Select, src srcTable, cols map[string]int, grouped bool, rv readView) ([][]sqlval.Value, bool, error) {
 	t := src.t
 
 	// LIMIT pushdown budget: offset+limit matching rows suffice when no
@@ -292,22 +287,22 @@ func (s *Session) singleTableRows(sel *sqlparser.Select, src srcTable, cols map[
 	}
 
 	if plan := planAccess(s.engine, t, envResolver(cols, src.offset, len(t.schema.Columns)), sel.Where); plan.indexed {
-		for _, id := range plan.ids {
-			if row, ok := t.rows[id]; ok {
+		for _, ref := range plan.refs {
+			if row := rv.resolve(ref.ch); row != nil {
 				if !add(row) {
 					break
 				}
 			}
 		}
 	} else {
-		t.scan(func(_ int64, row []sqlval.Value) bool { return add(row) })
+		t.scanSnap(rv, add)
 	}
 	return rows, true, evalErr
 }
 
 // joinRows materializes the FROM clause with nested-loop joins, using a hash
 // index for equi-joins when one is available.
-func (s *Session) joinRows(sel *sqlparser.Select, srcs []srcTable, cols map[string]int, totalCols int) ([][]sqlval.Value, error) {
+func (s *Session) joinRows(sel *sqlparser.Select, srcs []srcTable, cols map[string]int, totalCols int, rv readView) ([][]sqlval.Value, error) {
 	// Seed with the base table's rows, padded to the full width so that
 	// the environment map works at every stage. WHERE conjuncts on the
 	// base table narrow the seed through the access planner; the full
@@ -323,13 +318,13 @@ func (s *Session) joinRows(sel *sqlparser.Select, srcs []srcTable, cols map[stri
 		return true
 	}
 	if plan := planAccess(s.engine, base.t, envResolver(cols, base.offset, len(base.t.schema.Columns)), sel.Where); plan.indexed {
-		for _, id := range plan.ids {
-			if r, ok := base.t.rows[id]; ok {
+		for _, ref := range plan.refs {
+			if r := rv.resolve(ref.ch); r != nil {
 				seed(r)
 			}
 		}
 	} else {
-		base.t.scan(func(_ int64, r []sqlval.Value) bool { return seed(r) })
+		base.t.scanSnap(rv, seed)
 	}
 
 	for i := 1; i < len(srcs); i++ {
@@ -366,9 +361,9 @@ func (s *Session) joinRows(sel *sqlparser.Select, srcs []srcTable, cols map[stri
 			// against an INTEGER column) can compare equal through the
 			// textual fallback while hashing differently, so they scan.
 			if useIndex && keyCompatible(src.t.schema.Columns[buildCol].Type, left[probe]) {
-				ids, _ := src.t.lookup(buildCol, left[probe])
-				for _, id := range ids {
-					if r, ok := src.t.rows[id]; ok {
+				refs, _ := src.t.lookup(buildCol, left[probe])
+				for _, ref := range refs {
+					if r := rv.resolve(ref.ch); r != nil {
 						if err := tryRow(r); err != nil {
 							return nil, err
 						}
@@ -376,7 +371,7 @@ func (s *Session) joinRows(sel *sqlparser.Select, srcs []srcTable, cols map[stri
 				}
 			} else {
 				var scanErr error
-				src.t.scan(func(_ int64, r []sqlval.Value) bool {
+				src.t.scanSnap(rv, func(r []sqlval.Value) bool {
 					if err := tryRow(r); err != nil {
 						scanErr = err
 						return false
@@ -431,14 +426,14 @@ func equiJoinPlan(on *sqlparser.Expr, src srcTable, cols map[string]int) (probe,
 	}
 	if bc, isNew := inNew(r); isNew {
 		if p, found := envPos(l); found && (p < src.offset || p >= src.offset+len(src.t.schema.Columns)) {
-			if _, indexed := src.t.lookup(bc, sqlval.Null); indexed {
+			if src.t.hasIndexOn(bc) {
 				return p, bc, true
 			}
 		}
 	}
 	if bc, isNew := inNew(l); isNew {
 		if p, found := envPos(r); found && (p < src.offset || p >= src.offset+len(src.t.schema.Columns)) {
-			if _, indexed := src.t.lookup(bc, sqlval.Null); indexed {
+			if src.t.hasIndexOn(bc) {
 				return p, bc, true
 			}
 		}

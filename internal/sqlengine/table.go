@@ -1,13 +1,15 @@
 // Package sqlengine implements the database backend engine the cluster
 // replicates: an in-memory relational engine with a catalog, typed rows,
-// hash indexes, strict two-phase table locking and undo-log transactions.
-// It plays the role MySQL/PostgreSQL/Firebird play in the paper: a black box
-// behind a driver interface that executes SQL statements transactionally.
+// hash indexes, strict two-phase table locking for writes, undo-log
+// transactions and MVCC snapshot reads. It plays the role
+// MySQL/PostgreSQL/Firebird play in the paper: a black box behind a driver
+// interface that executes SQL statements transactionally.
 package sqlengine
 
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cjdbc/internal/sqlparser"
 	"cjdbc/internal/sqlval"
@@ -49,20 +51,25 @@ func (s *Schema) ColumnNames() []string {
 	return out
 }
 
-// index is a hash index over one or more columns. Buckets are held by
-// pointer so that the hot add-a-rowid path mutates in place: together with
-// the byte-scratch key building, inserting into an existing bucket costs no
-// string allocation (Go elides the string(b) copy for map lookups), and only
-// a brand-new key materializes a string.
+// index is a hash index over one or more columns. Buckets hold chain refs
+// and are insert-only: updates and deletes never remove entries, because a
+// reader pinned at an older epoch must still find the old version of a row
+// through the key it had then. Stale refs are harmless — every access path
+// re-evaluates its full predicate against the resolved row — and the
+// garbage collector prunes refs whose chains it reclaims. Buckets are held
+// by pointer so the hot add path mutates in place: with the byte-scratch
+// key building, inserting into an existing bucket costs no string
+// allocation (Go elides the string(b) copy for map lookups), and only a
+// brand-new key materializes a string.
 type index struct {
 	name    string
 	columns []int // column positions
 	unique  bool
-	m       map[string]*idBucket // value key -> rowids
+	m       map[string]*idBucket // value key -> chain refs
 }
 
-// idBucket is one hash bucket's rowid list.
-type idBucket struct{ ids []int64 }
+// idBucket is one hash bucket's chain-ref list.
+type idBucket struct{ refs []chainRef }
 
 // appendKey appends the index key of row to b and returns the extended
 // buffer. The layout matches what lookup builds from a probe value.
@@ -76,70 +83,59 @@ func (ix *index) appendKey(b []byte, row []sqlval.Value) []byte {
 	return b
 }
 
-// conflicts reports whether inserting row would violate a unique index.
-// scratch is reused and returned grown.
-func (ix *index) conflicts(row []sqlval.Value, scratch []byte) (bool, []byte) {
-	b := ix.appendKey(scratch[:0], row)
-	bkt := ix.m[string(b)]
-	return bkt != nil && len(bkt.ids) > 0, b
-}
-
-func (ix *index) insert(rowid int64, row []sqlval.Value, scratch []byte) ([]byte, error) {
-	b := ix.appendKey(scratch[:0], row)
-	bkt := ix.m[string(b)]
+// liveConflict reports whether some row other than selfID is currently
+// live (writer view) under the given key. Because buckets keep stale refs,
+// presence alone proves nothing: each candidate's current row is resolved
+// and its key rebuilt for comparison. Caller holds the table latch
+// exclusively.
+func (ix *index) liveConflict(selfID int64, key []byte) bool {
+	bkt := ix.m[string(key)]
 	if bkt == nil {
-		ix.m[string(b)] = &idBucket{ids: []int64{rowid}}
-		return b, nil
+		return false
 	}
-	if ix.unique && len(bkt.ids) > 0 {
-		return b, errf("unique constraint violation on index %s", ix.name)
-	}
-	bkt.ids = append(bkt.ids, rowid)
-	return b, nil
-}
-
-func (ix *index) remove(rowid int64, row []sqlval.Value, scratch []byte) []byte {
-	b := ix.appendKey(scratch[:0], row)
-	bkt := ix.m[string(b)]
-	if bkt == nil {
-		return b
-	}
-	ids := bkt.ids
-	for i, id := range ids {
-		if id == rowid {
-			ids[i] = ids[len(ids)-1]
-			ids = ids[:len(ids)-1]
-			break
+	var sb [48]byte
+	for _, ref := range bkt.refs {
+		if ref.id == selfID {
+			continue
+		}
+		row := ref.ch.latestRow()
+		if row == nil {
+			continue
+		}
+		b := ix.appendKey(sb[:0], row)
+		if string(b) == string(key) {
+			return true
 		}
 	}
-	if len(ids) == 0 {
-		delete(ix.m, string(b))
-	} else {
-		bkt.ids = ids
-	}
-	return b
+	return false
 }
 
-// table is the storage for one table: schema, rows keyed by rowid, an
-// append-only scan order, and indexes.
+// table is the storage for one table: schema, version chains keyed by
+// rowid, an atomically published scan order, and insert-only hash indexes.
 //
-// Locking: store is the per-table storage latch. DML (INSERT/UPDATE/DELETE)
-// holds the engine lock shared plus store exclusive, so writes to disjoint
-// tables mutate concurrently; SELECT and snapshots hold the engine lock
-// shared plus store shared for every table they scan. DDL and undo replay
-// hold the engine lock fully exclusive and need no latches. keyBuf (the
-// write-path scratch) is only touched under store exclusive or the full
-// engine lock, so it is never shared between concurrent writers.
+// Locking: store is the per-table storage latch, held exclusively by DML,
+// undo replay and GC — never by readers. SELECT resolves rows through the
+// MVCC snapshot machinery: the scan order is read through an atomic slab
+// pointer, index buckets are copied under idxMu (held only for the length
+// of a map probe), and each chain resolves to the newest version visible at
+// the session's pinned epoch. DDL holds the engine lock fully exclusive.
+// rows and keyBuf are touched only under store exclusive (or the full
+// engine lock), so they are never shared between concurrent writers.
 type table struct {
 	store   sync.RWMutex
 	schema  *Schema
-	rows    map[int64][]sqlval.Value
-	order   []int64            // insertion order; may contain ids of deleted rows
-	dead    map[int64]struct{} // tombstones: ids still in order but deleted
+	rows    map[int64]*rowChain // writer/GC side only; readers go via order/indexes
+	order   atomic.Pointer[orderSlab]
 	nextID  int64
 	autoInc int64
+	// idxMu guards the index maps and bucket ref slices against latch-free
+	// readers. Writers (who already hold store exclusive) take it only
+	// around individual map/bucket mutations, readers only around probes,
+	// so neither side ever holds it for a statement's duration.
+	idxMu   sync.RWMutex
 	indexes map[string]*index
 	keyBuf  []byte // reusable index-key scratch for the write path
+	garbage int    // versions superseded/popped since the last GC, under store
 	// cols is the prebuilt environment column map ("col" and "table.col"
 	// keys). The engine has no ALTER TABLE, so it is immutable after
 	// creation and shared by every unaliased single-table statement
@@ -150,10 +146,10 @@ type table struct {
 func newTable(schema *Schema) *table {
 	t := &table{
 		schema:  schema,
-		rows:    make(map[int64][]sqlval.Value),
-		dead:    make(map[int64]struct{}),
+		rows:    make(map[int64]*rowChain),
 		indexes: make(map[string]*index),
 	}
+	t.order.Store(&orderSlab{})
 	t.cols = make(map[string]int, len(schema.Columns)*2)
 	for i := range schema.Columns {
 		t.cols[schema.Columns[i].Name] = i
@@ -172,76 +168,99 @@ func newTable(schema *Schema) *table {
 	return t
 }
 
-// insertRow adds a row and maintains all indexes, returning its rowid.
-func (t *table) insertRow(row []sqlval.Value) (int64, error) {
-	id := t.nextID
-	// Check all unique indexes before mutating any.
-	for _, ix := range t.indexes {
-		if ix.unique {
-			var dup bool
-			dup, t.keyBuf = ix.conflicts(row, t.keyBuf)
-			if dup {
-				return 0, errf("unique constraint violation on %s.%s", t.schema.Name, ix.name)
-			}
+// appendOrder publishes a new rowid at the tail of the scan order. Within
+// slab capacity the entry is written in place and published by the atomic
+// length store; growth allocates a doubled slab and republishes the
+// pointer. Caller holds the table latch exclusively.
+func (t *table) appendOrder(id int64, ch *rowChain) {
+	slab := t.order.Load()
+	n := int(slab.n.Load())
+	if n == len(slab.entries) {
+		newCap := 2 * len(slab.entries)
+		if newCap < 16 {
+			newCap = 16
 		}
-	}
-	for _, ix := range t.indexes {
-		var err error
-		t.keyBuf, err = ix.insert(id, row, t.keyBuf)
-		if err != nil {
-			return 0, err
-		}
-	}
-	t.nextID++
-	t.rows[id] = row
-	t.order = append(t.order, id)
-	return id, nil
-}
-
-// insertRowAt re-inserts a row under a known rowid (undo of delete).
-// deleteRow leaves a tombstone in the scan order; the dead set records
-// exactly those ids, so membership is O(1) and rolling back a large delete
-// stays linear instead of rescanning order per row.
-func (t *table) insertRowAt(id int64, row []sqlval.Value) {
-	for _, ix := range t.indexes {
-		b := ix.appendKey(t.keyBuf[:0], row)
-		t.keyBuf = b
-		if bkt := ix.m[string(b)]; bkt != nil {
-			bkt.ids = append(bkt.ids, id)
-		} else {
-			ix.m[string(b)] = &idBucket{ids: []int64{id}}
-		}
-	}
-	_, wasLive := t.rows[id]
-	t.rows[id] = row
-	if _, tomb := t.dead[id]; tomb {
-		delete(t.dead, id)
-	} else if !wasLive {
-		t.order = append(t.order, id)
-	}
-	if id >= t.nextID {
-		t.nextID = id + 1
-	}
-}
-
-// deleteRow removes a row by id and maintains indexes.
-func (t *table) deleteRow(id int64) {
-	row, ok := t.rows[id]
-	if !ok {
+		ns := &orderSlab{entries: make([]orderEntry, newCap)}
+		copy(ns.entries, slab.entries[:n])
+		ns.entries[n] = orderEntry{id: id, ch: ch}
+		ns.n.Store(int64(n + 1))
+		t.order.Store(ns)
 		return
 	}
-	for _, ix := range t.indexes {
-		t.keyBuf = ix.remove(id, row, t.keyBuf)
-	}
-	delete(t.rows, id)
-	t.dead[id] = struct{}{}
-	t.maybeCompact()
+	slab.entries[n] = orderEntry{id: id, ch: ch}
+	slab.n.Store(int64(n + 1))
 }
 
-// updateRow replaces the row stored under id, maintaining indexes and
-// checking unique constraints against other rows.
-func (t *table) updateRow(id int64, newRow []sqlval.Value) error {
-	old := t.rows[id]
+// addRef appends a chain ref under key unless the bucket already holds the
+// rowid (re-updating back to a previous key must not duplicate the ref, or
+// scans through the bucket would return the row twice). Caller holds the
+// table latch exclusively; idxMu is taken around the mutation because
+// readers probe buckets with no latch.
+func (ix *index) addRef(t *table, key []byte, id int64, ch *rowChain) {
+	bkt := ix.m[string(key)]
+	if bkt != nil {
+		for _, ref := range bkt.refs {
+			if ref.id == id {
+				return
+			}
+		}
+		t.idxMu.Lock()
+		bkt.refs = append(bkt.refs, chainRef{id: id, ch: ch})
+		t.idxMu.Unlock()
+		return
+	}
+	t.idxMu.Lock()
+	ix.m[string(key)] = &idBucket{refs: []chainRef{{id: id, ch: ch}}}
+	t.idxMu.Unlock()
+}
+
+// insertRow adds a row as a new version chain stamped with the writer's
+// stamp, maintains all indexes, and returns the rowid and the version (for
+// the session's commit-stamping dirty list).
+func (t *table) insertRow(row []sqlval.Value, stamp uint64) (int64, *rowVersion, error) {
+	// Check all unique indexes before mutating any.
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		t.keyBuf = ix.appendKey(t.keyBuf[:0], row)
+		if ix.liveConflict(-1, t.keyBuf) {
+			return 0, nil, errf("unique constraint violation on %s.%s", t.schema.Name, ix.name)
+		}
+	}
+	id := t.nextID
+	t.nextID++
+	ch := &rowChain{}
+	v := ch.push(stamp, row)
+	t.rows[id] = ch
+	for _, ix := range t.indexes {
+		t.keyBuf = ix.appendKey(t.keyBuf[:0], row)
+		ix.addRef(t, t.keyBuf, id, ch)
+	}
+	t.appendOrder(id, ch)
+	return id, v, nil
+}
+
+// deleteRow pushes a tombstone version onto the row's chain. Index refs
+// stay: older snapshots still resolve the previous versions through them.
+func (t *table) deleteRow(id int64, stamp uint64) *rowVersion {
+	ch := t.rows[id]
+	if ch == nil {
+		return nil
+	}
+	v := ch.push(stamp, nil)
+	t.garbage++
+	return v
+}
+
+// updateRow pushes a new version of the row, maintaining indexes and
+// checking unique constraints against other live rows.
+func (t *table) updateRow(id int64, newRow []sqlval.Value, stamp uint64) (*rowVersion, error) {
+	ch := t.rows[id]
+	if ch == nil {
+		return nil, errf("row %d vanished during update of %s", id, t.schema.Name)
+	}
+	old := ch.latestRow()
 	for _, ix := range t.indexes {
 		if !ix.unique {
 			continue
@@ -252,80 +271,118 @@ func (t *table) updateRow(id int64, newRow []sqlval.Value) error {
 		if string(nb) == string(ob[len(nb):]) {
 			continue
 		}
-		if bkt := ix.m[string(nb)]; bkt != nil && len(bkt.ids) > 0 {
-			return errf("unique constraint violation on %s.%s", t.schema.Name, ix.name)
+		if ix.liveConflict(id, nb) {
+			return nil, errf("unique constraint violation on %s.%s", t.schema.Name, ix.name)
 		}
 	}
+	v := ch.push(stamp, newRow)
+	t.garbage++
+	// Publish the new key in every index whose key changed; the old ref
+	// stays behind for older snapshots.
 	for _, ix := range t.indexes {
-		t.keyBuf = ix.remove(id, old, t.keyBuf)
-		var err error
-		t.keyBuf, err = ix.insert(id, newRow, t.keyBuf)
-		if err != nil {
-			return err
-		}
-	}
-	t.rows[id] = newRow
-	return nil
-}
-
-func (t *table) maybeCompact() {
-	if len(t.order) < 64 || len(t.order) < 2*len(t.rows) {
-		return
-	}
-	live := t.order[:0]
-	for _, id := range t.order {
-		if _, ok := t.rows[id]; ok {
-			live = append(live, id)
-		}
-	}
-	t.order = live
-	// Compaction dropped every tombstoned id from the scan order.
-	t.dead = make(map[int64]struct{})
-}
-
-// scan calls f for each live row in insertion order; f returning false
-// stops the scan.
-func (t *table) scan(f func(id int64, row []sqlval.Value) bool) {
-	for _, id := range t.order {
-		row, ok := t.rows[id]
-		if !ok {
+		nb := ix.appendKey(t.keyBuf[:0], newRow)
+		ob := ix.appendKey(nb, old)
+		t.keyBuf = ob
+		if string(nb) == string(ob[len(nb):]) {
 			continue
 		}
-		if !f(id, row) {
-			return
+		ix.addRef(t, nb, id, ch)
+	}
+	return v, nil
+}
+
+// popVersion undoes the newest version of a row if it carries the given
+// writer stamp (rollback / failed-statement undo).
+func (t *table) popVersion(id int64, stamp uint64) {
+	if ch := t.rows[id]; ch != nil && ch.pop(stamp) {
+		t.garbage++
+	}
+}
+
+// scanSnap calls f for each row visible to the read view, in insertion
+// order. It takes no latch: the order slab is an atomic snapshot and each
+// chain resolves against the pinned epoch.
+func (t *table) scanSnap(rv readView, f func(row []sqlval.Value) bool) {
+	slab := t.order.Load()
+	n := int(slab.n.Load())
+	for i := 0; i < n; i++ {
+		if row := rv.resolve(slab.entries[i].ch); row != nil {
+			if !f(row) {
+				return
+			}
 		}
 	}
 }
 
-// lookup returns the rowids matching a single-column equality using the
-// first usable index, and ok=false when no index covers the column. It runs
-// on the concurrent read path, so the probe key is built in a stack buffer
-// (never the shared write-path scratch) and typically costs no allocation.
-func (t *table) lookup(colIdx int, v sqlval.Value) (ids []int64, ok bool) {
+// lookup returns a copy of the chain refs matching a single-column equality
+// using the first usable index, and ok=false when no index covers the
+// column. It runs on the latch-free read path: the probe key is built in a
+// stack buffer and idxMu is held only for the probe and copy, so the
+// returned slice is safe to use while writers keep appending. Refs may be
+// stale; callers must resolve each chain and re-check their predicate.
+func (t *table) lookup(colIdx int, v sqlval.Value) (refs []chainRef, ok bool) {
 	for _, ix := range t.indexes {
 		if len(ix.columns) == 1 && ix.columns[0] == colIdx {
 			var buf [48]byte
 			b := v.AppendKey(buf[:0])
-			if bkt := ix.m[string(b)]; bkt != nil {
-				return bkt.ids, true
+			t.idxMu.RLock()
+			if bkt := t.lookupBucket(ix, b); bkt != nil {
+				refs = append([]chainRef(nil), bkt.refs...)
 			}
-			return nil, true
+			t.idxMu.RUnlock()
+			return refs, true
 		}
 	}
 	return nil, false
 }
 
-// addIndex builds a new index over existing rows.
+// lookupBucket probes one index bucket. Caller holds idxMu (either mode).
+func (t *table) lookupBucket(ix *index, key []byte) *idBucket {
+	return ix.m[string(key)]
+}
+
+// hasIndexOn reports whether a single-column index covers colIdx (join
+// planning probes this without building a key).
+func (t *table) hasIndexOn(colIdx int) bool {
+	for _, ix := range t.indexes {
+		if len(ix.columns) == 1 && ix.columns[0] == colIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// addIndex builds a new index over existing rows. It indexes the key of
+// every version of every chain — not just the latest — because a reader
+// pinned before the index existed may plan through it and must still find
+// its older versions. Uniqueness is checked against live (latest) rows
+// only. Caller holds the engine lock exclusively, so no reader runs.
 func (t *table) addIndex(name string, cols []int, unique bool) error {
 	if _, dup := t.indexes[name]; dup {
 		return errf("index %s already exists on %s", name, t.schema.Name)
 	}
 	ix := &index{name: name, columns: cols, unique: unique, m: map[string]*idBucket{}}
-	for id, row := range t.rows {
-		var err error
-		t.keyBuf, err = ix.insert(id, row, t.keyBuf)
-		if err != nil {
-			return err
+	if unique {
+		seen := make(map[string]int64, len(t.rows))
+		for id, ch := range t.rows {
+			row := ch.latestRow()
+			if row == nil {
+				continue
+			}
+			t.keyBuf = ix.appendKey(t.keyBuf[:0], row)
+			if _, dup := seen[string(t.keyBuf)]; dup {
+				return errf("unique constraint violation on %s.%s", t.schema.Name, ix.name)
+			}
+			seen[string(t.keyBuf)] = id
+		}
+	}
+	for id, ch := range t.rows {
+		for v := ch.head.Load(); v != nil; v = v.prev.Load() {
+			if v.row == nil {
+				continue
+			}
+			t.keyBuf = ix.appendKey(t.keyBuf[:0], v.row)
+			ix.addRef(t, t.keyBuf, id, ch)
 		}
 	}
 	t.indexes[name] = ix
