@@ -91,6 +91,12 @@ type VirtualDatabaseConfig struct {
 	// EarlyResponse is "all" (default), "first" or "majority" (§2.4.4).
 	EarlyResponse string
 
+	// Health configures failure monitoring and automatic re-integration.
+	// Nil keeps the classic behavior: one-strike disable on any failure, no
+	// probing, and re-integration only through explicit RestoreBackend
+	// calls.
+	Health *HealthConfig
+
 	// DisableParallelTransactions turns off the parallel-transactions
 	// optimization, serializing every operation (for ablation).
 	DisableParallelTransactions bool
@@ -100,6 +106,34 @@ type VirtualDatabaseConfig struct {
 	CtrlCostPerRequest      time.Duration
 	CtrlCostPerCacheHit     time.Duration
 	CtrlCostPerInvalidation time.Duration
+}
+
+// HealthConfig tunes the per-backend health monitor and the automatic
+// re-integration supervisor. Failed reads and probes raise suspicion and
+// disable a backend only at SuspectThreshold consecutive failures; failed
+// writes always disable immediately (no 2PC — a backend that missed a write
+// the others applied has already diverged, §2.4.1).
+type HealthConfig struct {
+	// SuspectThreshold is the number of consecutive read/probe failures
+	// that disables a backend (default 1, the classic one-strike rule).
+	SuspectThreshold int
+	// ProbeInterval enables a periodic liveness ping of every enabled
+	// backend; 0 disables probing.
+	ProbeInterval time.Duration
+	// AutoReintegrate starts a supervisor that brings disabled backends
+	// back automatically: restore from the latest backup (taking one from a
+	// healthy peer if none is cached), replay the recovery log, re-enable —
+	// all under live traffic. Requires a recovery log.
+	AutoReintegrate bool
+	// ReintegrateBackoff is the delay before the first re-integration
+	// attempt, doubled each failed attempt up to ReintegrateBackoffCap
+	// (defaults 50ms / 2s).
+	ReintegrateBackoff    time.Duration
+	ReintegrateBackoffCap time.Duration
+	// ReintegrateAttempts caps the attempts before the backend is marked
+	// permanently failed; 0 means the default (8), negative retries
+	// forever.
+	ReintegrateAttempts int
 }
 
 // CacheConfig configures the query result cache (§2.4.2).
@@ -191,6 +225,17 @@ func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualD
 	for u, p := range cfg.Users {
 		auth.AddUser(u, p)
 	}
+	var health controller.HealthConfig
+	if cfg.Health != nil {
+		health = controller.HealthConfig{
+			SuspectThreshold:      cfg.Health.SuspectThreshold,
+			ProbeInterval:         cfg.Health.ProbeInterval,
+			AutoReintegrate:       cfg.Health.AutoReintegrate,
+			ReintegrateBackoff:    cfg.Health.ReintegrateBackoff,
+			ReintegrateBackoffCap: cfg.Health.ReintegrateBackoffCap,
+			ReintegrateAttempts:   cfg.Health.ReintegrateAttempts,
+		}
+	}
 	inner, err := c.inner.AddVirtualDatabase(controller.VDBConfig{
 		Name:            cfg.Name,
 		Replication:     repl,
@@ -202,6 +247,7 @@ func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualD
 		Auth:            auth,
 		PlanCacheSize:   cfg.PlanCacheSize,
 		RecoveryWorkers: cfg.RecoveryWorkers,
+		Health:          health,
 		CtrlCost: controller.CtrlCost{
 			PerRequest:      cfg.CtrlCostPerRequest,
 			PerCacheHit:     cfg.CtrlCostPerCacheHit,
@@ -362,6 +408,16 @@ func (v *VirtualDatabase) BackendStates() map[string]string {
 	out := make(map[string]string)
 	for _, b := range v.inner.Backends() {
 		out[b.Name()] = b.State().String()
+	}
+	return out
+}
+
+// BackendHealth reports each backend's health-monitor status (healthy,
+// suspect, down, recovering or failed).
+func (v *VirtualDatabase) BackendHealth() map[string]string {
+	out := make(map[string]string)
+	for _, b := range v.inner.Backends() {
+		out[b.Name()] = v.inner.BackendHealth(b.Name()).String()
 	}
 	return out
 }

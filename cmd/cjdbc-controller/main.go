@@ -21,6 +21,9 @@
 //	      "recoveryLog": "memory",
 //	      "recoveryWorkers": 0,
 //	      "cache": {"granularity": "table", "maxEntries": 4096},
+//	      "health": {"suspectThreshold": 3, "probeIntervalMs": 1000,
+//	                 "autoReintegrate": true, "reintegrateBackoffMs": 500,
+//	                 "reintegrateBackoffCapMs": 30000, "reintegrateAttempts": 10},
 //	      "backends": [{"name": "db0"}, {"name": "db1", "writeWorkers": 4}],
 //	      "group": "mydb-group"
 //	    }
@@ -59,8 +62,21 @@ type vdbFileConfig struct {
 	RecoveryWorkers    int                 `json:"recoveryWorkers"`
 	PartialReplication map[string][]string `json:"partialReplication"`
 	Cache              *cacheFileConfig    `json:"cache"`
+	Health             *healthFileConfig   `json:"health"`
 	Backends           []backendFileConfig `json:"backends"`
 	Group              string              `json:"group"`
+}
+
+// healthFileConfig configures failure monitoring and automatic
+// re-integration; omitting the section keeps the classic one-strike
+// behavior with no probing.
+type healthFileConfig struct {
+	SuspectThreshold        int  `json:"suspectThreshold"`
+	ProbeIntervalMS         int  `json:"probeIntervalMs"`
+	AutoReintegrate         bool `json:"autoReintegrate"`
+	ReintegrateBackoffMS    int  `json:"reintegrateBackoffMs"`
+	ReintegrateBackoffCapMS int  `json:"reintegrateBackoffCapMs"`
+	ReintegrateAttempts     int  `json:"reintegrateAttempts"`
 }
 
 type cacheFileConfig struct {
@@ -120,6 +136,16 @@ func main() {
 				MaxRows:     vc.Cache.MaxRows,
 				Staleness:   time.Duration(vc.Cache.StalenessMS) * time.Millisecond,
 				StaleEpochs: vc.Cache.StaleEpochs,
+			}
+		}
+		if vc.Health != nil {
+			vcfg.Health = &cjdbc.HealthConfig{
+				SuspectThreshold:      vc.Health.SuspectThreshold,
+				ProbeInterval:         time.Duration(vc.Health.ProbeIntervalMS) * time.Millisecond,
+				AutoReintegrate:       vc.Health.AutoReintegrate,
+				ReintegrateBackoff:    time.Duration(vc.Health.ReintegrateBackoffMS) * time.Millisecond,
+				ReintegrateBackoffCap: time.Duration(vc.Health.ReintegrateBackoffCapMS) * time.Millisecond,
+				ReintegrateAttempts:   vc.Health.ReintegrateAttempts,
 			}
 		}
 		vdb, err := ctrl.CreateVirtualDatabase(vcfg)

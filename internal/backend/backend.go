@@ -119,6 +119,14 @@ type Backend struct {
 
 	mu  sync.Mutex
 	txs map[uint64]*txConn
+	// deadTxs records (under mu) the transactions this backend abandoned
+	// while disabled: transactions killed by the disable teardown plus
+	// transactions whose writes were rejected with ErrDisabled. Their
+	// cluster-side fate is still open, so re-integration must not re-enable
+	// the backend until each of them has demarcated (its entries are then
+	// fully in the recovery log and the catch-up replay covers it) — see
+	// the controller's catchUpAndEnable. Enable clears the set.
+	deadTxs map[uint64]struct{}
 
 	// Auto-commit worker pool: pool assigns each task its lane dependencies
 	// (the newest earlier task per table of its footprint; DDL / unknown
@@ -140,6 +148,14 @@ type Backend struct {
 	// finished task resets its connection (ConnResetter) and parks it here
 	// for the next enqueue.
 	prebound chan Conn
+	// preGen is the free-list generation: the disable teardown bumps it and
+	// drains the list, and a task releasing its pre-bound connection re-parks
+	// it only when the generation still matches the one it was drawn under —
+	// so a re-enabled backend never hands out a session bound to pre-restore
+	// engine state. preMu serializes re-park against the teardown's drain,
+	// closing the bump/park race.
+	preGen atomic.Uint64
+	preMu  sync.Mutex
 
 	// chargeMu serializes the cost-model charge of auto-commit writes: the
 	// simulated machine applies broadcast updates on one write thread (the
@@ -155,7 +171,8 @@ type Backend struct {
 	// write is disabled).
 	onFailure atomic.Value // func(*Backend, error)
 
-	failErr atomic.Value // error to inject for fault testing
+	// fault is the installed fault plan (nil = healthy); see faultplan.go.
+	fault atomic.Pointer[FaultPlan]
 
 	pending   atomic.Int64
 	busyNanos atomic.Int64
@@ -171,6 +188,7 @@ type txConn struct {
 	wrote  sync.WaitGroup
 	queue  chan *writeTask
 	ending bool // an end-of-transaction task has been enqueued
+	dead   bool // the disable teardown (not the client) ended it
 }
 
 type writeTask struct {
@@ -181,8 +199,10 @@ type writeTask struct {
 	done  chan<- WriteOutcome
 	// conn is the pre-bound connection holding the task's engine lock
 	// ticket from enqueue to apply (auto-commit path); nil means the task
-	// checks a pooled connection out at execution time instead.
+	// checks a pooled connection out at execution time instead. gen is the
+	// free-list generation conn was drawn under.
 	conn Conn
+	gen  uint64
 }
 
 // WriteOutcome is the terminal result of an asynchronous write.
@@ -233,6 +253,7 @@ func New(cfg Config) *Backend {
 		idle:     make(chan Conn, cfg.MaxConns),
 		costSem:  make(chan struct{}, cfg.CostParallelism),
 		txs:      make(map[uint64]*txConn),
+		deadTxs:  make(map[uint64]struct{}),
 		pool:     conflictsched.NewPool(workers),
 		autoSem:  make(chan struct{}, 4096),
 		prebound: make(chan Conn, cfg.MaxConns),
@@ -253,12 +274,175 @@ func (b *Backend) Driver() Driver { return b.driver }
 // State returns the current lifecycle state.
 func (b *Backend) State() State { return State(b.state.Load()) }
 
-// Enable moves the backend to the enabled state.
-func (b *Backend) Enable() { b.state.Store(int32(StateEnabled)) }
+// Enable moves the backend to the enabled state and forgets its dead
+// transactions: the caller (the controller's catch-up) has verified they
+// are all resolved in the recovery log.
+func (b *Backend) Enable() {
+	b.mu.Lock()
+	b.deadTxs = make(map[uint64]struct{})
+	b.mu.Unlock()
+	b.state.Store(int32(StateEnabled))
+}
 
-// Disable moves the backend to the disabled state. In-flight operations
-// complete; new operations fail with ErrDisabled.
-func (b *Backend) Disable() { b.state.Store(int32(StateDisabled)) }
+// Disable moves the backend to the disabled state and tears its in-flight
+// work down crash-consistently (§2.4.1: no 2PC — a backend failing a write
+// is disabled; §3: it re-integrates later by replaying the recovery log):
+//
+//   - auto-commit tasks parked on engine lock tickets are flushed through
+//     the pool's gates, run, observe the disabled state, and release their
+//     pre-bound connections — so no per-table ticket FIFO head strands;
+//   - the pre-bound free-list is invalidated and drained (a re-enabled
+//     backend must never hand out a pre-restore session);
+//   - every in-flight transaction is killed and rolled back through its own
+//     worker, releasing its engine locks and unconsumed tickets, and is
+//     recorded dead so re-integration waits for its cluster-side fate;
+//   - every already-enqueued write still delivers exactly one terminal
+//     Outcome (ErrDisabled once the teardown has passed it) — zero lost
+//     acks.
+//
+// The enabled→disabled transition is a compare-and-swap; Disable reports
+// whether this call performed it, so concurrent failure paths disable (and
+// count) a backend exactly once. A second caller returns false immediately
+// without waiting for the first caller's teardown.
+func (b *Backend) Disable() bool {
+	wasEnabled := b.state.CompareAndSwap(int32(StateEnabled), int32(StateDisabled))
+	if !wasEnabled && !b.state.CompareAndSwap(int32(StateRecovering), int32(StateDisabled)) {
+		return false // already disabled; a teardown has run
+	}
+	b.teardown()
+	return wasEnabled
+}
+
+// teardown is the disable-time cleanup. It must run after the state is
+// already StateDisabled and must not wait on client work: it unblocks
+// everything (kills plus gate flushes) and lets the workers drain.
+func (b *Backend) teardown() {
+	// Invalidate and drain the pre-bound free-list. The generation bump
+	// precedes the drain: a task releasing its connection concurrently
+	// either parked before the drain (and is drained here) or checks the
+	// generation under preMu after the bump and closes instead of parking.
+	b.preGen.Add(1)
+	b.preMu.Lock()
+	for {
+		select {
+		case c := <-b.prebound:
+			_ = c.Close()
+		default:
+			b.preMu.Unlock()
+			goto drained
+		}
+	}
+drained:
+
+	// Flush auto-commit tasks parked on tickets a dead transaction would
+	// never grant. One-shot: future gates keep working, so the backend can
+	// re-enable later (Close uses ForceGates instead).
+	b.pool.OpenGates()
+
+	// Kill and roll back in-flight transactions. A transaction already
+	// ending (its commit/rollback is queued) is left alone: its own
+	// demarcation tears it down. Kills fire first so every worker parked in
+	// an engine lock wait aborts; the synthetic rollbacks then run on each
+	// transaction's own worker — the one goroutine allowed to touch its
+	// session — undoing its writes and releasing its locks and tickets.
+	b.mu.Lock()
+	type dying struct {
+		id uint64
+		tc *txConn
+	}
+	var list []dying
+	for id, tc := range b.txs {
+		if tc.ending || tc.conn == nil {
+			// conn == nil: txConnFor is still opening it; the opener re-checks
+			// the state afterwards and reaps it (reapTxIfDisabled).
+			continue
+		}
+		tc.ending = true
+		tc.dead = true
+		b.deadTxs[id] = struct{}{}
+		b.pending.Add(1)
+		list = append(list, dying{id, tc})
+	}
+	b.mu.Unlock()
+	for _, d := range list {
+		if k, ok := d.tc.conn.(ConnKiller); ok {
+			k.Kill()
+		}
+	}
+	for _, d := range list {
+		done := make(chan WriteOutcome, 1) // internal; outcome discarded
+		d.tc.queue <- &writeTask{txID: d.id, class: sqlparser.ClassRollback, sql: "ROLLBACK", done: done}
+	}
+}
+
+// reapTxIfDisabled closes the race between a concurrent Disable and a
+// client path that just created or used this transaction's connection: the
+// teardown can only kill the transactions it finds in b.txs, so after
+// touching a txConn the client path re-checks the state and, if the backend
+// went disabled meanwhile, performs the same kill-and-rollback itself. The
+// ending flag makes teardown and reap mutually idempotent.
+func (b *Backend) reapTxIfDisabled(txID uint64) {
+	if b.State() == StateEnabled {
+		return
+	}
+	b.mu.Lock()
+	tc, ok := b.txs[txID]
+	if !ok || tc.ending || tc.conn == nil {
+		b.mu.Unlock()
+		return
+	}
+	tc.ending = true
+	tc.dead = true
+	b.deadTxs[txID] = struct{}{}
+	b.pending.Add(1)
+	b.mu.Unlock()
+	if k, ok := tc.conn.(ConnKiller); ok {
+		k.Kill()
+	}
+	done := make(chan WriteOutcome, 1)
+	tc.queue <- &writeTask{txID: txID, class: sqlparser.ClassRollback, sql: "ROLLBACK", done: done}
+}
+
+// DeadTxs returns the transactions abandoned while disabled (killed by the
+// teardown or rejected with ErrDisabled); see catchUpAndEnable.
+func (b *Backend) DeadTxs() []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]uint64, 0, len(b.deadTxs))
+	for id := range b.deadTxs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DrainWrites blocks until every write enqueued so far has delivered its
+// terminal outcome: the auto-commit worker pool is drained and every
+// transaction lane with a queued end-of-transaction task has ended.
+// Read-only transactions (open lanes that never wrote and are not ending)
+// are not waited on — they hold no writes to flush. The caller must have
+// stopped new write enqueues (for example by holding the cluster write
+// quiesce, or after Disable); reads may continue. Checkpointing uses it so a
+// dump contains every write at or below the checkpoint marker, and
+// re-integration uses it so the disable teardown's rollbacks have finished
+// before the restore starts dropping tables under them.
+func (b *Backend) DrainWrites() {
+	b.pool.Drain()
+	for {
+		busy := false
+		b.mu.Lock()
+		for _, tc := range b.txs {
+			if tc.ending {
+				busy = true
+				break
+			}
+		}
+		b.mu.Unlock()
+		if !busy {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
 
 // SetRecovering marks the backend as replaying the recovery log.
 func (b *Backend) SetRecovering() { b.state.Store(int32(StateRecovering)) }
@@ -283,27 +467,78 @@ func (b *Backend) Failures() int64 { return b.failures.Load() }
 func (b *Backend) OnWriteFailure(f func(*Backend, error)) { b.onFailure.Store(f) }
 
 // InjectFailure makes every subsequent operation fail with err, for fault
-// injection tests. Pass nil to heal.
+// injection tests. Pass nil to heal. It is the all-or-nothing special case
+// of SetFaultPlan.
 func (b *Backend) InjectFailure(err error) {
 	if err == nil {
-		b.failErr.Store(errNoFailure)
+		b.fault.Store(nil)
 	} else {
-		b.failErr.Store(err)
+		b.fault.Store(NewFaultPlan(&Rule{Err: err}))
 	}
 }
 
-var errNoFailure = errors.New("")
+// SetFaultPlan installs a scripted fault plan (nil clears). Every backend
+// operation — reads, writes, commits, probes, and DirectExec — consults the
+// plan at its driver seam before executing.
+func (b *Backend) SetFaultPlan(p *FaultPlan) { b.fault.Store(p) }
 
-func (b *Backend) injected() error {
-	v := b.failErr.Load()
-	if v == nil {
+// FaultPlan returns the installed plan, nil when healthy.
+func (b *Backend) FaultPlan() *FaultPlan { return b.fault.Load() }
+
+// faultCheck runs one operation through the installed fault plan. st (may
+// be nil) supplies the op's table lazily, only when a plan is active, so
+// the healthy hot path pays a single atomic load.
+func (b *Backend) faultCheck(kind OpKind, st sqlparser.Statement, txID uint64) error {
+	p := b.fault.Load()
+	if p == nil {
 		return nil
 	}
-	err := v.(error)
-	if errors.Is(err, errNoFailure) {
-		return nil
+	op := Op{Kind: kind, TxID: txID}
+	if st != nil {
+		if tbl, ok := sqlparser.WriteTarget(st); ok {
+			op.Table = tbl
+		} else if tables, _ := sqlparser.ConflictClass(st); len(tables) > 0 {
+			op.Table = tables[0]
+		}
+	}
+	delay, err := p.check(op)
+	if delay > 0 {
+		time.Sleep(delay)
 	}
 	return err
+}
+
+// Ping is the health monitor's cheap probe: it consults the fault plan (so
+// injected faults and crashes fail probes too) and validates that a
+// connection can be produced. A saturated-but-serving pool passes — probe
+// goroutines must never queue behind client load.
+func (b *Backend) Ping() error {
+	select {
+	case <-b.closed:
+		return ErrClosed
+	default:
+	}
+	if err := b.faultCheck(OpProbe, nil, 0); err != nil {
+		return err
+	}
+	select {
+	case b.sem <- struct{}{}:
+	default:
+		return nil
+	}
+	var c Conn
+	select {
+	case c = <-b.idle:
+	default:
+		var err error
+		c, err = b.driver.Open()
+		if err != nil {
+			<-b.sem
+			return fmt.Errorf("backend %s: probe open: %w", b.name, err)
+		}
+	}
+	b.checkin(c)
+	return nil
 }
 
 func (b *Backend) notifyFailure(err error) {
@@ -401,7 +636,7 @@ func (b *Backend) Read(txID uint64, st sqlparser.Statement, sql string) (*Result
 	if !b.Enabled() {
 		return nil, ErrDisabled
 	}
-	if err := b.injected(); err != nil {
+	if err := b.faultCheck(OpRead, st, txID); err != nil {
 		b.failures.Add(1)
 		return nil, err
 	}
@@ -414,6 +649,7 @@ func (b *Backend) Read(txID uint64, st sqlparser.Statement, sql string) (*Result
 		if err != nil {
 			return nil, err
 		}
+		b.reapTxIfDisabled(txID)
 		tc.wrote.Wait()
 		tc.mu.Lock()
 		defer tc.mu.Unlock()
@@ -469,7 +705,11 @@ func (b *Backend) txConnFor(txID uint64) (*txConn, error) {
 		b.mu.Unlock()
 		return nil, err
 	}
+	// Publish the connection under b.mu: the disable teardown reads it (and
+	// skips still-opening entries) under the same mutex.
+	b.mu.Lock()
 	tc.conn = c
+	b.mu.Unlock()
 	go b.txWorker(txID, tc)
 	return tc, nil
 }
@@ -493,13 +733,22 @@ func (b *Backend) txWorker(txID uint64, tc *txConn) {
 
 func (b *Backend) execTxTask(txID uint64, tc *txConn, t *writeTask) (*Result, error) {
 	if t.class == sqlparser.ClassCommit || t.class == sqlparser.ClassRollback {
+		kind := OpCommit
+		if t.class == sqlparser.ClassRollback {
+			kind = OpRollback
+		}
 		tc.mu.Lock()
 		b.charge(t.st)
-		var err error
-		if t.class == sqlparser.ClassCommit {
-			err = tc.conn.Commit()
-		} else {
-			err = tc.conn.Rollback()
+		// A fault on the demarcation (the crash-mid-transaction case) skips
+		// it; the close below still rolls the engine-side transaction back
+		// and releases its locks and tickets.
+		err := b.faultCheck(kind, nil, txID)
+		if err == nil {
+			if t.class == sqlparser.ClassCommit {
+				err = tc.conn.Commit()
+			} else {
+				err = tc.conn.Rollback()
+			}
 		}
 		tc.mu.Unlock()
 		b.mu.Lock()
@@ -514,7 +763,7 @@ func (b *Backend) execTxTask(txID uint64, tc *txConn, t *writeTask) (*Result, er
 	if b.State() == StateDisabled {
 		return nil, ErrDisabled
 	}
-	if err := b.injected(); err != nil {
+	if err := b.faultCheck(OpWrite, t.st, txID); err != nil {
 		return nil, err
 	}
 	b.ops.Add(1)
@@ -563,6 +812,14 @@ func (b *Backend) EnqueueWriteClassTo(txID uint64, class sqlparser.StatementClas
 		done <- WriteOutcome{Backend: b, Res: res, Err: err}
 	}
 	if !b.Enabled() {
+		if txID != 0 {
+			// The transaction's cluster-side fate is still open while this
+			// backend misses its writes; record it so re-integration waits
+			// for its demarcation to reach the recovery log.
+			b.mu.Lock()
+			b.deadTxs[txID] = struct{}{}
+			b.mu.Unlock()
+		}
 		reply(nil, ErrDisabled)
 		return
 	}
@@ -575,7 +832,18 @@ func (b *Backend) EnqueueWriteClassTo(txID uint64, class sqlparser.StatementClas
 				reply(nil, err)
 				return
 			}
+			// The ending check, reservation, and queue send form one critical
+			// section under b.mu: the disable teardown marks ending under the
+			// same mutex before enqueueing its synthetic rollback, so an
+			// end-of-transaction task is always the LAST task its worker sees
+			// — a write can never land behind the rollback of a transaction
+			// the teardown already ended (which would strand its ack).
 			b.mu.Lock()
+			if tc.dead {
+				b.mu.Unlock()
+				reply(nil, ErrDisabled)
+				return
+			}
 			if tc.ending {
 				b.mu.Unlock()
 				reply(nil, senterr.Wrap(ErrStatement, fmt.Errorf("backend %s: transaction %d already ended", b.name, txID)))
@@ -583,7 +851,6 @@ func (b *Backend) EnqueueWriteClassTo(txID uint64, class sqlparser.StatementClas
 			}
 			tc.wrote.Add(1)
 			b.pending.Add(1)
-			b.mu.Unlock()
 			// Reserve the write lock now, in cluster submission order, so
 			// conflicting transactions take their locks in the same order
 			// on every replica (§2.4.1 total write order).
@@ -593,21 +860,34 @@ func (b *Backend) EnqueueWriteClassTo(txID uint64, class sqlparser.StatementClas
 				}
 			}
 			tc.queue <- t
+			b.mu.Unlock()
+			// A disable may have raced the txConn's creation; reap closes it.
+			b.reapTxIfDisabled(txID)
 			return
 		case sqlparser.ClassCommit, sqlparser.ClassRollback:
 			b.mu.Lock()
 			tc, ok := b.txs[txID]
-			if !ok || tc.ending {
+			if !ok {
 				b.mu.Unlock()
-				// Lazy begin: the transaction never touched this backend
-				// (or its end was already delivered).
+				// Lazy begin: the transaction never touched this backend.
+				reply(&Result{}, nil)
+				return
+			}
+			if tc.dead {
+				b.mu.Unlock()
+				reply(nil, ErrDisabled)
+				return
+			}
+			if tc.ending {
+				b.mu.Unlock()
+				// The end was already delivered.
 				reply(&Result{}, nil)
 				return
 			}
 			tc.ending = true
 			b.pending.Add(1)
-			b.mu.Unlock()
 			tc.queue <- t
+			b.mu.Unlock()
 			return
 		}
 	}
@@ -733,6 +1013,7 @@ func (b *Backend) prebind(t *writeTask) (TicketReserver, string) {
 	if !ok {
 		return nil, ""
 	}
+	gen := b.preGen.Load()
 	var c Conn
 	select {
 	case c = <-b.prebound:
@@ -751,24 +1032,34 @@ func (b *Backend) prebind(t *writeTask) (TicketReserver, string) {
 		return nil, ""
 	}
 	t.conn = c
+	t.gen = gen
 	return r, tbl
 }
 
 // releasePrebound returns a task's dedicated connection to the free-list
 // after resetting it — which releases the task's lock ticket (granted or
 // not) exactly as closing would — or closes it when the free-list is full,
-// the backend is shutting down, or the connection cannot reset.
-func (b *Backend) releasePrebound(c Conn) {
+// the backend is shutting down, the free-list generation moved (a disable
+// invalidated pre-disable sessions), or the connection cannot reset. The
+// generation check and the park happen under preMu, serialized against the
+// teardown's bump-and-drain, so a stale connection can never slip back in
+// after the drain.
+func (b *Backend) releasePrebound(c Conn, gen uint64) {
 	if r, ok := c.(ConnResetter); ok {
 		select {
 		case <-b.closed:
 		default:
 			if r.Reset() == nil {
-				select {
-				case b.prebound <- c:
-					return
-				default:
+				b.preMu.Lock()
+				if gen == b.preGen.Load() {
+					select {
+					case b.prebound <- c:
+						b.preMu.Unlock()
+						return
+					default:
+					}
 				}
+				b.preMu.Unlock()
 			}
 		}
 	}
@@ -791,12 +1082,12 @@ func (b *Backend) execAuto(t *writeTask) (*Result, error) {
 		// close) drops the task's lock ticket (granted or not) whether the
 		// write executed, failed, or was skipped because the backend shut
 		// down.
-		defer func() { b.releasePrebound(t.conn) }()
+		defer func() { b.releasePrebound(t.conn, t.gen) }()
 	}
 	if b.State() == StateDisabled {
 		return nil, ErrDisabled
 	}
-	if err := b.injected(); err != nil {
+	if err := b.faultCheck(OpWrite, t.st, 0); err != nil {
 		return nil, err
 	}
 	b.ops.Add(1)
@@ -867,8 +1158,13 @@ func (b *Backend) Exec(st sqlparser.Statement, sql string) (*Result, error) {
 
 // DirectExec bypasses the enabled-state check, executing directly on a
 // fresh connection. Checkpointing and recovery use it while the backend is
-// disabled for clients.
+// disabled for clients. It still consults the fault plan: a crashed backend
+// cannot be restored until the fault heals, which is what the
+// re-integration supervisor's retry loop rides on.
 func (b *Backend) DirectExec(st sqlparser.Statement, sql string) (*Result, error) {
+	if err := b.faultCheck(OpDirect, st, 0); err != nil {
+		return nil, err
+	}
 	c, err := b.driver.Open()
 	if err != nil {
 		return nil, err

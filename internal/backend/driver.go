@@ -73,6 +73,16 @@ type ConnResetter interface {
 	Reset() error
 }
 
+// ConnKiller is implemented by connections that can be marked dead from
+// another goroutine: an in-flight statement aborts (including one parked in
+// a lock wait) and subsequent statements fail, while rollback and close
+// still work so the owner goroutine can tear the connection down. The
+// backend's crash-consistent disable kills each in-flight transaction's
+// connection, then drives a rollback through the transaction's own worker.
+type ConnKiller interface {
+	Kill()
+}
+
 // SchemaProvider is implemented by drivers that can describe their tables,
 // the DatabaseMetaData facility of the paper used for dynamic schema
 // gathering and checkpoint dumps.
@@ -141,6 +151,9 @@ func (c *engineConn) ReserveWriteLockNotify(table string, granted func()) {
 
 // Reset returns the session to its just-opened state for free-list reuse.
 func (c *engineConn) Reset() error { c.s.Reset(); return nil }
+
+// Kill marks the session dead; see sqlengine.Session.Kill.
+func (c *engineConn) Kill() { c.s.Kill() }
 
 func (c *engineConn) Begin() error    { return c.s.Begin() }
 func (c *engineConn) Commit() error   { return c.s.Commit() }

@@ -211,6 +211,21 @@ func (p *Pool) ForceGates() {
 	p.mu.Unlock()
 }
 
+// OpenGates opens every readiness gate outstanding right now, one-shot:
+// unlike ForceGates it leaves future gates intact, so the pool keeps
+// honoring external ordering signals afterwards. A backend's
+// crash-consistent disable uses it to flush the tasks parked on tickets a
+// dead transaction will never grant — they run, observe the disabled state,
+// and release their pre-bound connections — while the backend itself stays
+// usable for re-integration and re-enable.
+func (p *Pool) OpenGates() {
+	p.mu.Lock()
+	for t := range p.gated {
+		p.openGateLocked(t)
+	}
+	p.mu.Unlock()
+}
+
 // Drain blocks until every submitted task has finished. The caller must
 // ensure no concurrent Submit races the drain if it needs "all work done"
 // semantics.

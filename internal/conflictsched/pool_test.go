@@ -127,3 +127,29 @@ func TestPoolDrainWaitsForAll(t *testing.T) {
 	}
 	p.Stop()
 }
+
+// TestPoolOpenGatesIsOneShot: OpenGates flushes every currently parked
+// gated task but, unlike ForceGates, leaves the gating mechanism intact —
+// a gate created afterwards parks its task again until released.
+func TestPoolOpenGatesIsOneShot(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int32
+	p.SubmitGated([]string{"a"}, false, func() { ran.Add(1) })
+	p.SubmitGated([]string{"b"}, false, func() { ran.Add(1) })
+	p.OpenGates()
+	p.Drain()
+	if ran.Load() != 2 {
+		t.Fatalf("OpenGates flushed %d/2 parked tasks", ran.Load())
+	}
+	var lateRan atomic.Bool
+	release := p.SubmitGated([]string{"c"}, false, func() { lateRan.Store(true) })
+	time.Sleep(10 * time.Millisecond)
+	if lateRan.Load() {
+		t.Fatal("a gate created after OpenGates did not park its task")
+	}
+	release()
+	p.Stop()
+	if !lateRan.Load() {
+		t.Fatal("released task never ran")
+	}
+}

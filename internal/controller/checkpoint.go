@@ -3,14 +3,29 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"cjdbc/internal/backend"
 	"cjdbc/internal/recovery"
 )
 
-// ErrNoRecoveryLog is returned by checkpoint operations on a virtual
-// database configured without a recovery log.
-var ErrNoRecoveryLog = errors.New("controller: virtual database has no recovery log")
+// Errors reported by checkpoint and re-integration operations.
+var (
+	// ErrNoRecoveryLog is returned by checkpoint operations on a virtual
+	// database configured without a recovery log.
+	ErrNoRecoveryLog = errors.New("controller: virtual database has no recovery log")
+	// ErrCheckpointBusy is returned when no transaction-free moment could be
+	// found to place a backup's checkpoint marker.
+	ErrCheckpointBusy = errors.New("controller: checkpoint timed out waiting for write transactions to finish")
+)
+
+// checkpointTxWait bounds how long a backup waits for a moment no write
+// transaction spans; reintegrateTxWait bounds how long a re-integration
+// waits for the transactions the backend abandoned to demarcate.
+const (
+	checkpointTxWait  = 10 * time.Second
+	reintegrateTxWait = 10 * time.Second
+)
 
 // Checkpoint inserts a named checkpoint marker in the recovery log, atomic
 // with respect to the cluster-wide write order (§3.1: "the checkpoint
@@ -28,7 +43,13 @@ func (v *VirtualDatabase) Checkpoint(name string) (uint64, error) {
 // marker is logged, the backend is disabled (the others keep serving), its
 // content is dumped, the updates that arrived during the dump are replayed
 // from the recovery log, and the backend is re-enabled. The returned dump
-// can later integrate new or failed backends.
+// can later integrate new or failed backends; it is also cached as the
+// virtual database's latest dump for automatic re-integration.
+//
+// The checkpoint is quiesced: the marker is placed at a moment no write
+// transaction spans, with the backend's already-enqueued writes drained, so
+// the dump contains exactly the effects of the log entries at or below the
+// marker — nothing a later replay would duplicate, nothing it would miss.
 func (v *VirtualDatabase) BackupBackend(backendName, checkpointName string) (*recovery.Dump, error) {
 	if v.log == nil {
 		return nil, ErrNoRecoveryLog
@@ -42,20 +63,47 @@ func (v *VirtualDatabase) BackupBackend(backendName, checkpointName string) (*re
 		return nil, fmt.Errorf("controller: backend %s cannot be dumped (no schema provider)", backendName)
 	}
 
-	seq, err := v.Checkpoint(checkpointName)
+	seq, err := v.quiescedCheckpoint(checkpointName, b)
 	if err != nil {
 		return nil, err
 	}
-	b.Disable()
-	dump, err := recovery.TakeDump(checkpointName, sp)
-	if err != nil {
-		b.Enable()
-		return nil, err
-	}
+	dump, dumpErr := recovery.TakeDump(checkpointName, sp)
+	// Catch up and re-enable even when the dump failed: writes rejected
+	// while the backend was disabled are only recovered by replay.
 	if err := v.catchUpAndEnable(b, seq); err != nil {
 		return nil, err
 	}
+	if dumpErr != nil {
+		return nil, dumpErr
+	}
+	v.lastDump.Store(dump)
 	return dump, nil
+}
+
+// quiescedCheckpoint waits (bounded) for a moment with no active write
+// transaction, then — still holding the cluster write quiesce — drains the
+// backend's enqueued writes, logs the checkpoint marker, and disables the
+// backend. No transaction spans the marker and every write at or below it
+// has executed on b, which is what makes the dump taken afterwards exact.
+func (v *VirtualDatabase) quiescedCheckpoint(name string, b *backend.Backend) (uint64, error) {
+	deadline := time.Now().Add(checkpointTxWait)
+	for {
+		ticket := v.sched.LockAllWrites()
+		if !v.sched.AnyTxActive() {
+			b.DrainWrites()
+			seq, err := v.log.Checkpoint(name)
+			if err == nil {
+				b.Disable()
+			}
+			ticket.Unlock()
+			return seq, err
+		}
+		ticket.Unlock()
+		if time.Now().After(deadline) {
+			return 0, ErrCheckpointBusy
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // RestoreBackend re-integrates a failed or stale backend from a dump: the
@@ -78,6 +126,9 @@ func (v *VirtualDatabase) RestoreBackend(backendName string, dump *recovery.Dump
 		return fmt.Errorf("controller: checkpoint %q not found in recovery log", dump.Name)
 	}
 	b.Disable()
+	// Let the disable teardown's rollbacks finish before the restore starts
+	// dropping the tables they undo into.
+	b.DrainWrites()
 	b.SetRecovering()
 	if err := recovery.Restore(dump, b); err != nil {
 		b.Disable()
@@ -94,6 +145,7 @@ func (v *VirtualDatabase) IntegrateBackend(b *backend.Backend, dump *recovery.Du
 	}
 	b.OnWriteFailure(v.writeFailureCallback)
 	b.Disable()
+	b.DrainWrites()
 	b.SetRecovering()
 	if err := recovery.Restore(dump, b); err != nil {
 		return err
@@ -125,41 +177,54 @@ func (v *VirtualDatabase) IntegrateBackend(b *backend.Backend, dump *recovery.Du
 // paper attributes to adding or recovering replicas); on any replay error
 // the backend stays disabled, because a partially replayed backend may hold
 // a mix of conflict classes at different log positions.
+//
+// Enabling is guarded against in-flight transactions: a transaction with
+// writes in the replay window but no demarcation logged yet cannot be
+// replayed (§3.2 replays only committed transactions), and if the backend
+// were enabled before the transaction ends, the eventual commit broadcast
+// would reach it as a lazy-begin no-op — the backend would silently miss the
+// transaction's writes forever. Under the write quiesce, an unresolved
+// transaction that is inactive in the scheduler can never demarcate again
+// (it was abandoned), so waiting until every unresolved transaction is
+// inactive, then replaying one final time, closes the window. The set of
+// transactions the backend itself abandoned at disable time (killed by the
+// teardown, or rejected with ErrDisabled) is a subset of the unresolved
+// ones, so the same wait covers the crash-consistent disable's obligation.
 func (v *VirtualDatabase) catchUpAndEnable(b *backend.Backend, seq uint64) error {
 	// Bulk replay outside the write lock: may take a while on big logs.
-	last, err := replayCommitted(v.log, seq, b, v.recoveryWorkers)
+	pass, _, _, err := recovery.ReplayPass(v.log, seq, nil, b, v.recoveryWorkers)
 	if err != nil {
 		b.Disable()
 		return err
 	}
-	// Final catch-up with every write class quiesced, then enable
-	// atomically.
-	ticket := v.sched.LockAllWrites()
-	defer ticket.Unlock()
-	if _, err := replayCommitted(v.log, last, b, v.recoveryWorkers); err != nil {
-		b.Disable()
-		return err
-	}
-	b.Enable()
-	return nil
-}
-
-// replayCommitted applies committed writes after seq on workers parallel
-// appliers and returns the highest sequence number observed (so a second
-// pass can resume there).
-func replayCommitted(l recovery.Log, seq uint64, b *backend.Backend, workers int) (uint64, error) {
-	entries, err := l.Since(seq)
-	if err != nil {
-		return seq, err
-	}
-	last := seq
-	for _, e := range entries {
-		if e.Seq > last {
-			last = e.Seq
+	deadline := time.Now().Add(reintegrateTxWait)
+	for {
+		ticket := v.sched.LockAllWrites()
+		var unresolved []uint64
+		pass, unresolved, _, err = recovery.ReplayPass(v.log, seq, pass, b, v.recoveryWorkers)
+		if err != nil {
+			ticket.Unlock()
+			b.Disable()
+			return err
 		}
+		active := false
+		for _, tx := range unresolved {
+			if v.sched.TxActive(tx) {
+				active = true
+				break
+			}
+		}
+		if !active {
+			b.Enable()
+			ticket.Unlock()
+			v.health.markHealthy(b.Name())
+			return nil
+		}
+		ticket.Unlock()
+		if time.Now().After(deadline) {
+			b.Disable()
+			return fmt.Errorf("controller: re-integration of %s timed out waiting for in-flight transactions to finish", b.Name())
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
-	if _, err := recovery.ReplayParallel(l, seq, b, workers); err != nil {
-		return last, err
-	}
-	return last, nil
 }

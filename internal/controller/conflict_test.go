@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cjdbc/internal/backend"
+	"cjdbc/internal/recovery"
 	"cjdbc/internal/sqlengine"
 )
 
@@ -505,5 +506,141 @@ func TestSequencerTxFootprintAccumulates(t *testing.T) {
 	s.ForgetTx(9)
 	if tables, _ = s.TakeTxFootprint(9); len(tables) != 0 {
 		t.Fatalf("ForgetTx left %v", tables)
+	}
+}
+
+// TestReplicaConsistencyCrashMidTransaction is the replica-consistency
+// property under failure: the same randomized mixed workload, but one
+// backend crashes at its second in-transaction commit — the scripted
+// crash-mid-transaction fault — and is then healed and automatically
+// re-integrated from the genesis backup while traffic continues. At the
+// end, the survivors must be byte-identical (the crash-consistent disable
+// dropped the whole backend, never a prefix of a transaction) and the
+// re-integrated backend must have converged to the same bytes.
+func TestReplicaConsistencyCrashMidTransaction(t *testing.T) {
+	const (
+		nBackends = 3
+		nTables   = 4
+		nWriters  = 6
+		nOps      = 30
+		seedRows  = 8
+	)
+	v := NewVirtualDatabase(VDBConfig{
+		Name:        "crash",
+		ParallelTx:  true,
+		RecoveryLog: recovery.NewMemoryLog(),
+		Health: HealthConfig{
+			ProbeInterval:         5 * time.Millisecond,
+			AutoReintegrate:       true,
+			ReintegrateBackoff:    5 * time.Millisecond,
+			ReintegrateBackoffCap: 50 * time.Millisecond,
+			ReintegrateAttempts:   -1, // the test heals the fault; keep retrying until then
+		},
+	})
+	t.Cleanup(v.Close)
+	engines := make([]*sqlengine.Engine, nBackends)
+	backends := make([]*backend.Backend, nBackends)
+	for i := range engines {
+		e := sqlengine.New(fmt.Sprintf("db%d", i), sqlengine.WithLockTimeout(30*time.Second))
+		s := e.NewSession()
+		for ti := 0; ti < nTables; ti++ {
+			if _, err := s.ExecSQL(fmt.Sprintf("CREATE TABLE t%d (id INTEGER PRIMARY KEY, v INTEGER)", ti)); err != nil {
+				t.Fatalf("seed: %v", err)
+			}
+			for r := 0; r < seedRows; r++ {
+				if _, err := s.ExecSQL(fmt.Sprintf("INSERT INTO t%d (id, v) VALUES (%d, 0)", ti, r)); err != nil {
+					t.Fatalf("seed: %v", err)
+				}
+			}
+		}
+		s.Close()
+		engines[i] = e
+		b := backend.New(backend.Config{Name: fmt.Sprintf("db%d", i), Driver: &backend.EngineDriver{Engine: e}})
+		t.Cleanup(b.Close)
+		backends[i] = b
+		if err := v.AddBackend(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := v.BackupBackend("db0", "genesis"); err != nil {
+		t.Fatalf("genesis backup: %v", err)
+	}
+
+	// The scripted fault: db2 goes dark when it executes its second
+	// transactional commit. Earlier writes of that transaction have applied
+	// on db2; the disable teardown must roll them back, not leave a prefix.
+	plan := backend.NewFaultPlan(backend.CrashOnCommit(2, nil))
+	backends[2].SetFaultPlan(plan)
+
+	var wg sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*977 + 13))
+			s, err := v.NewSession("user", "pw")
+			if err != nil {
+				t.Errorf("session: %v", err)
+				return
+			}
+			defer s.Close()
+			op := func(sql string) {
+				// Errors are tolerated: a write racing the crash window can
+				// fail everywhere at once. Divergence is what the final dump
+				// comparison catches.
+				_, _ = s.Exec(sql, nil)
+			}
+			for i := 0; i < nOps; i++ {
+				tbl := rng.Intn(nTables)
+				switch rng.Intn(4) {
+				case 0:
+					op(fmt.Sprintf("INSERT INTO t%d (id, v) VALUES (%d, %d)",
+						tbl, 1000+w*nOps+i, rng.Intn(100)))
+				case 1:
+					lo, hi := tbl, (tbl+1)%nTables
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					op("BEGIN")
+					op(fmt.Sprintf("UPDATE t%d SET v = v + 1 WHERE id = %d", lo, rng.Intn(seedRows)))
+					op(fmt.Sprintf("UPDATE t%d SET v = %d WHERE id = %d", hi, rng.Intn(100), rng.Intn(seedRows)))
+					op("COMMIT")
+					if s.InTransaction() {
+						op("ROLLBACK")
+					}
+				default:
+					op(fmt.Sprintf("UPDATE t%d SET v = %d WHERE id = %d",
+						tbl, rng.Intn(100), rng.Intn(seedRows)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if backends[2].Enabled() && !plan.Down() {
+		t.Fatal("fault never fired: the workload issued fewer than two transactional commits on db2")
+	}
+
+	// Heal and wait for the supervisor to re-integrate db2 under no load
+	// (the writers are done; re-integration under load is the chaos
+	// package's job).
+	plan.Heal()
+	deadline := time.Now().Add(15 * time.Second)
+	for v.BackendHealth("db2") != StatusHealthy || !backends[2].Enabled() {
+		if time.Now().After(deadline) {
+			t.Fatalf("db2 never re-integrated; health=%s", v.BackendHealth("db2"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	for ti := 0; ti < nTables; ti++ {
+		table := fmt.Sprintf("t%d", ti)
+		want := sortedTableDump(t, engines[0], table)
+		for bi := 1; bi < nBackends; bi++ {
+			if got := sortedTableDump(t, engines[bi], table); got != want {
+				t.Errorf("table %s differs between db0 and db%d:\n--- db0:\n%s\n--- db%d:\n%s",
+					table, bi, want, bi, got)
+			}
+		}
 	}
 }

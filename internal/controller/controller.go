@@ -71,6 +71,7 @@ func (c *Controller) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, v := range c.vdbs {
+		v.Close()
 		for _, b := range v.Backends() {
 			b.Close()
 		}

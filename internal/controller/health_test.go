@@ -1,0 +1,206 @@
+package controller
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/recovery"
+)
+
+var errProbe = errors.New("probe boom")
+
+// waitStatus polls the monitor until the backend reaches the wanted status.
+func waitStatus(t *testing.T, v *VirtualDatabase, name string, want BackendStatus) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if got := v.BackendHealth(name); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backend %s health = %s, want %s", name, v.BackendHealth(name), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSuspectThresholdStateMachine drives the monitor's failure/success
+// accounting directly: below the threshold a backend is suspect but stays
+// enabled and serving; a success resets the count; reaching the threshold
+// disables it.
+func TestSuspectThresholdStateMachine(t *testing.T) {
+	v, _ := mkVDB(t, 2, VDBConfig{ParallelTx: true, Health: HealthConfig{SuspectThreshold: 3}}, seedSchema...)
+	t.Cleanup(v.Close)
+	b, _ := v.Backend("db0")
+
+	v.health.failure("db0")
+	v.health.failure("db0")
+	if got := v.BackendHealth("db0"); got != StatusSuspect {
+		t.Fatalf("after 2 failures: %s, want suspect", got)
+	}
+	if !b.Enabled() {
+		t.Fatal("suspect backend must stay enabled")
+	}
+	v.health.success("db0")
+	if got := v.BackendHealth("db0"); got != StatusHealthy {
+		t.Fatalf("after success: %s, want healthy", got)
+	}
+	// The reset means three more failures are needed, not one.
+	v.health.failure("db0")
+	v.health.failure("db0")
+	if !b.Enabled() {
+		t.Fatal("disabled before the threshold")
+	}
+	v.health.failure("db0")
+	if b.Enabled() {
+		t.Fatal("still enabled at the threshold")
+	}
+	if got := v.BackendHealth("db0"); got != StatusDown {
+		t.Fatalf("after threshold: %s, want down", got)
+	}
+	if got := v.StatsSnapshot().BackendsDisabled; got != 1 {
+		t.Fatalf("disabled count = %d, want 1", got)
+	}
+}
+
+// TestProbeDisablesUnresponsiveBackend: the periodic ping trips the suspect
+// threshold on a backend that stops answering, with no client traffic at
+// all.
+func TestProbeDisablesUnresponsiveBackend(t *testing.T) {
+	v, _ := mkVDB(t, 2, VDBConfig{ParallelTx: true, Health: HealthConfig{
+		SuspectThreshold: 2,
+		ProbeInterval:    2 * time.Millisecond,
+	}}, seedSchema...)
+	t.Cleanup(v.Close)
+	b, _ := v.Backend("db1")
+	b.SetFaultPlan(backend.NewFaultPlan(&backend.Rule{Kind: backend.OpProbe, Err: errProbe}))
+	waitStatus(t, v, "db1", StatusDown)
+	if b.Enabled() {
+		t.Fatal("unresponsive backend still enabled")
+	}
+	if st := v.BackendHealth("db0"); st != StatusHealthy {
+		t.Fatalf("healthy backend got probed into %s", st)
+	}
+}
+
+// TestWriteFailureBypassesSuspectThreshold: a failed write disables the
+// backend immediately regardless of the threshold — there is no 2PC, so a
+// backend that failed a write the others applied has already diverged
+// (§2.4.1).
+func TestWriteFailureBypassesSuspectThreshold(t *testing.T) {
+	v, engines := mkVDB(t, 2, VDBConfig{ParallelTx: true, Health: HealthConfig{SuspectThreshold: 5}}, seedSchema...)
+	t.Cleanup(v.Close)
+	b, _ := v.Backend("db1")
+	b.InjectFailure(errProbe)
+	s := openSession(t, v)
+	exec(t, s, "INSERT INTO item (i_id, i_title, i_cost) VALUES (4, 'd', 40)") // partial success on db0
+	// The disable callback runs on its own goroutine; what "at once" means
+	// is no suspect grace period, not synchronously-with-the-ack.
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Enabled() {
+		if time.Now().After(deadline) {
+			t.Fatal("backend that failed a write must be disabled at once, not suspected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := countOn(t, engines[0], "SELECT COUNT(*) FROM item"); got != 4 {
+		t.Fatalf("survivor rows = %d, want 4", got)
+	}
+}
+
+// TestAutoReintegration is the supervisor's happy path: a backend crashes
+// on a write, the monitor disables it, and once the fault heals the
+// supervisor restores it from the cached backup and replays it back to
+// byte-parity — no operator involved. Writes issued while it was down must
+// be present afterwards.
+func TestAutoReintegration(t *testing.T) {
+	v, engines := mkVDB(t, 2, VDBConfig{
+		ParallelTx:  true,
+		RecoveryLog: recovery.NewMemoryLog(),
+		Health: HealthConfig{
+			AutoReintegrate:       true,
+			ReintegrateBackoff:    2 * time.Millisecond,
+			ReintegrateBackoffCap: 20 * time.Millisecond,
+			ReintegrateAttempts:   -1,
+		},
+	}, seedSchema...)
+	t.Cleanup(v.Close)
+	if _, err := v.BackupBackend("db0", "genesis"); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := v.Backend("db1")
+	plan := backend.NewFaultPlan(&backend.Rule{Kind: backend.OpWrite, Times: 1, Crash: true})
+	b.SetFaultPlan(plan)
+
+	s := openSession(t, v)
+	exec(t, s, "INSERT INTO item (i_id, i_title, i_cost) VALUES (4, 'd', 40)") // crashes db1
+	// The write ack (partial success) can land before the failure callback
+	// finishes disabling db1; while the plan is down every re-integration
+	// attempt fails too, so the backend must settle disabled.
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Enabled() {
+		if time.Now().After(deadline) {
+			t.Fatal("db1 should be disabled after the crash")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	exec(t, s, "INSERT INTO item (i_id, i_title, i_cost) VALUES (5, 'e', 50)") // while down
+
+	plan.Heal()
+	waitStatus(t, v, "db1", StatusHealthy)
+	if got := countOn(t, engines[1], "SELECT COUNT(*) FROM item"); got != 5 {
+		t.Fatalf("re-integrated backend rows = %d, want 5", got)
+	}
+}
+
+// TestReintegrationAttemptsExhausted: without a recovery log every restore
+// attempt fails, and after the configured budget the backend lands in the
+// terminal failed state instead of retrying forever.
+func TestReintegrationAttemptsExhausted(t *testing.T) {
+	v, _ := mkVDB(t, 2, VDBConfig{ParallelTx: true, Health: HealthConfig{
+		AutoReintegrate:       true,
+		ReintegrateBackoff:    time.Millisecond,
+		ReintegrateBackoffCap: 2 * time.Millisecond,
+		ReintegrateAttempts:   2,
+	}}, seedSchema...)
+	t.Cleanup(v.Close)
+	v.DisableBackend("db1")
+	waitStatus(t, v, "db1", StatusFailed)
+	b, _ := v.Backend("db1")
+	if b.Enabled() {
+		t.Fatal("failed backend must not come back")
+	}
+}
+
+// TestDisableBackendCountsOnce is the check-then-act regression test:
+// concurrent disables of the same backend must increment the disabled
+// counter exactly once.
+func TestDisableBackendCountsOnce(t *testing.T) {
+	v, _ := mkVDB(t, 2, VDBConfig{ParallelTx: true}, seedSchema...)
+	t.Cleanup(v.Close)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			v.DisableBackend("db0")
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := v.StatsSnapshot().BackendsDisabled; got != 1 {
+		t.Fatalf("disabled count = %d, want 1", got)
+	}
+}
+
+// TestHealthStatusUnknownBackend: asking about a backend the monitor has
+// never seen reports healthy (the zero value), not a phantom outage.
+func TestHealthStatusUnknownBackend(t *testing.T) {
+	v, _ := mkVDB(t, 1, VDBConfig{ParallelTx: true}, seedSchema...)
+	t.Cleanup(v.Close)
+	if got := v.BackendHealth("nope"); got != StatusHealthy {
+		t.Fatalf("unknown backend health = %s, want healthy", got)
+	}
+}

@@ -257,6 +257,30 @@ func (s *Scheduler) PeekTxFootprint(txID uint64) (tables []string, global bool) 
 	return tables, global
 }
 
+// TxActive reports whether a transaction still has an unclaimed write
+// footprint — it wrote at least once and its commit or abort has not yet
+// passed the sequencing point. Backend re-integration uses it (under
+// LockAllWrites, so no new demarcations can race in) to decide whether a
+// transaction the backend abandoned at disable time is finished
+// cluster-wide and therefore fully present in the recovery log.
+func (s *Scheduler) TxActive(txID uint64) bool {
+	s.classMu.Lock()
+	_, ok := s.txFeet[txID]
+	s.classMu.Unlock()
+	return ok
+}
+
+// AnyTxActive reports whether any transaction holds an unclaimed write
+// footprint. Checkpointing uses it to find a moment no write transaction
+// spans: a dump taken at such a checkpoint contains exactly the effects of
+// the log entries at or below the marker.
+func (s *Scheduler) AnyTxActive() bool {
+	s.classMu.Lock()
+	n := len(s.txFeet)
+	s.classMu.Unlock()
+	return n > 0
+}
+
 // ForgetTx drops a transaction's footprint without locking anything, for
 // abort paths that bypass SQL demarcation.
 func (s *Scheduler) ForgetTx(txID uint64) {

@@ -60,6 +60,11 @@ type VDBConfig struct {
 	// GOMAXPROCS; 1 replays sequentially in Seq order (the paper's §3.2
 	// behavior).
 	RecoveryWorkers int
+	// Health configures failure containment and automatic re-integration
+	// (§3: "tools to automatically re-integrate failed backends"). The zero
+	// value keeps the classic behavior: one-strike disable, no probing, no
+	// automatic re-integration.
+	Health HealthConfig
 }
 
 // Stats counts virtual database activity.
@@ -90,6 +95,16 @@ type VirtualDatabase struct {
 	// recoveryWorkers is the replay fan-out for backend re-integration
 	// (VDBConfig.RecoveryWorkers): 0 = GOMAXPROCS, 1 = sequential.
 	recoveryWorkers int
+
+	// health is the per-backend failure containment and re-integration
+	// state machine; always non-nil, its goroutines run only when
+	// configured (probe interval or auto-reintegration).
+	health *healthMonitor
+
+	// lastDump caches the most recent successful backup so automatic
+	// re-integration can restore a failed backend without re-dumping a
+	// healthy one.
+	lastDump atomic.Pointer[recovery.Dump]
 
 	mu       sync.RWMutex
 	backends []*backend.Backend
@@ -135,7 +150,7 @@ func NewVirtualDatabase(cfg VDBConfig) *VirtualDatabase {
 	if cfg.PlanCacheSize >= 0 {
 		plans = plancache.New(cfg.PlanCacheSize)
 	}
-	return &VirtualDatabase{
+	v := &VirtualDatabase{
 		name:            cfg.Name,
 		auth:            auth,
 		repl:            repl,
@@ -147,6 +162,16 @@ func NewVirtualDatabase(cfg VDBConfig) *VirtualDatabase {
 		cost:            cfg.CtrlCost,
 		recoveryWorkers: cfg.RecoveryWorkers,
 	}
+	v.health = newHealthMonitor(v, cfg.Health)
+	v.health.start()
+	return v
+}
+
+// Close stops the virtual database's background goroutines (health prober,
+// re-integration supervisor). Backends are not closed; they belong to the
+// caller. Safe to call more than once.
+func (v *VirtualDatabase) Close() {
+	v.health.close()
 }
 
 // Name returns the virtual database name.
@@ -220,7 +245,10 @@ func (v *VirtualDatabase) Backend(name string) (*backend.Backend, error) {
 
 // writeFailureCallback disables a backend that failed a write (§2.4.1).
 // Statement-level errors (bad SQL, constraint violations, lock timeouts)
-// fail identically on every replica and must not disable anything.
+// fail identically on every replica and must not disable anything. Write
+// failures never go through the suspect threshold: without 2PC a backend
+// that failed a write has already diverged from the replicas that applied
+// it, so the only safe containment is immediate disable.
 func (v *VirtualDatabase) writeFailureCallback(fb *backend.Backend, err error) {
 	if isSemanticError(err) {
 		return
@@ -229,16 +257,26 @@ func (v *VirtualDatabase) writeFailureCallback(fb *backend.Backend, err error) {
 }
 
 // DisableBackend disables a backend (after a write failure or for
-// maintenance); the virtual database keeps serving from the others.
+// maintenance); the virtual database keeps serving from the others. The
+// disable is crash-consistent (backend.Disable tears down in-flight work so
+// every enqueued write still gets a terminal outcome) and counted exactly
+// once even when several failures race: backend.Disable's state CAS decides
+// the winner. The health monitor is notified so the re-integration
+// supervisor, when enabled, starts bringing the backend back.
 func (v *VirtualDatabase) DisableBackend(name string) {
 	b, err := v.Backend(name)
 	if err != nil {
 		return
 	}
-	if b.Enabled() {
-		b.Disable()
+	if b.Disable() {
 		v.backendsDisabled.Add(1)
 	}
+	v.health.markDown(name)
+}
+
+// BackendHealth returns the health monitor's view of one backend.
+func (v *VirtualDatabase) BackendHealth(name string) BackendStatus {
+	return v.health.status(name)
 }
 
 // StatsSnapshot returns the counters.
@@ -482,18 +520,30 @@ func (s *Session) execWrite(plan *plancache.Plan, st sqlparser.Statement, sql st
 // transaction's accumulated footprint instead.
 func (v *VirtualDatabase) orderedWrite(txID uint64, class sqlparser.StatementClass, st sqlparser.Statement, sql, user string, tables []string, global bool) (backend.Outcomes, error) {
 	lc := recovery.ClassWrite
+	demarcation := false
 	switch class {
 	case sqlparser.ClassCommit:
-		tables, global = v.sched.TakeTxFootprint(txID)
 		lc = recovery.ClassCommit
+		demarcation = true
 	case sqlparser.ClassRollback:
-		tables, global = v.sched.TakeTxFootprint(txID)
 		lc = recovery.ClassRollback
+		demarcation = true
+	}
+	if demarcation {
+		// Peek, not take: the footprint must stay registered until the
+		// demarcation is inside its critical section, so that a
+		// re-integration holding LockAllWrites observes TxActive == false
+		// only for transactions whose demarcation is already in the log.
+		// (Only this session's goroutine appends to the footprint, so the
+		// peeked copy cannot go stale between here and the lock.)
+		tables, global = v.sched.PeekTxFootprint(txID)
 	}
 
 	ticket := v.sched.LockClass(tables, global)
 	defer ticket.Unlock()
-	if class == sqlparser.ClassWrite {
+	if demarcation {
+		v.sched.ForgetTx(txID)
+	} else if class == sqlparser.ClassWrite {
 		v.sched.NoteTxWrite(txID, tables, global)
 	}
 	if v.log != nil {
@@ -599,7 +649,10 @@ func (v *VirtualDatabase) execRead(txID uint64, plan *plancache.Plan, st sqlpars
 		if isSemanticError(err) {
 			return nil, err
 		}
-		v.DisableBackend(b.Name())
+		// Reads are retryable, so a read failure only raises suspicion;
+		// the monitor disables the backend once the consecutive-failure
+		// threshold trips (1 by default — the classic one-strike rule).
+		v.health.failure(b.Name())
 	}
 	return nil, lastErr
 }

@@ -19,6 +19,40 @@ func Replay(l Log, seq uint64, b *backend.Backend) (applied int, err error) {
 	return ReplayParallel(l, seq, b, 1)
 }
 
+// Pass carries replay bookkeeping across the multiple passes of one
+// re-integration: a long bulk pass outside the cluster write quiesce
+// followed by short catch-up passes inside it. A transaction is applied
+// all-or-nothing in the pass that first observes its commit, so a
+// transaction spanning passes — its writes visible to the bulk pass, its
+// commit logged only later — is still applied completely: the later pass
+// re-reads the window from the original checkpoint and picks the whole
+// transaction up. nil means nothing has been replayed yet.
+type Pass struct {
+	// Last is the highest log sequence number any pass has observed.
+	// Auto-commit entries at or below it have been applied.
+	Last uint64
+	// TxDone records the committed transactions whose writes have been
+	// applied by earlier passes.
+	TxDone map[uint64]bool
+}
+
+// ReplayPass applies to b the committed writes recorded after seq that prev
+// has not already applied: transactions in prev.TxDone and auto-commit
+// entries at or below prev.Last are skipped. It returns the accumulated
+// bookkeeping for the next pass and the transactions that remain unresolved
+// — write entries in the window with no commit or rollback logged yet. A
+// caller re-integrating a backend must not enable it while an unresolved
+// transaction is still active cluster-wide: once that transaction commits,
+// the backend would no-op the demarcation and silently miss the writes.
+// On error the backend must stay disabled (see ReplayParallel).
+func ReplayPass(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int) (next *Pass, unresolved []uint64, applied int, err error) {
+	if prev == nil {
+		prev = &Pass{}
+	}
+	applied, next, unresolved, err = replayPass(l, seq, prev, b, workers)
+	return next, unresolved, applied, err
+}
+
 // ReplayParallel applies the committed writes recorded after seq to a
 // backend on up to workers concurrent appliers. The paper replays the write
 // log sequentially when a backend re-integrates (§3.2) and flags the
@@ -41,12 +75,17 @@ func Replay(l Log, seq uint64, b *backend.Backend) (applied int, err error) {
 // order; entries of classes disjoint from the failure may or may not have
 // applied, which is why the caller must keep the backend disabled on error.
 func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied int, err error) {
+	applied, _, _, err = replayPass(l, seq, &Pass{}, b, workers)
+	return applied, err
+}
+
+func replayPass(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int) (applied int, next *Pass, unresolved []uint64, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	entries, err := l.Since(seq)
 	if err != nil {
-		return 0, err
+		return 0, nil, nil, err
 	}
 	// A transaction's writes replay only when the log records its COMMIT
 	// (§3.2: aborted or unfinished transactions are skipped).
@@ -62,8 +101,42 @@ func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied
 		if e.Class != ClassWrite {
 			return false
 		}
-		// Auto-commit writes have TxID 0 and always replay.
-		return e.TxID == 0 || outcome[e.TxID] == ClassCommit
+		if e.TxID == 0 {
+			// Auto-commit writes replay in the first pass that sees them.
+			return e.Seq > prev.Last
+		}
+		return outcome[e.TxID] == ClassCommit && !prev.TxDone[e.TxID]
+	}
+
+	// Bookkeeping for the next pass: the frontier and the transactions this
+	// pass settles, plus whatever earlier passes settled. Writes without a
+	// demarcation yet stay unresolved; their transactions replay whole in a
+	// later pass (or never, if they roll back or are abandoned).
+	last := prev.Last
+	seenUnresolved := make(map[uint64]bool)
+	for i := range entries {
+		e := &entries[i]
+		if e.Seq > last {
+			last = e.Seq
+		}
+		if e.Class == ClassWrite && e.TxID != 0 {
+			if _, ended := outcome[e.TxID]; !ended && !seenUnresolved[e.TxID] {
+				seenUnresolved[e.TxID] = true
+				unresolved = append(unresolved, e.TxID)
+			}
+		}
+	}
+	buildNext := func() *Pass {
+		done := make(map[uint64]bool, len(prev.TxDone)+len(outcome))
+		for tx := range prev.TxDone {
+			done[tx] = true
+		}
+		for tx, oc := range outcome {
+			if oc == ClassCommit {
+				done[tx] = true
+			}
+		}
+		return &Pass{Last: last, TxDone: done}
 	}
 
 	if workers == 1 {
@@ -73,11 +146,11 @@ func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied
 				continue
 			}
 			if _, err := b.DirectExec(nil, e.SQL); err != nil {
-				return applied, replayErr(e, err)
+				return applied, nil, unresolved, replayErr(e, err)
 			}
 			applied++
 		}
-		return applied, nil
+		return applied, buildNext(), unresolved, nil
 	}
 
 	var (
@@ -128,7 +201,10 @@ func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied
 	errMu.Lock()
 	err = failErr
 	errMu.Unlock()
-	return int(done.Load()), err
+	if err != nil {
+		return int(done.Load()), nil, unresolved, err
+	}
+	return int(done.Load()), buildNext(), unresolved, nil
 }
 
 // replayKeys converts an entry's conflict footprint into tracker keys:

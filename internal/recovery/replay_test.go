@@ -318,3 +318,82 @@ func BenchmarkParallelReplay(b *testing.B) {
 		}
 	}
 }
+
+// TestReplayPassSpanningTransaction is the pass-bookkeeping proof: a
+// transaction whose writes fall inside the bulk pass's window but whose
+// commit is only logged afterwards must be applied whole by the later pass
+// — and nothing the earlier pass applied may be applied twice.
+func TestReplayPassSpanningTransaction(t *testing.T) {
+	l := NewMemoryLog()
+	b := mkBackend(t, "span", "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+
+	l.Append(Entry{Class: ClassWrite, TxID: 9, SQL: "INSERT INTO t (id, v) VALUES (1, 1)",
+		Tables: []string{"t"}, V: FootprintVersion})
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO t (id, v) VALUES (2, 2)",
+		Tables: []string{"t"}, V: FootprintVersion})
+
+	pass, unresolved, applied, err := ReplayPass(l, 0, nil, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("bulk pass applied %d, want 1 (auto-commit only; tx 9 has no commit yet)", applied)
+	}
+	if len(unresolved) != 1 || unresolved[0] != 9 {
+		t.Fatalf("unresolved = %v, want [9]", unresolved)
+	}
+
+	l.Append(Entry{Class: ClassCommit, TxID: 9, Tables: []string{"t"}, V: FootprintVersion})
+	l.Append(Entry{Class: ClassWrite, SQL: "INSERT INTO t (id, v) VALUES (3, 3)",
+		Tables: []string{"t"}, V: FootprintVersion})
+
+	pass, unresolved, applied, err = ReplayPass(l, 0, pass, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tx 9's write plus the new auto-commit; replaying the id=2 insert
+	// again would have failed on the primary key.
+	if applied != 2 {
+		t.Fatalf("catch-up pass applied %d, want 2", applied)
+	}
+	if len(unresolved) != 0 {
+		t.Fatalf("unresolved after commit = %v, want none", unresolved)
+	}
+
+	// A third pass over an unchanged log is a no-op.
+	if _, _, applied, err = ReplayPass(l, 0, pass, b, 1); err != nil || applied != 0 {
+		t.Fatalf("idle pass applied %d err %v, want 0 nil", applied, err)
+	}
+
+	res, err := b.DirectExec(nil, "SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].I; got != 3 {
+		t.Fatalf("rows = %d, want 3", got)
+	}
+}
+
+// TestReplayPassRolledBackStaysOut: a transaction that rolls back never
+// applies, in any pass, and stops being reported unresolved once its
+// rollback is logged.
+func TestReplayPassRolledBackStaysOut(t *testing.T) {
+	l := NewMemoryLog()
+	b := mkBackend(t, "rb", "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+
+	l.Append(Entry{Class: ClassWrite, TxID: 4, SQL: "INSERT INTO t (id, v) VALUES (1, 1)",
+		Tables: []string{"t"}, V: FootprintVersion})
+	pass, unresolved, _, err := ReplayPass(l, 0, nil, b, 1)
+	if err != nil || len(unresolved) != 1 {
+		t.Fatalf("unresolved = %v err %v, want [4] nil", unresolved, err)
+	}
+	l.Append(Entry{Class: ClassRollback, TxID: 4, Tables: []string{"t"}, V: FootprintVersion})
+	_, unresolved, applied, err := ReplayPass(l, 0, pass, b, 1)
+	if err != nil || applied != 0 || len(unresolved) != 0 {
+		t.Fatalf("after rollback: applied=%d unresolved=%v err=%v, want 0 [] nil", applied, unresolved, err)
+	}
+	res, err := b.DirectExec(nil, "SELECT COUNT(*) FROM t")
+	if err != nil || res.Rows[0][0].I != 0 {
+		t.Fatalf("rolled-back write leaked: %v %v", res, err)
+	}
+}

@@ -244,6 +244,38 @@ func (e *Engine) Indexes(name string) ([]string, error) {
 	return out, nil
 }
 
+// PendingTickets returns the number of queued (ungranted) lock tickets
+// across all tables. A quiesced engine — no statement in flight, every
+// session reset or closed — must report zero: a nonzero count at quiesce
+// means a ticket FIFO head is stranded behind a session that will never
+// release it, the failure mode the crash-consistent disable path exists to
+// prevent. The chaos harness asserts on it.
+func (e *Engine) PendingTickets() int {
+	e.locks.mu.Lock()
+	defer e.locks.mu.Unlock()
+	n := 0
+	for _, l := range e.locks.locks {
+		n += len(l.queue)
+	}
+	return n
+}
+
+// HeldLocks returns the number of granted table locks (shared holders plus
+// exclusive holders) currently outstanding. Like PendingTickets it must be
+// zero at quiesce; a leftover holder is a leaked session.
+func (e *Engine) HeldLocks() int {
+	e.locks.mu.Lock()
+	defer e.locks.mu.Unlock()
+	n := 0
+	for _, l := range e.locks.locks {
+		n += len(l.readers)
+		if l.writer != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // lockManager grants table-granularity shared/exclusive locks with
 // timeout-based deadlock resolution (strict two-phase locking: locks are
 // held until commit or rollback). Every exclusive acquisition flows through
@@ -434,19 +466,24 @@ func (lm *lockManager) dropReservationsLocked(s *Session, tbl string, fire *[]fu
 	l.pumpLocked(tbl, fire)
 }
 
-// waitReservation blocks on a ticket until granted or the deadline.
+// waitReservation blocks on a ticket until granted, the deadline, or the
+// session being killed (a killed session must not sit in a lock wait: the
+// disable path needs its worker back to run the teardown rollback).
 func (lm *lockManager) waitReservation(req *lockRequest, tbl string, deadline time.Time) error {
 	select {
 	case <-req.ready:
 		return nil
 	default:
 	}
+	failErr := ErrLockTimeout
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
 	case <-req.ready:
 		return nil
 	case <-timer.C:
+	case <-req.s.killCh:
+		failErr = ErrKilled
 	}
 	var fire []func()
 	lm.mu.Lock()
@@ -467,7 +504,7 @@ func (lm *lockManager) waitReservation(req *lockRequest, tbl string, deadline ti
 	}
 	lm.mu.Unlock()
 	fireAll(fire)
-	return ErrLockTimeout
+	return failErr
 }
 
 // issueNow issues an exclusive ticket at the tail of the table's queue for
@@ -507,14 +544,17 @@ func (lm *lockManager) acquireShared(s *Session, tbl string, deadline time.Time)
 	l.queue = append(l.queue, req)
 	lm.mu.Unlock()
 
+	failErr := ErrLockTimeout
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
 	case <-req.ready:
 		return nil
 	case <-timer.C:
+	case <-s.killCh:
+		failErr = ErrKilled
 	}
-	// Timed out: remove the request unless it was granted concurrently.
+	// Timed out (or killed): remove the request unless granted concurrently.
 	var fire []func()
 	lm.mu.Lock()
 	select {
@@ -532,7 +572,7 @@ func (lm *lockManager) acquireShared(s *Session, tbl string, deadline time.Time)
 	l.pumpLocked(tbl, &fire) // our departure may unblock the new head
 	lm.mu.Unlock()
 	fireAll(fire)
-	return ErrLockTimeout
+	return failErr
 }
 
 // releaseShared drops the session's shared locks while keeping its
@@ -652,6 +692,11 @@ type Session struct {
 
 	temp map[string]*table // session-local temporary tables
 
+	// killed/killCh implement Session.Kill: killed flips exactly once and
+	// killCh closes with it, so in-flight lock waits can select on it.
+	killed atomic.Bool
+	killCh chan struct{}
+
 	closed bool
 }
 
@@ -664,6 +709,7 @@ func (e *Engine) NewSession() *Session {
 		held:     make(map[string]bool),
 		reserved: make(map[string][]*lockRequest),
 		temp:     make(map[string]*table),
+		killCh:   make(chan struct{}),
 	}
 	e.registerSession(s)
 	return s
@@ -724,6 +770,12 @@ func (s *Session) Begin() error {
 // published before any lock releases, so the next ticket holder — and every
 // snapshot pinned after it — observes the commit.
 func (s *Session) Commit() error {
+	if s.killed.Load() {
+		// A killed transaction must not publish: the cluster-side disable
+		// already counted it dead. Its undo stays intact for the teardown
+		// rollback (or Close) to apply.
+		return ErrKilled
+	}
 	if !s.inTx {
 		return ErrNoTransaction
 	}
@@ -819,6 +871,25 @@ func (s *Session) resolveLocked(name string) *table {
 	}
 	return s.engine.tables[name]
 }
+
+// Kill marks the session dead from another goroutine: the one Session
+// method that is safe to call concurrently with a statement executing on
+// the session's own goroutine. An in-flight lock wait aborts with
+// ErrKilled, and every subsequent statement or Commit fails with ErrKilled,
+// but Kill itself releases nothing — Rollback, Reset and Close still work
+// on a killed session and remain the paths that undo its writes and release
+// its locks and tickets, on the goroutine that owns the session. The
+// backend's crash-consistent disable uses this pair: Kill to unblock the
+// transaction worker wherever it is parked, then a rollback on that worker
+// to tear the transaction down.
+func (s *Session) Kill() {
+	if s.killed.CompareAndSwap(false, true) {
+		close(s.killCh)
+	}
+}
+
+// Killed reports whether Kill was called.
+func (s *Session) Killed() bool { return s.killed.Load() }
 
 // Reset returns the session to its pristine just-opened state without
 // closing it: any open transaction rolls back, locks and unconsumed

@@ -18,6 +18,13 @@ import (
 // the "engine:" message prefix.
 var ErrSemantic = errors.New("engine: semantic statement error")
 
+// ErrKilled is returned by statements (and in-flight lock waits) of a
+// session that was killed via Session.Kill. It deliberately does NOT carry
+// the ErrSemantic sentinel: a kill is an administrative/failure-path event
+// local to one backend, never a property of the statement, so the
+// clustering middleware must not treat it like a replica-identical error.
+var ErrKilled = errors.New("engine: session killed")
+
 // errf builds an engine error carrying the ErrSemantic sentinel. All engine
 // statement errors are constructed through it.
 func errf(format string, args ...any) error {

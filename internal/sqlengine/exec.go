@@ -33,6 +33,9 @@ func (s *Session) Exec(st sqlparser.Statement) (*Result, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	if s.killed.Load() {
+		return nil, ErrKilled
+	}
 	e := s.engine
 	if e.closed.Load() {
 		return nil, ErrClosed

@@ -1,0 +1,374 @@
+// Package chaos is a deterministic failure-injection harness: it sustains a
+// seeded, randomized mixed workload (auto-commit writes, multi-statement
+// transactions, reads) against a replicated virtual database while a
+// scripted fault plan crashes, degrades, and heals backends, then checks
+// the invariants the self-healing design promises at quiesce:
+//
+//   - every surviving replica is byte-identical;
+//   - every re-integrated replica is byte-identical to the survivors;
+//   - zero lost acks — every operation a client issued got a terminal
+//     answer (success or error), none hung;
+//   - zero stranded engine lock tickets and zero held locks;
+//   - the cluster converged back to every backend healthy.
+//
+// Faults are scripted by operation count against a seeded workload, not by
+// wall clock, so a scenario replays the same fault positions run after run.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/controller"
+	"cjdbc/internal/recovery"
+	"cjdbc/internal/sqlengine"
+)
+
+// Event is one scripted fault action, fired when the cluster-wide count of
+// completed client operations passes AtOp.
+type Event struct {
+	AtOp    int64
+	Backend int // backend index the action targets
+	// Plan, when non-nil, is installed on the backend (replacing any
+	// previous plan).
+	Plan *backend.FaultPlan
+	// Heal heals the backend's installed plan instead: the crashed state
+	// clears and every rule expires, so the backend starts answering again
+	// and the re-integration supervisor's next attempt succeeds.
+	Heal bool
+}
+
+// Config sizes one scenario.
+type Config struct {
+	Backends     int
+	Writers      int
+	OpsPerWriter int
+	Tables       int
+	SeedRows     int
+	Seed         int64
+	Events       []Event
+	Health       controller.HealthConfig
+	// LockTimeout is the engines' lock-wait timeout (default 10s).
+	LockTimeout time.Duration
+	// ConvergeTimeout bounds the post-quiesce wait for every backend to
+	// return to healthy (default 30s).
+	ConvergeTimeout time.Duration
+}
+
+// Report is a scenario's outcome. A scenario "passes" when Err() is nil.
+type Report struct {
+	Ops      int64 // client operations completed (reads, writes, demarcations)
+	Errors   int64 // operations that returned an error (tolerated)
+	LostAcks int   // writers still blocked at quiesce: operations that never returned
+	Disables int64 // backend disables observed by the controller
+	// Divergence describes the first replica mismatch found; "" when every
+	// backend is byte-identical.
+	Divergence string
+	// StrandedTickets and HeldLocks sum the engines' leftover lock state.
+	StrandedTickets int
+	HeldLocks       int
+	// Unconverged lists backends not healthy at the end.
+	Unconverged []string
+}
+
+// Err folds the report's invariant checks into one error, nil on success.
+func (r *Report) Err() error {
+	switch {
+	case r.LostAcks > 0:
+		return fmt.Errorf("chaos: %d operations never received a terminal outcome", r.LostAcks)
+	case len(r.Unconverged) > 0:
+		return fmt.Errorf("chaos: backends never converged back to healthy: %v", r.Unconverged)
+	case r.Divergence != "":
+		return fmt.Errorf("chaos: replicas diverged: %s", r.Divergence)
+	case r.StrandedTickets > 0:
+		return fmt.Errorf("chaos: %d engine lock tickets stranded after quiesce", r.StrandedTickets)
+	case r.HeldLocks > 0:
+		return fmt.Errorf("chaos: %d engine locks still held after quiesce", r.HeldLocks)
+	}
+	return nil
+}
+
+// Run executes one scenario and reports the invariant checks. It builds its
+// own cluster: cfg.Backends in-process engines behind one virtual database
+// with a recovery log and the given health configuration, seeded with
+// cfg.Tables tables of cfg.SeedRows rows. A genesis backup is taken before
+// traffic starts so the re-integration supervisor always has a dump to
+// restore from.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Backends <= 0 {
+		cfg.Backends = 3
+	}
+	if cfg.Writers <= 0 {
+		cfg.Writers = 4
+	}
+	if cfg.OpsPerWriter <= 0 {
+		cfg.OpsPerWriter = 50
+	}
+	if cfg.Tables <= 0 {
+		cfg.Tables = 4
+	}
+	if cfg.SeedRows <= 0 {
+		cfg.SeedRows = 8
+	}
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 10 * time.Second
+	}
+	if cfg.ConvergeTimeout <= 0 {
+		cfg.ConvergeTimeout = 30 * time.Second
+	}
+
+	v := controller.NewVirtualDatabase(controller.VDBConfig{
+		Name:        "chaos",
+		ParallelTx:  true,
+		RecoveryLog: recovery.NewMemoryLog(),
+		Health:      cfg.Health,
+	})
+	defer v.Close()
+
+	engines := make([]*sqlengine.Engine, cfg.Backends)
+	backends := make([]*backend.Backend, cfg.Backends)
+	for i := range engines {
+		e := sqlengine.New(fmt.Sprintf("db%d", i), sqlengine.WithLockTimeout(cfg.LockTimeout))
+		s := e.NewSession()
+		for ti := 0; ti < cfg.Tables; ti++ {
+			if _, err := s.ExecSQL(fmt.Sprintf("CREATE TABLE c%d (id INTEGER PRIMARY KEY, v INTEGER)", ti)); err != nil {
+				return nil, fmt.Errorf("chaos: seed: %w", err)
+			}
+			for r := 0; r < cfg.SeedRows; r++ {
+				if _, err := s.ExecSQL(fmt.Sprintf("INSERT INTO c%d (id, v) VALUES (%d, 0)", ti, r)); err != nil {
+					return nil, fmt.Errorf("chaos: seed: %w", err)
+				}
+			}
+		}
+		s.Close()
+		engines[i] = e
+		b := backend.New(backend.Config{
+			Name:   fmt.Sprintf("db%d", i),
+			Driver: &backend.EngineDriver{Engine: e},
+		})
+		backends[i] = b
+		if err := v.AddBackend(b); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+
+	// Genesis backup, before any traffic: the supervisor restores from it.
+	if _, err := v.BackupBackend(backends[0].Name(), "genesis"); err != nil {
+		return nil, fmt.Errorf("chaos: genesis backup: %w", err)
+	}
+
+	rep := &Report{}
+	var done atomic.Int64 // completed client operations, the events' clock
+
+	// Fault injector: fires each event when the operation counter passes
+	// its position. Order events by AtOp so the script reads top to bottom.
+	events := append([]Event(nil), cfg.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].AtOp < events[j].AtOp })
+	stopInjector := make(chan struct{})
+	var injectorWG sync.WaitGroup
+	injectorWG.Add(1)
+	go func() {
+		defer injectorWG.Done()
+		for _, ev := range events {
+			for done.Load() < ev.AtOp {
+				select {
+				case <-stopInjector:
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+			b := backends[ev.Backend]
+			if ev.Heal {
+				if p := b.FaultPlan(); p != nil {
+					p.Heal()
+				}
+			}
+			if ev.Plan != nil {
+				b.SetFaultPlan(ev.Plan)
+			}
+		}
+	}()
+
+	// Writers: the seeded mixed workload. Errors are tolerated (a crash
+	// window can fail an operation on every backend at once); hangs are
+	// not — a writer that never finishes is a lost ack.
+	var wg sync.WaitGroup
+	var finished atomic.Int64
+	writerDone := make(chan struct{})
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(w)))
+			s, err := v.NewSession("user", "pw")
+			if err != nil {
+				atomic.AddInt64(&rep.Errors, 1)
+				finished.Add(1)
+				return
+			}
+			defer finished.Add(1)
+			defer s.Close()
+			op := func(sql string) {
+				_, err := s.Exec(sql, nil)
+				if err != nil {
+					atomic.AddInt64(&rep.Errors, 1)
+				}
+				done.Add(1)
+			}
+			for i := 0; i < cfg.OpsPerWriter; i++ {
+				tbl := (w + rng.Intn(3)) % cfg.Tables
+				switch rng.Intn(6) {
+				case 0:
+					op(fmt.Sprintf("INSERT INTO c%d (id, v) VALUES (%d, %d)",
+						tbl, 1000+w*cfg.OpsPerWriter+i, rng.Intn(100)))
+				case 1:
+					op(fmt.Sprintf("DELETE FROM c%d WHERE id = %d", tbl, rng.Intn(cfg.SeedRows)))
+				case 2:
+					op(fmt.Sprintf("SELECT v FROM c%d WHERE id = %d", tbl, rng.Intn(cfg.SeedRows)))
+				case 3:
+					// Cross-table transaction; tables in index order (the
+					// client-side deadlock-avoidance discipline).
+					lo, hi := tbl, (tbl+1)%cfg.Tables
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					op("BEGIN")
+					op(fmt.Sprintf("UPDATE c%d SET v = v + 1 WHERE id = %d", lo, rng.Intn(cfg.SeedRows)))
+					op(fmt.Sprintf("UPDATE c%d SET v = %d WHERE id = %d", hi, rng.Intn(100), rng.Intn(cfg.SeedRows)))
+					if rng.Intn(8) == 0 {
+						op("ROLLBACK")
+					} else {
+						op("COMMIT")
+					}
+					// A failed write mid-transaction leaves the session in
+					// the transaction; clear it so the next loop starts
+					// clean.
+					if s.InTransaction() {
+						op("ROLLBACK")
+					}
+				default:
+					op(fmt.Sprintf("UPDATE c%d SET v = %d WHERE id = %d",
+						tbl, rng.Intn(100), rng.Intn(cfg.SeedRows)))
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(writerDone) }()
+
+	// Quiesce: join the writers with a deadline. Writers that never return
+	// are the lost acks the harness exists to catch.
+	select {
+	case <-writerDone:
+	case <-time.After(cfg.ConvergeTimeout + 2*cfg.LockTimeout):
+		rep.LostAcks = cfg.Writers - int(finished.Load())
+	}
+	close(stopInjector)
+	injectorWG.Wait()
+	rep.Ops = done.Load()
+	if rep.LostAcks > 0 {
+		// Writers are still wedged; the consistency checks below would race
+		// with them, and the report already fails.
+		rep.Disables = v.StatsSnapshot().BackendsDisabled
+		return rep, nil
+	}
+
+	// Epilogue: heal every fault so the supervisor can finish
+	// re-integrating, then wait for convergence.
+	for _, b := range backends {
+		if p := b.FaultPlan(); p != nil {
+			p.Heal()
+		}
+	}
+	deadline := time.Now().Add(cfg.ConvergeTimeout)
+	for {
+		allHealthy := true
+		for _, b := range backends {
+			if !b.Enabled() || v.BackendHealth(b.Name()) != controller.StatusHealthy {
+				allHealthy = false
+				break
+			}
+		}
+		if allHealthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, b := range backends {
+				if st := v.BackendHealth(b.Name()); st != controller.StatusHealthy {
+					rep.Unconverged = append(rep.Unconverged, fmt.Sprintf("%s=%s", b.Name(), st))
+				}
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rep.Disables = v.StatsSnapshot().BackendsDisabled
+
+	// Byte-identical replicas, re-integrated ones included.
+	for ti := 0; ti < cfg.Tables && rep.Divergence == ""; ti++ {
+		tbl := fmt.Sprintf("c%d", ti)
+		want, err := sortedDump(engines[0], tbl)
+		if err != nil {
+			return nil, err
+		}
+		for bi := 1; bi < cfg.Backends; bi++ {
+			got, err := sortedDump(engines[bi], tbl)
+			if err != nil {
+				return nil, err
+			}
+			if got != want {
+				rep.Divergence = fmt.Sprintf("table %s differs between db0 and db%d:\n--- db0:\n%s\n--- db%d:\n%s",
+					tbl, bi, want, bi, got)
+				break
+			}
+		}
+	}
+
+	// No stranded lock tickets, no held locks: the crash-consistent disable
+	// released everything it tore down. Settle briefly — released tickets
+	// pump asynchronously.
+	settle := time.Now().Add(2 * time.Second)
+	for {
+		tickets, locks := 0, 0
+		for _, e := range engines {
+			tickets += e.PendingTickets()
+			locks += e.HeldLocks()
+		}
+		rep.StrandedTickets, rep.HeldLocks = tickets, locks
+		if tickets == 0 && locks == 0 || time.Now().After(settle) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return rep, nil
+}
+
+// sortedDump renders a table's contents in canonical order for
+// byte-identical comparison across engines.
+func sortedDump(e *sqlengine.Engine, table string) (string, error) {
+	_, rows, err := e.SnapshotTable(table)
+	if err != nil {
+		return "", fmt.Errorf("chaos: snapshot %s on %s: %w", table, e.Name(), err)
+	}
+	lines := make([]string, 0, len(rows))
+	for _, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.Key())
+			b.WriteByte('|')
+		}
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n"), nil
+}

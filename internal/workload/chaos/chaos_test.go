@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"cjdbc/internal/backend"
+	"cjdbc/internal/controller"
+)
+
+// testHealth is the aggressive self-healing configuration the scenarios
+// run under: short probe and backoff intervals so a CI run converges fast,
+// unlimited re-integration attempts because the scripts decide when a
+// backend heals, not an attempt budget.
+func testHealth() controller.HealthConfig {
+	return controller.HealthConfig{
+		SuspectThreshold:      1,
+		ProbeInterval:         5 * time.Millisecond,
+		AutoReintegrate:       true,
+		ReintegrateBackoff:    5 * time.Millisecond,
+		ReintegrateBackoffCap: 50 * time.Millisecond,
+		ReintegrateAttempts:   -1,
+	}
+}
+
+// checkReport fails the test on any violated invariant and logs the
+// scenario's vital signs.
+func checkReport(t *testing.T, rep *Report) {
+	t.Helper()
+	t.Logf("chaos: ops=%d errors=%d disables=%d", rep.Ops, rep.Errors, rep.Disables)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// settleGoroutines waits for the goroutine count to fall back near the
+// baseline; a leak here means some teardown path left a worker behind.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosCrashAndReintegrate is the headline scenario: a sustained mixed
+// workload while one backend crashes mid-transaction (its commit is lost),
+// heals, and re-integrates under live traffic; then a second backend
+// crashes on a plain write and recovers the same way. At quiesce every
+// replica — the survivors and both re-integrated backends — must be
+// byte-identical, no client operation may have hung, and no engine lock
+// state may be stranded.
+func TestChaosCrashAndReintegrate(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rep, err := Run(Config{
+		Backends:     3,
+		Writers:      6,
+		OpsPerWriter: 60,
+		Tables:       4,
+		Seed:         42,
+		Health:       testHealth(),
+		Events: []Event{
+			// Crash-mid-transaction on db1: its third commit fails and the
+			// whole backend goes dark until healed.
+			{AtOp: 40, Backend: 1, Plan: backend.NewFaultPlan(backend.CrashOnCommit(3, nil))},
+			{AtOp: 200, Backend: 1, Heal: true},
+			// While db1 may still be catching up, db2 crashes on a write.
+			{AtOp: 280, Backend: 2, Plan: backend.NewFaultPlan(
+				&backend.Rule{Kind: backend.OpWrite, AfterN: 2, Times: 1, Crash: true})},
+			{AtOp: 420, Backend: 2, Heal: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep)
+	if rep.Disables == 0 {
+		t.Fatal("scenario never disabled a backend; the faults did not fire")
+	}
+	settleGoroutines(t, base)
+}
+
+// TestChaosSlowReplica injects latency, not failure: one backend runs its
+// writes slower than the others for the whole scenario. Nothing should be
+// disabled — latency is not an error — and the replicas must still end
+// byte-identical.
+func TestChaosSlowReplica(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rep, err := Run(Config{
+		Backends:     3,
+		Writers:      4,
+		OpsPerWriter: 40,
+		Tables:       3,
+		Seed:         7,
+		Health:       testHealth(),
+		Events: []Event{
+			{AtOp: 20, Backend: 2, Plan: backend.NewFaultPlan(
+				backend.Slow(backend.OpWrite, 500*time.Microsecond))},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep)
+	if rep.Disables != 0 {
+		t.Fatalf("latency skew disabled %d backends; slow is not down", rep.Disables)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestChaosTransientFault exercises the fail-once-then-heal fault: a single
+// injected write error must disable the backend (writes are one-strike, no
+// 2PC), after which the supervisor re-integrates it without any scripted
+// heal, because the plan only ever fired once.
+func TestChaosTransientFault(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rep, err := Run(Config{
+		Backends:     3,
+		Writers:      4,
+		OpsPerWriter: 40,
+		Tables:       3,
+		Seed:         1234,
+		Health:       testHealth(),
+		Events: []Event{
+			{AtOp: 30, Backend: 1, Plan: backend.NewFaultPlan(
+				backend.FailNth(backend.OpWrite, 1, nil))},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep)
+	settleGoroutines(t, base)
+}
