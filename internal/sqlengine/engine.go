@@ -65,20 +65,27 @@ type Engine struct {
 
 	// clock is the global commit-epoch clock; writerSeq hands each session
 	// a unique uncommitted-version stamp; pins registers sessions for the
-	// GC watermark; gcDebt accrues superseded versions until a sweep.
+	// GC watermark; gcDebt accrues superseded versions until an incremental
+	// sweep step (gcBusy serializes steps, gcNext round-robins tables).
+	// gcKick/gcStop/gcWG exist only WithBackgroundGC: triggers then kick the
+	// engine-owned sweeper goroutine instead of sweeping inline, and Close
+	// drains it.
 	clock     epochClock
 	writerSeq atomic.Uint64
 	pins      []pinShard
 	gcDebt    atomic.Int64
 	gcEvery   int64
+	gcBusy    atomic.Bool
+	gcNext    int // next round-robin table; touched only while gcBusy is held
+	gcKick    chan struct{}
+	gcStop    chan struct{}
+	gcWG      sync.WaitGroup
 
-	// noIndexPlan forces full scans in the access planner. Tests use it to
-	// prove index-planned execution equivalent to scanning.
-	noIndexPlan bool
-	// latchedReads restores the pre-MVCC read path (storage latches plus
-	// writer-view rows). Tests and benchmarks use it to prove snapshot
-	// reads equivalent to latched reads and to measure their cost.
-	latchedReads atomic.Bool
+	// noIndexPlan forces full scans in the access planner and disables
+	// ordered-index ORDER BY elision. Tests toggle it (atomically, under
+	// concurrent load) to prove index-planned execution equivalent to
+	// scanning.
+	noIndexPlan atomic.Bool
 
 	sessionSeq atomic.Uint32 // round-robins sessions over lock/stat shards
 	stats      []statShard
@@ -102,14 +109,25 @@ func WithLockTimeout(d time.Duration) Option {
 	return func(e *Engine) { e.lockTimeout = d }
 }
 
-// WithGCThreshold sets how many superseded row versions may accrue before a
-// garbage-collection sweep runs (folded into statement end and session
-// close). Tests lower it to exercise reclamation.
+// WithGCThreshold sets how many superseded row versions may accrue before an
+// incremental garbage-collection step runs (folded into statement end and
+// session close). Tests lower it to exercise reclamation.
 func WithGCThreshold(n int) Option {
 	return func(e *Engine) {
 		if n > 0 {
 			e.gcEvery = int64(n)
 		}
+	}
+}
+
+// WithBackgroundGC moves garbage-collection steps off the write path onto an
+// engine-owned goroutine: crossing the debt threshold kicks the sweeper
+// instead of sweeping inline, so a writer's statement end never carries even
+// one bounded GC batch. The goroutine is drained by Close.
+func WithBackgroundGC() Option {
+	return func(e *Engine) {
+		e.gcKick = make(chan struct{}, 1)
+		e.gcStop = make(chan struct{})
 	}
 }
 
@@ -127,6 +145,20 @@ func New(name string, opts ...Option) *Engine {
 	e.locks = newLockManager()
 	for _, o := range opts {
 		o(e)
+	}
+	if e.gcKick != nil {
+		e.gcWG.Add(1)
+		go func() {
+			defer e.gcWG.Done()
+			for {
+				select {
+				case <-e.gcStop:
+					return
+				case <-e.gcKick:
+					e.gcStep()
+				}
+			}
+		}()
 	}
 	return e
 }
@@ -153,9 +185,17 @@ func (e *Engine) StatsSnapshot() Stats {
 	return out
 }
 
-// Close shuts the engine down; subsequent sessions fail.
+// Close shuts the engine down; subsequent sessions fail. A background GC
+// sweeper, if one was started, is stopped and drained — Close only returns
+// once no engine-owned goroutine can touch the tables again.
 func (e *Engine) Close() {
-	e.closed.Store(true)
+	if e.closed.Swap(true) {
+		return
+	}
+	if e.gcStop != nil {
+		close(e.gcStop)
+		e.gcWG.Wait()
+	}
 }
 
 // TableNames returns the sorted names of the catalog's tables.

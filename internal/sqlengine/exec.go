@@ -476,7 +476,7 @@ func (s *Session) execUpdate(up *sqlparser.Update) (*Result, error) {
 		setIdx = append(setIdx, idx)
 	}
 
-	refs := candidateRefs(e, t, cols, up.Where)
+	refs := candidateRefs(e, t, cols, up.Where, up.Access)
 	var affected int64
 	for _, ref := range refs {
 		// Writer view: the chain head is committed or this session's own.
@@ -536,7 +536,7 @@ func (s *Session) execDelete(del *sqlparser.Delete) (*Result, error) {
 	t.store.Lock()
 	defer t.store.Unlock()
 	cols := t.cols
-	refs := candidateRefs(e, t, cols, del.Where)
+	refs := candidateRefs(e, t, cols, del.Where, del.Access)
 	var affected int64
 	for _, ref := range refs {
 		row := ref.ch.latestRow()

@@ -13,11 +13,17 @@ import (
 // uniform across the read and write paths.
 //
 // The planner inspects the top-level AND conjuncts of a WHERE clause for
-// predicates a hash index can answer — `col = literal` and
-// `col IN (literals...)` — and picks the most selective one. Planning is
-// candidate narrowing only: the full WHERE clause is still evaluated against
-// every candidate row, so a plan is correct as long as its candidate set is
-// a superset of the true match set.
+// predicates an index can answer — `col = literal` and `col IN (literals)`
+// through the hash buckets, and `col </<=/>/>= literal` / `col BETWEEN a AND
+// b` / `=` through the ordered skiplist view — and picks the most selective
+// one. Planning is candidate narrowing only: the full WHERE clause is still
+// evaluated against every candidate row, so a plan is correct as long as its
+// candidate set is a superset of the true match set.
+//
+// planOrder additionally decides whether a single-table ORDER BY can be
+// satisfied by scanning an ordered index in key order instead of sorting —
+// the top-k path that makes ORDER BY col LIMIT n cost O(result), not
+// O(table).
 
 // accessPlan describes how to enumerate one table's rows.
 type accessPlan struct {
@@ -52,7 +58,10 @@ func envResolver(cols map[string]int, offset, width int) colResolver {
 // values are coerced to the column type on insert, so their hash keys are in
 // the column type's key class; a literal from another class (e.g. the string
 // '5' against an INTEGER column) can compare equal through sqlval's textual
-// fallback while hashing differently, and must fall back to a scan.
+// fallback while hashing differently, and must fall back to a scan. The
+// same guard protects ordered-range probes: sqlval.Compare is only a total
+// order within one class, so a cross-class bound could fence off rows it
+// actually matches.
 func keyCompatible(ct sqlval.Kind, lit sqlval.Value) bool {
 	switch ct {
 	case sqlval.KindInt, sqlval.KindFloat, sqlval.KindBool:
@@ -64,16 +73,148 @@ func keyCompatible(ct sqlval.Kind, lit sqlval.Value) bool {
 	}
 }
 
+// colRange accumulates the intersection of a column's top-level range
+// conjuncts: lo/hi are the tightest bounds seen (nil = unbounded).
+type colRange struct {
+	lo, hi *rangeBound
+}
+
+// tightenLo narrows the lower bound to b if b is tighter.
+func (r *colRange) tightenLo(b rangeBound) {
+	if r.lo == nil {
+		r.lo = &b
+		return
+	}
+	c := sqlval.Compare(b.v, r.lo.v)
+	if c > 0 || (c == 0 && !b.incl && r.lo.incl) {
+		r.lo = &b
+	}
+}
+
+// tightenHi narrows the upper bound to b if b is tighter.
+func (r *colRange) tightenHi(b rangeBound) {
+	if r.hi == nil {
+		r.hi = &b
+		return
+	}
+	c := sqlval.Compare(b.v, r.hi.v)
+	if c < 0 || (c == 0 && !b.incl && r.hi.incl) {
+		r.hi = &b
+	}
+}
+
+// walkConjuncts calls f for every top-level AND conjunct of where.
+func walkConjuncts(where *sqlparser.Expr, f func(ex *sqlparser.Expr)) {
+	if where == nil {
+		return
+	}
+	if where.Kind == sqlparser.ExprBinary && where.Op == "AND" {
+		walkConjuncts(where.Left, f)
+		walkConjuncts(where.Right, f)
+		return
+	}
+	f(where)
+}
+
+// colLit decomposes a binary comparison into (column, literal), flipping the
+// operator when the literal is on the left (5 < v means v > 5).
+func colLit(ex *sqlparser.Expr) (col, lit *sqlparser.Expr, op string, ok bool) {
+	op = ex.Op
+	col, lit = ex.Left, ex.Right
+	if col.Kind != sqlparser.ExprColumn {
+		col, lit = lit, col
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	if col.Kind != sqlparser.ExprColumn || lit.Kind != sqlparser.ExprLiteral {
+		return nil, nil, "", false
+	}
+	return col, lit, op, true
+}
+
+// extractRanges collects the per-column range bounds the top-level AND
+// conjuncts imply: </<=/>/>= comparisons against literals and BETWEEN. Each
+// bound literal passes the keyCompatible guard. Shared by candidate
+// narrowing (planAccess) and bounded ordered scans (planOrder).
+func extractRanges(t *table, resolve colResolver, where *sqlparser.Expr) map[int]*colRange {
+	var ranges map[int]*colRange
+	rangeOf := func(ci int) *colRange {
+		if ranges == nil {
+			ranges = make(map[int]*colRange)
+		}
+		r := ranges[ci]
+		if r == nil {
+			r = &colRange{}
+			ranges[ci] = r
+		}
+		return r
+	}
+	walkConjuncts(where, func(ex *sqlparser.Expr) {
+		switch {
+		case ex.Kind == sqlparser.ExprBinary && (ex.Op == "<" || ex.Op == "<=" || ex.Op == ">" || ex.Op == ">="):
+			col, lit, op, ok := colLit(ex)
+			if !ok {
+				return
+			}
+			ci, ok := resolve(col)
+			if !ok || !keyCompatible(t.schema.Columns[ci].Type, lit.Lit) {
+				return
+			}
+			switch op {
+			case "<":
+				rangeOf(ci).tightenHi(rangeBound{v: lit.Lit, incl: false})
+			case "<=":
+				rangeOf(ci).tightenHi(rangeBound{v: lit.Lit, incl: true})
+			case ">":
+				rangeOf(ci).tightenLo(rangeBound{v: lit.Lit, incl: false})
+			case ">=":
+				rangeOf(ci).tightenLo(rangeBound{v: lit.Lit, incl: true})
+			}
+		case ex.Kind == sqlparser.ExprBetween && !ex.Not:
+			if ex.Left == nil || ex.Left.Kind != sqlparser.ExprColumn ||
+				ex.Low == nil || ex.Low.Kind != sqlparser.ExprLiteral ||
+				ex.High == nil || ex.High.Kind != sqlparser.ExprLiteral {
+				return
+			}
+			ci, ok := resolve(ex.Left)
+			if !ok {
+				return
+			}
+			ct := t.schema.Columns[ci].Type
+			if !keyCompatible(ct, ex.Low.Lit) || !keyCompatible(ct, ex.High.Lit) {
+				return
+			}
+			rangeOf(ci).tightenLo(rangeBound{v: ex.Low.Lit, incl: true})
+			rangeOf(ci).tightenHi(rangeBound{v: ex.High.Lit, incl: true})
+		}
+	})
+	return ranges
+}
+
 // planAccess chooses an index-backed access path for t under the given WHERE
-// clause, or a full scan when no top-level conjunct is indexable. The
-// returned candidate list is a fresh slice (lookup copies bucket refs under
-// idxMu) sorted by rowid, so iterating it is deterministic (rowids are
+// clause, or a full scan when no top-level conjunct is indexable: hash-point
+// probes for = and IN, ordered-range collection for </<=/>/>=/BETWEEN, most
+// selective (fewest candidates) wins. The returned candidate list is a fresh
+// slice sorted by rowid, so iterating it is deterministic (rowids are
 // assigned in insertion order) and safe while writers keep appending refs.
-// Candidates may be stale — index buckets are insert-only — which is fine:
+// Candidates may be stale — index entries are insert-only — which is fine:
 // every caller resolves each chain through its read view and re-evaluates
-// the full WHERE clause.
-func planAccess(e *Engine, t *table, resolve colResolver, where *sqlparser.Expr) accessPlan {
-	if where == nil || e.noIndexPlan {
+// the full WHERE clause. access, when non-nil, is the plan cache's
+// precomputed shape summary; a statement it marks non-indexable skips the
+// conjunct walk entirely.
+func planAccess(e *Engine, t *table, resolve colResolver, where *sqlparser.Expr, access *sqlparser.AccessInfo) accessPlan {
+	if where == nil || e.noIndexPlan.Load() {
+		return accessPlan{}
+	}
+	if access != nil && !access.Indexable {
 		return accessPlan{}
 	}
 	var best []chainRef
@@ -84,18 +225,11 @@ func planAccess(e *Engine, t *table, resolve colResolver, where *sqlparser.Expr)
 		}
 		best, found = refs, true
 	}
-	var walk func(ex *sqlparser.Expr)
-	walk = func(ex *sqlparser.Expr) {
+	walkConjuncts(where, func(ex *sqlparser.Expr) {
 		switch {
-		case ex.Kind == sqlparser.ExprBinary && ex.Op == "AND":
-			walk(ex.Left)
-			walk(ex.Right)
 		case ex.Kind == sqlparser.ExprBinary && ex.Op == "=":
-			col, lit := ex.Left, ex.Right
-			if col.Kind != sqlparser.ExprColumn {
-				col, lit = lit, col
-			}
-			if col.Kind != sqlparser.ExprColumn || lit.Kind != sqlparser.ExprLiteral {
+			col, lit, _, ok := colLit(ex)
+			if !ok {
 				return
 			}
 			ci, ok := resolve(col)
@@ -129,15 +263,31 @@ func planAccess(e *Engine, t *table, resolve colResolver, where *sqlparser.Expr)
 			}
 			consider(union)
 		}
+	})
+	// Ordered-range candidates: for every column with accumulated bounds and
+	// an ordered index, collect the refs inside the range — aborting as soon
+	// as the collection exceeds the best point probe, so a wide range never
+	// costs more than the path it loses to.
+	for ci, r := range extractRanges(t, resolve, where) {
+		ox := t.orderedOn(ci)
+		if ox == nil {
+			continue
+		}
+		limit := -1
+		if found {
+			limit = len(best)
+		}
+		if refs, ok := ox.collectRange(t, r.lo, r.hi, limit); ok {
+			consider(refs)
+		}
 	}
-	walk(where)
 	if !found {
 		return accessPlan{}
 	}
 	sort.Slice(best, func(i, j int) bool { return best[i].id < best[j].id })
 	// Distinct IN-list values cannot share rowids, but values that hash to
 	// the same key (1 and 1.0) duplicate their lists, and stale refs can
-	// repeat a rowid across buckets; drop adjacent dups.
+	// repeat a rowid across buckets or skiplist nodes; drop adjacent dups.
 	out := best[:0]
 	for i, ref := range best {
 		if i == 0 || ref.id != best[i-1].id {
@@ -147,14 +297,117 @@ func planAccess(e *Engine, t *table, resolve colResolver, where *sqlparser.Expr)
 	return accessPlan{refs: out, indexed: true}
 }
 
+// orderPlan describes how a single-table SELECT satisfies its ORDER BY.
+type orderPlan struct {
+	// done: the row stream needs no sort — either every ORDER BY key is
+	// pinned to a constant by an = conjunct (any access path emits rows in
+	// rowid order, which equals the stable sort's tie order), or scan below
+	// is set.
+	done bool
+	// scan: enumerate rows through the ordered index in key order instead
+	// of planAccess, bounded by lo/hi when range conjuncts constrain the
+	// sort column.
+	scan   bool
+	ix     *ordIndex
+	col    int // table-local column position of the sort key
+	desc   bool
+	lo, hi *rangeBound
+}
+
+// planOrder decides whether the ORDER BY of a single-table, non-grouped,
+// non-DISTINCT SELECT is satisfiable without sorting. Keys whose columns are
+// pinned by a top-level `col = literal` conjunct are dropped first (a
+// constant column is sorted in any order); if nothing remains the order is
+// trivially done, and if exactly one bare column with an ordered index
+// remains the sort becomes a direction-aware index scan. access, when
+// non-nil, lets statements the plan cache marked non-elidable skip the
+// analysis.
+func planOrder(e *Engine, t *table, resolve colResolver, sel *sqlparser.Select, access *sqlparser.AccessInfo) orderPlan {
+	if len(sel.OrderBy) == 0 {
+		return orderPlan{done: true}
+	}
+	if e.noIndexPlan.Load() {
+		return orderPlan{}
+	}
+	if access != nil && !access.OrderElidable {
+		return orderPlan{}
+	}
+	if !sqlparser.AnalyzeAccess(nil, sel.OrderBy, sel.Items).OrderElidable {
+		return orderPlan{}
+	}
+	// Columns pinned to a constant by an = conjunct. No keyCompatible guard
+	// needed here: whatever the literal's class, at most one stored value of
+	// the column compares equal to it, so every surviving row carries the
+	// same key value.
+	var eqCols map[int]bool
+	walkConjuncts(sel.Where, func(ex *sqlparser.Expr) {
+		if ex.Kind != sqlparser.ExprBinary || ex.Op != "=" {
+			return
+		}
+		col, _, _, ok := colLit(ex)
+		if !ok {
+			return
+		}
+		if ci, ok := resolve(col); ok {
+			if eqCols == nil {
+				eqCols = make(map[int]bool)
+			}
+			eqCols[ci] = true
+		}
+	})
+	keyCol, keyDesc, nKeys := -1, false, 0
+	for _, oi := range sel.OrderBy {
+		ex := oi.Expr
+		if ex.Kind == sqlparser.ExprLiteral && ex.Lit.K == sqlval.KindInt {
+			pos := int(ex.Lit.I) - 1
+			if pos < 0 || pos >= len(sel.Items) || sel.Items[pos].Star {
+				return orderPlan{}
+			}
+			ex = sel.Items[pos].Expr
+		}
+		if ex == nil || ex.Kind != sqlparser.ExprColumn {
+			return orderPlan{}
+		}
+		ci, ok := resolve(ex)
+		if !ok {
+			return orderPlan{}
+		}
+		if eqCols[ci] {
+			continue // constant column: satisfied by any order
+		}
+		nKeys++
+		if nKeys > 1 {
+			if ci != keyCol || oi.Desc != keyDesc {
+				return orderPlan{}
+			}
+			nKeys-- // duplicate of the surviving key
+			continue
+		}
+		keyCol, keyDesc = ci, oi.Desc
+	}
+	if nKeys == 0 {
+		return orderPlan{done: true}
+	}
+	ox := t.orderedOn(keyCol)
+	if ox == nil {
+		return orderPlan{}
+	}
+	op := orderPlan{done: true, scan: true, ix: ox, col: keyCol, desc: keyDesc}
+	if r := extractRanges(t, resolve, sel.Where)[keyCol]; r != nil {
+		op.lo, op.hi = r.lo, r.hi
+	}
+	return op
+}
+
 // candidateRefs returns the row chains a WHERE clause can possibly match:
-// the planner's candidate list when an index applies, the full scan order
-// otherwise. UPDATE and DELETE iterate it while mutating the table, which is
-// safe because the planner copies index slices and the order slab loaded
-// here is immutable up to its published length. Caller holds the table latch
-// exclusively and resolves liveness per chain (writer view).
-func candidateRefs(e *Engine, t *table, cols map[string]int, where *sqlparser.Expr) []chainRef {
-	if plan := planAccess(e, t, envResolver(cols, 0, len(t.schema.Columns)), where); plan.indexed {
+// the planner's candidate list when an index applies (hash point, IN union
+// or ordered range), the full scan order otherwise. UPDATE and DELETE
+// iterate it while mutating the table, which is safe because the planner
+// copies index slices and the order slab loaded here is immutable up to its
+// published length. Caller holds the table latch exclusively and resolves
+// liveness per chain (writer view).
+func candidateRefs(e *Engine, t *table, cols map[string]int, where *sqlparser.Expr, access *sqlparser.AccessInfo) []chainRef {
+	if plan := planAccess(e, t, envResolver(cols, 0, len(t.schema.Columns)), where, access); plan.indexed {
 		return plan.refs
 	}
 	slab := t.order.Load()

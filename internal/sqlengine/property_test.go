@@ -230,15 +230,15 @@ func TestPropertyIndexPlanMatchesFullScan(t *testing.T) {
 		return out
 	}
 	both := func(sql string) (planned, scanned []string) {
-		e.noIndexPlan = false
+		e.noIndexPlan.Store(false)
 		r1, err := s.ExecSQL(sql)
 		if err != nil {
 			t.Fatalf("planned %q: %v", sql, err)
 		}
 		planned = render(r1)
-		e.noIndexPlan = true
+		e.noIndexPlan.Store(true)
 		r2, err := s.ExecSQL(sql)
-		e.noIndexPlan = false
+		e.noIndexPlan.Store(false)
 		if err != nil {
 			t.Fatalf("scanned %q: %v", sql, err)
 		}

@@ -40,10 +40,7 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 	e := s.engine
 	e.mu.RLock(s.shard)
 	defer e.mu.RUnlock(s.shard)
-	rv := readView{stamp: s.stamp}
-	if !e.latchedReads.Load() {
-		rv.ep = s.snapshotEpoch()
-	}
+	rv := readView{stamp: s.stamp, ep: s.snapshotEpoch()}
 
 	// Resolve sources and build the combined column map. An unaliased
 	// single-table query — the point-query hot path — reuses the table's
@@ -64,42 +61,6 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 		offset += len(t.schema.Columns)
 	}
 	totalCols := offset
-
-	// Latched mode (tests/benchmarks only): restore the pre-MVCC read path —
-	// shared storage latch on every scanned table, writer-view rows.
-	// Deduplicate by table identity (a self-join names the same storage
-	// twice, and re-entrant RLock would deadlock against a queued writer)
-	// and acquire in sorted name order; that ordering is load-bearing:
-	// sync.RWMutex blocks new readers behind a *pending* writer, so two
-	// joins latching in opposite orders plus one pending writer per table
-	// would cycle. With one global order a reader never holds a
-	// later-ordered latch while waiting for an earlier one.
-	if rv.latest = e.latchedReads.Load(); rv.latest {
-		latched := make([]*table, 0, len(srcs))
-		for _, src := range srcs {
-			dup := false
-			for _, lt := range latched {
-				if lt == src.t {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				latched = append(latched, src.t)
-			}
-		}
-		sort.Slice(latched, func(i, j int) bool {
-			return latched[i].schema.Name < latched[j].schema.Name
-		})
-		for _, lt := range latched {
-			lt.store.RLock()
-		}
-		defer func() {
-			for i := len(latched) - 1; i >= 0; i-- {
-				latched[i].store.RUnlock()
-			}
-		}()
-	}
 
 	var cols map[string]int
 	if len(srcs) == 1 && srcs[0].alias == srcs[0].name {
@@ -143,10 +104,10 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 	grouped := len(sel.GroupBy) > 0 || len(aggExprs) > 0
 
 	var rows [][]sqlval.Value
-	var whereDone bool
+	var whereDone, orderDone bool
 	var err error
 	if len(srcs) == 1 {
-		rows, whereDone, err = s.singleTableRows(sel, srcs[0], cols, grouped, rv)
+		rows, whereDone, orderDone, err = s.singleTableRows(sel, srcs[0], cols, grouped, rv)
 	} else {
 		rows, err = s.joinRows(sel, srcs, cols, totalCols, rv)
 	}
@@ -198,7 +159,7 @@ func (s *Session) execSelect(sel *sqlparser.Select) (*Result, error) {
 		out = dedup
 	}
 
-	if len(sel.OrderBy) > 0 {
+	if len(sel.OrderBy) > 0 && !orderDone {
 		if err := orderRows(sel, out, outCols); err != nil {
 			return nil, err
 		}
@@ -240,16 +201,32 @@ func (s *Session) selectNoFrom(sel *sqlparser.Select) (*Result, error) {
 // path, rows are used as stored — no pad-to-width copy — because the engine
 // never mutates a stored row in place (updates replace the whole slice).
 // The access planner turns indexable WHERE conjuncts into rowid candidates,
-// the WHERE clause is applied during the scan, and a LIMIT with no ORDER
-// BY, grouping or DISTINCT stops the scan as soon as enough rows matched.
-// The returned flag reports that WHERE has already been applied.
-func (s *Session) singleTableRows(sel *sqlparser.Select, src srcTable, cols map[string]int, grouped bool, rv readView) ([][]sqlval.Value, bool, error) {
+// the WHERE clause is applied during the scan, and a LIMIT stops the scan as
+// soon as enough rows matched whenever no later stage reorders, merges or
+// dedups rows — including ORDER BY satisfied by an ordered-index scan, the
+// top-k path: rows then stream out of the index in final order and the scan
+// halts after LIMIT+OFFSET live-at-epoch matches. The returned flags report
+// that WHERE has been applied and that the row order already satisfies
+// ORDER BY.
+func (s *Session) singleTableRows(sel *sqlparser.Select, src srcTable, cols map[string]int, grouped bool, rv readView) ([][]sqlval.Value, bool, bool, error) {
 	t := src.t
+	e := s.engine
+	resolve := envResolver(cols, src.offset, len(t.schema.Columns))
+
+	// Order plan: can the ORDER BY be satisfied without sorting? Grouping
+	// and DISTINCT re-shuffle rows after the scan, so elision only applies
+	// without them.
+	var op orderPlan
+	if !grouped && !sel.Distinct {
+		op = planOrder(e, t, resolve, sel, sel.Access)
+	} else if len(sel.OrderBy) == 0 {
+		op = orderPlan{done: true}
+	}
 
 	// LIMIT pushdown budget: offset+limit matching rows suffice when no
 	// later stage reorders, merges or dedups rows.
 	budget := int64(-1)
-	if sel.Limit != nil && len(sel.OrderBy) == 0 && !grouped && !sel.Distinct {
+	if sel.Limit != nil && op.done && !grouped && !sel.Distinct {
 		ev := &env{}
 		if lv, err := ev.eval(sel.Limit); err == nil {
 			if limit, err := lv.AsInt(); err == nil && limit >= 0 {
@@ -265,7 +242,7 @@ func (s *Session) singleTableRows(sel *sqlparser.Select, src srcTable, cols map[
 		}
 	}
 	if budget == 0 {
-		return nil, true, nil
+		return nil, true, op.done, nil
 	}
 
 	var rows [][]sqlval.Value
@@ -286,7 +263,46 @@ func (s *Session) singleTableRows(sel *sqlparser.Select, src srcTable, cols map[
 		return budget < 0 || int64(len(rows)) < budget
 	}
 
-	if plan := planAccess(s.engine, t, envResolver(cols, src.offset, len(t.schema.Columns)), sel.Where); plan.indexed {
+	// Path choice. With a LIMIT, the ordered scan is the top-k play: it
+	// stops after offset+limit live matches without materializing or sorting
+	// anything. Without one, the ordered scan must visit the whole range
+	// anyway, so a narrowing index path (point probe on another column, say)
+	// plus an in-memory sort usually touches far fewer rows — take the
+	// narrowing when one exists and keep the ordered scan as the no-sort
+	// fallback.
+	var plan accessPlan
+	if !op.scan || sel.Limit == nil {
+		plan = planAccess(e, t, resolve, sel.Where, sel.Access)
+	}
+	if op.scan && plan.indexed {
+		op.scan = false
+		op.done = false
+	}
+
+	if op.scan {
+		// Ordered-index scan: nodes stream in key order (reversed for
+		// DESC), each node's refs in ascending rowid order — exactly the
+		// tie order a stable sort over the scan order produces. A row is
+		// emitted only at the node whose key equals the value its snapshot
+		// version carries, so rows whose key changed across versions appear
+		// exactly once, in the right position.
+		keyPos := src.offset + op.col
+		op.ix.scan(t, op.lo, op.hi, op.desc, func(key sqlval.Value, refs []chainRef) bool {
+			for _, ref := range refs {
+				row := rv.resolve(ref.ch)
+				if row == nil || sqlval.Compare(row[keyPos], key) != 0 {
+					continue
+				}
+				if !add(row) {
+					return false
+				}
+			}
+			return evalErr == nil
+		})
+		return rows, true, true, evalErr
+	}
+
+	if plan.indexed {
 		for _, ref := range plan.refs {
 			if row := rv.resolve(ref.ch); row != nil {
 				if !add(row) {
@@ -297,7 +313,7 @@ func (s *Session) singleTableRows(sel *sqlparser.Select, src srcTable, cols map[
 	} else {
 		t.scanSnap(rv, add)
 	}
-	return rows, true, evalErr
+	return rows, true, op.done, evalErr
 }
 
 // joinRows materializes the FROM clause with nested-loop joins, using a hash
@@ -317,7 +333,7 @@ func (s *Session) joinRows(sel *sqlparser.Select, srcs []srcTable, cols map[stri
 		rows = append(rows, combined)
 		return true
 	}
-	if plan := planAccess(s.engine, base.t, envResolver(cols, base.offset, len(base.t.schema.Columns)), sel.Where); plan.indexed {
+	if plan := planAccess(s.engine, base.t, envResolver(cols, base.offset, len(base.t.schema.Columns)), sel.Where, sel.Access); plan.indexed {
 		for _, ref := range plan.refs {
 			if r := rv.resolve(ref.ch); r != nil {
 				seed(r)
@@ -701,7 +717,10 @@ func itemName(it sqlparser.SelectItem, i int) string {
 
 // orderRows sorts out in place according to ORDER BY. Keys resolve first to
 // output aliases, then to positional integers, then evaluate in the source
-// environment.
+// environment. Key extraction is hoisted out of the comparator
+// (decorate-sort-undecorate): each row's keys are resolved exactly once —
+// O(n·k) evaluations — instead of re-resolving aliases and re-evaluating
+// expressions on every comparison of the O(n log n) sort.
 func orderRows(sel *sqlparser.Select, out []outRow, outCols []string) error {
 	type keyFn func(r outRow) (sqlval.Value, error)
 	keys := make([]keyFn, len(sel.OrderBy))
@@ -735,20 +754,25 @@ func orderRows(sel *sqlparser.Select, out []outRow, outCols []string) error {
 			keys[i] = func(r outRow) (sqlval.Value, error) { return r.ev.eval(e) }
 		}
 	}
-	var sortErr error
-	sort.SliceStable(out, func(a, b int) bool {
-		for i := range keys {
-			va, err := keys[i](out[a])
+	nk := len(keys)
+	dec := make([]sqlval.Value, len(out)*nk)
+	for r := range out {
+		for i, fn := range keys {
+			v, err := fn(out[r])
 			if err != nil {
-				sortErr = err
-				return false
+				return err
 			}
-			vb, err := keys[i](out[b])
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			c := sqlval.Compare(va, vb)
+			dec[r*nk+i] = v
+		}
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := dec[idx[a]*nk:], dec[idx[b]*nk:]
+		for i := 0; i < nk; i++ {
+			c := sqlval.Compare(ka[i], kb[i])
 			if c == 0 {
 				continue
 			}
@@ -759,7 +783,12 @@ func orderRows(sel *sqlparser.Select, out []outRow, outCols []string) error {
 		}
 		return false
 	})
-	return sortErr
+	sorted := make([]outRow, len(out))
+	for i, j := range idx {
+		sorted[i] = out[j]
+	}
+	copy(out, sorted)
+	return nil
 }
 
 // applyLimit applies LIMIT/OFFSET.

@@ -66,6 +66,19 @@ type index struct {
 	columns []int // column positions
 	unique  bool
 	m       map[string]*idBucket // value key -> chain refs
+	// ord is the ordered view of a single-column index: a skiplist over the
+	// same insert-only refs, keyed by sqlval collation order, serving range
+	// predicates and ORDER BY ... LIMIT scans. Multi-column indexes stay
+	// hash-only. See ordered.go.
+	ord *ordIndex
+}
+
+// ordInsert mirrors an addRef into the ordered view, keyed by the row's
+// value in the indexed column. Caller holds the table latch exclusively.
+func (ix *index) ordInsert(t *table, row []sqlval.Value, id int64, ch *rowChain) {
+	if ix.ord != nil {
+		ix.ord.insert(t, row[ix.columns[0]], id, ch)
+	}
 }
 
 // idBucket is one hash bucket's chain-ref list.
@@ -136,6 +149,9 @@ type table struct {
 	indexes map[string]*index
 	keyBuf  []byte // reusable index-key scratch for the write path
 	garbage int    // versions superseded/popped since the last GC, under store
+	// gcCursor is the incremental GC's resume position in the order slab:
+	// chains below it were truncated this lap. Guarded by store exclusive.
+	gcCursor int
 	// cols is the prebuilt environment column map ("col" and "table.col"
 	// keys). The engine has no ALTER TABLE, so it is immutable after
 	// creation and shared by every unaliased single-table statement
@@ -163,7 +179,11 @@ func newTable(schema *Schema) *table {
 		}
 	}
 	if len(pkCols) > 0 {
-		t.indexes["__pk"] = &index{name: "__pk", columns: pkCols, unique: true, m: map[string]*idBucket{}}
+		pk := &index{name: "__pk", columns: pkCols, unique: true, m: map[string]*idBucket{}}
+		if len(pkCols) == 1 {
+			pk.ord = newOrdIndex()
+		}
+		t.indexes["__pk"] = pk
 	}
 	return t
 }
@@ -236,6 +256,7 @@ func (t *table) insertRow(row []sqlval.Value, stamp uint64) (int64, *rowVersion,
 	for _, ix := range t.indexes {
 		t.keyBuf = ix.appendKey(t.keyBuf[:0], row)
 		ix.addRef(t, t.keyBuf, id, ch)
+		ix.ordInsert(t, row, id, ch)
 	}
 	t.appendOrder(id, ch)
 	return id, v, nil
@@ -287,6 +308,7 @@ func (t *table) updateRow(id int64, newRow []sqlval.Value, stamp uint64) (*rowVe
 			continue
 		}
 		ix.addRef(t, nb, id, ch)
+		ix.ordInsert(t, newRow, id, ch)
 	}
 	return v, nil
 }
@@ -362,6 +384,9 @@ func (t *table) addIndex(name string, cols []int, unique bool) error {
 		return errf("index %s already exists on %s", name, t.schema.Name)
 	}
 	ix := &index{name: name, columns: cols, unique: unique, m: map[string]*idBucket{}}
+	if len(cols) == 1 {
+		ix.ord = newOrdIndex()
+	}
 	if unique {
 		seen := make(map[string]int64, len(t.rows))
 		for id, ch := range t.rows {
@@ -383,8 +408,22 @@ func (t *table) addIndex(name string, cols []int, unique bool) error {
 			}
 			t.keyBuf = ix.appendKey(t.keyBuf[:0], v.row)
 			ix.addRef(t, t.keyBuf, id, ch)
+			ix.ordInsert(t, v.row, id, ch)
 		}
 	}
 	t.indexes[name] = ix
+	return nil
+}
+
+// orderedOn returns the ordered view of a single-column index on colIdx, or
+// nil. Tower links are immutable pointers on the index struct, so probing
+// needs no lock (the indexes map itself only changes under the engine-
+// exclusive DDL lock, which excludes readers entirely).
+func (t *table) orderedOn(colIdx int) *ordIndex {
+	for _, ix := range t.indexes {
+		if len(ix.columns) == 1 && ix.columns[0] == colIdx && ix.ord != nil {
+			return ix.ord
+		}
+	}
 	return nil
 }

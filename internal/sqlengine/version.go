@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -191,21 +192,18 @@ func (s *Session) snapshotEpoch() uint64 {
 // COMMIT/ROLLBACK in a transaction).
 func (s *Session) unpin() { s.pin.Store(0) }
 
-// readView is the visibility context of one statement: either a pinned
-// snapshot epoch (plus the session's own-writes stamp), or — in the
-// test-only latched mode — the pre-MVCC writer view read under storage
-// latches.
+// readView is the visibility context of one statement: a pinned snapshot
+// epoch plus the session's own-writes stamp. (The pre-MVCC latched read
+// mode it used to carry was retired in PR 8: the snapshot==latched oracle
+// was re-proven as a planned==full-scan snapshot oracle over the ordered-
+// index paths, so the latched branch had no remaining caller.)
 type readView struct {
-	ep     uint64
-	stamp  uint64
-	latest bool // latched mode: resolve chain heads instead of epochs
+	ep    uint64
+	stamp uint64
 }
 
 // resolve returns the row the view sees in ch, or nil.
 func (rv readView) resolve(ch *rowChain) []sqlval.Value {
-	if rv.latest {
-		return ch.latestRow()
-	}
 	return ch.visibleRow(rv.ep, rv.stamp)
 }
 
@@ -264,25 +262,83 @@ func (e *Engine) deregisterSession(s *Session) {
 	sh.mu.Unlock()
 }
 
-// noteGarbage accrues superseded-version debt and sweeps once it crosses
-// the engine's GC threshold. Folded into statement end and session close so
-// version reclamation needs no dedicated background goroutine.
+// noteGarbage accrues superseded-version debt; once it crosses the engine's
+// GC threshold the debt is handed to the incremental sweeper — a bounded
+// per-table step inline, or a kick to the background goroutine when the
+// engine was built WithBackgroundGC — so a writer's statement end never pays
+// for a whole-catalog sweep.
 func (e *Engine) noteGarbage(n int) {
 	if n <= 0 {
 		return
 	}
 	if e.gcDebt.Add(int64(n)) >= e.gcEvery {
-		e.GC()
+		e.gcDebt.Store(0)
+		if e.gcKick != nil {
+			select {
+			case e.gcKick <- struct{}{}:
+			default: // a sweep is already pending; debt folds into it
+			}
+			return
+		}
+		e.gcStep()
 	}
 }
 
-// GC reclaims row versions no pinned snapshot can reach: for every chain it
-// drops versions strictly older than the newest committed version at or
-// below the watermark, removes chains whose surviving state is a committed
-// tombstone (or an undone insert), and prunes index refs and order entries
-// pointing at removed chains. It takes each table's latch briefly — never
-// the engine-exclusive lock — so it runs concurrently with reads and with
-// writes to other tables.
+// gcChainBatch bounds how many chains one incremental GC step touches.
+// Tables at or below the batch get the full sweep (truncation, chain
+// removal, slab compaction, index pruning) in one step — which keeps the
+// small-table reclamation tests exact — while larger tables amortize
+// truncation across steps and pay the compaction pass only once per lap.
+const gcChainBatch = 4096
+
+// gcStep runs one bounded increment of the garbage collector: it picks the
+// next table in round-robin order that has reclaimable debt and sweeps at
+// most gcChainBatch of its chains, resuming at the table's cursor. Steps are
+// serialized by gcBusy; a trigger that finds a step in flight simply drops
+// its turn (the running step is already draining the same debt).
+func (e *Engine) gcStep() {
+	if !e.gcBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer e.gcBusy.Store(false)
+	w := e.watermark()
+	sh := e.rshard()
+	e.mu.RLock(sh)
+	names := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tables := make([]*table, len(names))
+	for i, name := range names {
+		tables[i] = e.tables[name]
+	}
+	e.mu.RUnlock(sh)
+	// One full rotation at most: sweep the first table with pending garbage
+	// or an unfinished incremental lap, starting after the last table swept.
+	for range tables {
+		t := tables[e.gcNext%len(tables)]
+		e.gcNext++
+		t.store.Lock()
+		if t.garbage == 0 && t.gcCursor == 0 {
+			t.store.Unlock()
+			continue
+		}
+		t.gcStepLocked(w, gcChainBatch)
+		t.store.Unlock()
+		return
+	}
+}
+
+// GC reclaims row versions no pinned snapshot can reach across the whole
+// catalog: for every chain it drops versions strictly older than the newest
+// committed version at or below the watermark, removes chains whose
+// surviving state is a committed tombstone (or an undone insert), and prunes
+// index refs — hash buckets, ordered-view nodes — and order entries pointing
+// at removed chains. It takes each table's latch briefly — never the
+// engine-exclusive lock — so it runs concurrently with reads and with writes
+// to other tables. Session close and tests use it for exact reclamation; the
+// write path goes through gcStep instead.
 func (e *Engine) GC() {
 	e.gcDebt.Store(0)
 	w := e.watermark()
@@ -295,6 +351,7 @@ func (e *Engine) GC() {
 	e.mu.RUnlock(sh)
 	for _, t := range tables {
 		t.store.Lock()
+		t.gcCursor = 0
 		t.gcLocked(w)
 		t.store.Unlock()
 	}
@@ -328,6 +385,64 @@ func (e *Engine) VersionStatsSnapshot() VersionStats {
 	return vs
 }
 
+// truncateChain drops the versions of one chain that no snapshot pinned at
+// or after watermark w can reach: everything strictly older than the newest
+// version committed at or below w. It reports whether the chain has
+// collapsed to nothing a future snapshot could see — a committed tombstone
+// (collapsed=true with a surviving head) or an undone insert (empty=true) —
+// so callers can retire the rowid.
+func truncateChain(ch *rowChain, w uint64) (empty, collapsed bool) {
+	head := ch.head.Load()
+	if head == nil {
+		return true, false
+	}
+	var keep *rowVersion
+	for v := head; v != nil; v = v.prev.Load() {
+		f := v.from.Load()
+		if f&uncommittedBit == 0 && f <= w {
+			keep = v
+			break
+		}
+	}
+	if keep == nil {
+		return false, false
+	}
+	keep.prev.Store(nil)
+	return false, keep == head && keep.row == nil
+}
+
+// gcStepLocked runs one bounded GC increment on this table. Small tables
+// (at or below batch chains) get the exact full sweep. Larger tables pay
+// truncation — the per-chain O(versions) part, which is the bulk of GC work
+// under update churn — over successive batches tracked by gcCursor, and run
+// the full sweep (which also removes dead chains, compacts the order slab
+// and prunes indexes) only on the step that finishes a lap. Caller holds the
+// table latch exclusively.
+func (t *table) gcStepLocked(w uint64, batch int) {
+	slab := t.order.Load()
+	n := int(slab.n.Load())
+	if n <= batch {
+		t.gcCursor = 0
+		t.gcLocked(w)
+		return
+	}
+	end := t.gcCursor + batch
+	if end >= n {
+		end = n
+	}
+	for i := t.gcCursor; i < end; i++ {
+		truncateChain(slab.entries[i].ch, w)
+	}
+	if end >= n {
+		// Lap complete: the full sweep retires dead chains and re-zeroes the
+		// garbage counter; chains truncated above are cheap to revisit.
+		t.gcCursor = 0
+		t.gcLocked(w)
+		return
+	}
+	t.gcCursor = end
+}
+
 // gcLocked reclaims unreachable versions of one table. Caller holds the
 // table latch exclusively; index buckets are swapped wholesale under idxMu
 // so latch-free readers always see a complete bucket.
@@ -335,30 +450,11 @@ func (t *table) gcLocked(w uint64) {
 	t.garbage = 0
 	removed := false
 	for id, ch := range t.rows {
-		head := ch.head.Load()
-		if head == nil {
-			// An undone insert: the chain never committed anything.
-			delete(t.rows, id)
-			removed = true
-			continue
-		}
-		// Find the newest version committed at or below the watermark; no
-		// pinned snapshot can see anything older.
-		var keep *rowVersion
-		for v := head; v != nil; v = v.prev.Load() {
-			f := v.from.Load()
-			if f&uncommittedBit == 0 && f <= w {
-				keep = v
-				break
-			}
-		}
-		if keep == nil {
-			continue
-		}
-		keep.prev.Store(nil)
-		if keep == head && keep.row == nil {
-			// The whole chain has collapsed to a committed tombstone every
-			// live snapshot agrees on: the rowid is gone.
+		empty, collapsed := truncateChain(ch, w)
+		if empty || collapsed {
+			// An undone insert that never committed anything, or a chain
+			// collapsed to a committed tombstone every live snapshot agrees
+			// on: the rowid is gone.
 			delete(t.rows, id)
 			removed = true
 		}
@@ -413,5 +509,10 @@ func (t *table) gcLocked(w uint64) {
 			}
 		}
 		t.idxMu.Unlock()
+	}
+	for _, ix := range t.indexes {
+		if ix.ord != nil {
+			ix.ord.gcLocked(t)
+		}
 	}
 }

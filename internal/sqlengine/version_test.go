@@ -7,40 +7,45 @@ import (
 	"testing"
 )
 
-// runBothModes executes the query in snapshot mode and in latched
-// (pre-MVCC) mode and asserts byte-identical results. Only valid when no
-// other session holds uncommitted changes: the latched mode reads chain
-// heads, which include foreign uncommitted versions a snapshot hides.
-func runBothModes(t *testing.T, e *Engine, s *Session, query string) {
+// runBothPlans executes the query twice against the same snapshot — once
+// index-planned (hash probes, ordered-range scans, ORDER BY elision) and
+// once with planning forced off (full scan plus in-memory sort) — and
+// asserts byte-identical results, order included. This is the snapshot-vs-
+// snapshot oracle that replaced the retired latched-read mode: both
+// executions resolve rows through the same MVCC read view, so any
+// divergence is a planner or ordered-index bug, not a visibility race.
+func runBothPlans(t *testing.T, e *Engine, s *Session, query string) {
 	t.Helper()
-	snap, err := s.ExecSQL(query)
+	planned, err := s.ExecSQL(query)
 	if err != nil {
-		t.Fatalf("%q (snapshot): %v", query, err)
+		t.Fatalf("%q (planned): %v", query, err)
 	}
-	e.latchedReads.Store(true)
-	latched, err := s.ExecSQL(query)
-	e.latchedReads.Store(false)
+	e.noIndexPlan.Store(true)
+	scanned, err := s.ExecSQL(query)
+	e.noIndexPlan.Store(false)
 	if err != nil {
-		t.Fatalf("%q (latched): %v", query, err)
+		t.Fatalf("%q (full scan): %v", query, err)
 	}
-	if len(snap.Rows) != len(latched.Rows) {
-		t.Fatalf("%q: snapshot %d rows, latched %d rows", query, len(snap.Rows), len(latched.Rows))
+	if len(planned.Rows) != len(scanned.Rows) {
+		t.Fatalf("%q: planned %d rows, full scan %d rows", query, len(planned.Rows), len(scanned.Rows))
 	}
-	for i := range snap.Rows {
-		if rowKey(snap.Rows[i]) != rowKey(latched.Rows[i]) {
-			t.Fatalf("%q row %d: snapshot %v, latched %v", query, i, snap.Rows[i], latched.Rows[i])
+	for i := range planned.Rows {
+		if rowKey(planned.Rows[i]) != rowKey(scanned.Rows[i]) {
+			t.Fatalf("%q row %d: planned %v, full scan %v", query, i, planned.Rows[i], scanned.Rows[i])
 		}
 	}
 }
 
-// TestSnapshotEqualsLatchedReads is the property test backing the MVCC
-// refactor: at any quiescent point (and, for the writing session itself, at
-// any point inside its own transaction) a snapshot read returns exactly what
-// the pre-MVCC latched read path returns — same rows, same order, same
-// values — across full scans, index point lookups, IN plans, joins and
-// aggregates. A seeded random workload of inserts, updates, deletes,
-// rollbacks and index DDL drives the comparison.
-func TestSnapshotEqualsLatchedReads(t *testing.T) {
+// TestSnapshotPlannedEqualsFullScan is the property test backing the
+// ordered-index work (and the successor of the retired snapshot==latched
+// oracle): at any quiescent point — and, for the writing session itself, at
+// any point inside its own transaction — every planned execution returns
+// exactly what a forced full scan returns, across point lookups, IN plans,
+// range predicates, BETWEEN, ORDER BY [DESC] ... LIMIT/OFFSET top-k scans,
+// NULL sort boundaries, joins and aggregates. A seeded random workload of
+// inserts (including NULL keys), updates, deletes and rollbacks drives the
+// comparison.
+func TestSnapshotPlannedEqualsFullScan(t *testing.T) {
 	e := New("prop")
 	s := e.NewSession()
 	mustExec(t, s, "CREATE TABLE p (id INTEGER PRIMARY KEY, cat INTEGER, val INTEGER)")
@@ -53,6 +58,17 @@ func TestSnapshotEqualsLatchedReads(t *testing.T) {
 		"SELECT id, cat, val FROM p WHERE cat = 3",
 		"SELECT id FROM p WHERE cat IN (1, 4, 7)",
 		"SELECT id, val FROM p WHERE id = 17",
+		"SELECT id, cat FROM p WHERE cat > 3 AND cat <= 7",
+		"SELECT id, cat FROM p WHERE cat BETWEEN 2 AND 5 AND val < 50",
+		"SELECT id, cat FROM p WHERE id >= 40 AND id < 60",
+		"SELECT id, cat, val FROM p ORDER BY cat LIMIT 7",
+		"SELECT id, cat, val FROM p ORDER BY cat DESC LIMIT 7",
+		"SELECT id, cat, val FROM p ORDER BY cat LIMIT 5 OFFSET 3",
+		"SELECT id, cat, val FROM p ORDER BY id DESC LIMIT 4",
+		"SELECT id, cat FROM p WHERE cat >= 2 ORDER BY cat LIMIT 6",
+		"SELECT id, cat FROM p WHERE val < 70 ORDER BY cat DESC LIMIT 6",
+		"SELECT id, val FROM p WHERE cat = 4 ORDER BY cat LIMIT 5",
+		"SELECT id, cat, val FROM p ORDER BY cat, id",
 		"SELECT COUNT(*), MIN(val), MAX(val) FROM p",
 		"SELECT cat, COUNT(*) FROM p GROUP BY cat ORDER BY cat",
 		"SELECT p.id, q.w FROM p, q WHERE p.id = q.pid ORDER BY p.id, q.w",
@@ -60,7 +76,7 @@ func TestSnapshotEqualsLatchedReads(t *testing.T) {
 	}
 	check := func() {
 		for _, q := range queries {
-			runBothModes(t, e, s, q)
+			runBothPlans(t, e, s, q)
 		}
 	}
 
@@ -70,7 +86,11 @@ func TestSnapshotEqualsLatchedReads(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			switch rng.Intn(5) {
 			case 0, 1:
-				mustExec(t, s, fmt.Sprintf("INSERT INTO p (id, cat, val) VALUES (%d, %d, %d)", nextID, rng.Intn(10), rng.Intn(100)))
+				cat := fmt.Sprintf("%d", rng.Intn(10))
+				if rng.Intn(8) == 0 {
+					cat = "NULL" // exercise NULL-first ordering boundaries
+				}
+				mustExec(t, s, fmt.Sprintf("INSERT INTO p (id, cat, val) VALUES (%d, %s, %d)", nextID, cat, rng.Intn(100)))
 				if rng.Intn(2) == 0 {
 					mustExec(t, s, fmt.Sprintf("INSERT INTO q (id, pid, w) VALUES (%d, %d, %d)", nextID, rng.Intn(nextID+1), rng.Intn(100)))
 				}
@@ -80,10 +100,10 @@ func TestSnapshotEqualsLatchedReads(t *testing.T) {
 			case 3:
 				mustExec(t, s, fmt.Sprintf("DELETE FROM p WHERE id = %d", rng.Intn(nextID+1)))
 			case 4:
-				// A rolled-back transaction must leave both views unchanged.
+				// A rolled-back transaction must leave both plans unchanged.
 				mustExec(t, s, "BEGIN")
 				mustExec(t, s, fmt.Sprintf("UPDATE p SET val = -1 WHERE cat = %d", rng.Intn(10)))
-				// Own uncommitted writes are visible in both modes.
+				// Own uncommitted writes are visible to both plans.
 				check()
 				mustExec(t, s, "ROLLBACK")
 			}

@@ -78,12 +78,19 @@ type Update struct {
 	Table string
 	Set   []Assignment
 	Where *Expr
+	// Access is the statement's precomputed access-shape summary (see
+	// AnalyzeAccess). Shallow statement clones share the pointer: the
+	// summary holds shapes, never literal values, so parameter binding does
+	// not invalidate it. nil means "not analyzed" — planners fall back to
+	// walking the AST.
+	Access *AccessInfo
 }
 
 // Delete is DELETE FROM table [WHERE ...].
 type Delete struct {
-	Table string
-	Where *Expr
+	Table  string
+	Where  *Expr
+	Access *AccessInfo // see Update.Access
 }
 
 // JoinKind distinguishes the supported join flavours.
@@ -129,6 +136,7 @@ type Select struct {
 	OrderBy  []OrderItem
 	Limit    *Expr // nil when absent
 	Offset   *Expr
+	Access   *AccessInfo // see Update.Access
 }
 
 // Begin starts a transaction.

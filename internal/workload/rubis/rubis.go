@@ -65,6 +65,11 @@ func SchemaSQL() []string {
 		`CREATE INDEX idx_items_cat ON items (it_cat_id)`,
 		`CREATE INDEX idx_bids_item ON bids (b_it_id)`,
 		`CREATE INDEX idx_users_region ON users (u_r_id)`,
+		// Ordered (skiplist) views on the auction hot paths: closing-soon
+		// item lists (ORDER BY it_end_date LIMIT n) and top-bid lookups
+		// (ORDER BY b_bid DESC LIMIT n) run as bounded index scans.
+		`CREATE INDEX idx_items_end_date ON items (it_end_date)`,
+		`CREATE INDEX idx_bids_bid ON bids (b_bid)`,
 	}
 }
 

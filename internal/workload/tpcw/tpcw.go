@@ -109,6 +109,13 @@ func SchemaSQL() []string {
 		`CREATE INDEX idx_ol_order ON order_line (ol_o_id)`,
 		`CREATE INDEX idx_ol_item ON order_line (ol_i_id)`,
 		`CREATE INDEX idx_scl_cart ON shopping_cart_line (scl_sc_id)`,
+		// Single-column indexes carry an ordered (skiplist) view: the browse
+		// mix's subject filters, new-products date ranges and best-seller
+		// ORDER BY ... LIMIT queries plan as bounded index scans.
+		`CREATE INDEX idx_item_subject ON item (i_subject)`,
+		`CREATE INDEX idx_item_pub_date ON item (i_pub_date)`,
+		`CREATE INDEX idx_item_title ON item (i_title)`,
+		`CREATE INDEX idx_orders_date ON orders (o_date)`,
 	}
 }
 
