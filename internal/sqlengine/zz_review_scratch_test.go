@@ -1,0 +1,38 @@
+package sqlengine
+
+import "testing"
+
+func TestReviewScratchPositionalOrderByWithStar(t *testing.T) {
+	e := New("db")
+	defer e.Close()
+	s, err := e.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustExecSQL := func(q string) *Result {
+		r, err := s.ExecSQL(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return r
+	}
+	mustExecSQL("CREATE TABLE t (x INTEGER PRIMARY KEY, y INTEGER)")
+	mustExecSQL("INSERT INTO t (x, y) VALUES (1, 30)")
+	mustExecSQL("INSERT INTO t (x, y) VALUES (2, 10)")
+	mustExecSQL("INSERT INTO t (x, y) VALUES (3, 20)")
+	// ORDER BY 2 refers to output column 2, which after * expansion is y.
+	r1 := mustExecSQL("SELECT *, x FROM t ORDER BY 2")
+	e.noIndexPlan.Store(true)
+	r2 := mustExecSQL("SELECT *, x FROM t ORDER BY 2")
+	e.noIndexPlan.Store(false)
+	if len(r1.Rows) != 3 || len(r2.Rows) != 3 {
+		t.Fatalf("row counts: %d vs %d", len(r1.Rows), len(r2.Rows))
+	}
+	for i := range r1.Rows {
+		if r1.Rows[i][1].I != r2.Rows[i][1].I {
+			t.Fatalf("row %d: planned y=%d, fullscan y=%d\nplanned=%v\nscan=%v",
+				i, r1.Rows[i][1].I, r2.Rows[i][1].I, r1.Rows, r2.Rows)
+		}
+	}
+}
