@@ -59,10 +59,19 @@ type VirtualDatabaseConfig struct {
 	// Users maps virtual logins to passwords; empty accepts everyone.
 	Users map[string]string
 
-	// PartialReplication maps table -> backend names hosting it. Empty
-	// means full replication. Tables found on backends at enable time are
-	// merged in (dynamic schema gathering).
+	// PartialReplication maps table -> backend names hosting it (RAIDb-2,
+	// §2.4.3). Empty means full replication unless a backend declares a
+	// hosted-table subset with WithTables. Declared tables keep their
+	// placement authoritative: dynamic schema gathering never overrides it.
+	// Tables found on backends at enable time are merged in (dynamic schema
+	// gathering); tables in neither source replicate fully.
 	PartialReplication map[string][]string
+
+	// PartialByTables switches to partial replication even when
+	// PartialReplication is empty, so placement can be declared entirely
+	// per-backend through WithTables. Implied by a non-empty
+	// PartialReplication map.
+	PartialByTables bool
 
 	// LoadBalancer is "lprf" (least pending requests first, the default),
 	// "rr" (round robin) or "wrr" (weighted round robin).
@@ -171,7 +180,7 @@ type VirtualDatabase struct {
 // CreateVirtualDatabase registers a virtual database on the controller.
 func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualDatabase, error) {
 	var repl balancer.Replication
-	if len(cfg.PartialReplication) > 0 {
+	if len(cfg.PartialReplication) > 0 || cfg.PartialByTables {
 		repl = balancer.NewPartialReplication(cfg.PartialReplication)
 	}
 	bal, err := balancer.New(cfg.LoadBalancer)
@@ -325,6 +334,24 @@ func WithWriteWorkers(n int) BackendOption {
 	return func(c *backend.Config) { c.WriteWorkers = n }
 }
 
+// WithTables declares the subset of the virtual database's tables this
+// backend hosts (RAIDb-2 partial replication). The virtual database must
+// use partial replication (a non-empty PartialReplication map, or
+// PartialByTables). Reads route to the backend only when it hosts the
+// statement's whole footprint, writes and recovery streams reach it only
+// for hosted tables, and backups and restores transfer only the hosted
+// subset. Use ValidatePlacement after adding all backends to check that
+// every declared table has at least one host.
+func WithTables(tables ...string) BackendOption {
+	return func(c *backend.Config) { c.Tables = append(c.Tables, tables...) }
+}
+
+// NoHostError is the typed failure of partial replication routing: no
+// enabled backend hosts the statement's whole footprint (a read joining
+// tables placed on disjoint backends, or a write whose every host is
+// down). Extract it with errors.As to learn the offending tables.
+type NoHostError = balancer.NoHostError
+
 // AddInMemoryBackend creates a fresh in-process SQL engine and attaches it
 // as a backend, returning the engine's name.
 func (v *VirtualDatabase) AddInMemoryBackend(name string, opts ...BackendOption) error {
@@ -381,6 +408,14 @@ func (v *VirtualDatabase) LeaveGroup() {
 		v.dist.Leave()
 		v.dist = nil
 	}
+}
+
+// ValidatePlacement checks the declared table placement against the
+// attached backends: every declared table must be hosted by at least one of
+// them and every host name must match a backend. Call it after the last
+// AddBackend. A no-op under full replication.
+func (v *VirtualDatabase) ValidatePlacement() error {
+	return v.inner.ValidatePlacement()
 }
 
 // Checkpoint writes a named marker into the recovery log.

@@ -98,6 +98,11 @@ type backendFileConfig struct {
 	// WriteWorkers sizes the backend's auto-commit write worker pool
 	// (0 = GOMAXPROCS, minimum 2; negative = goroutine-per-write baseline).
 	WriteWorkers int `json:"writeWorkers"`
+	// Tables declares the subset of the virtual database's tables this
+	// backend hosts (RAIDb-2 partial replication); empty hosts everything.
+	// Requires partial replication on the virtual database (a
+	// "partialReplication" map, or any backend declaring tables).
+	Tables []string `json:"tables"`
 }
 
 func main() {
@@ -119,6 +124,13 @@ func main() {
 	ctrl := cjdbc.NewController(cfg.Name, cfg.ID)
 	defer ctrl.Close()
 	for _, vc := range cfg.VirtualDatabases {
+		partialByTables := false
+		for _, bc := range vc.Backends {
+			if len(bc.Tables) > 0 {
+				partialByTables = true
+				break
+			}
+		}
 		vcfg := cjdbc.VirtualDatabaseConfig{
 			Name:               vc.Name,
 			Users:              vc.Users,
@@ -127,6 +139,7 @@ func main() {
 			RecoveryLogPath:    vc.RecoveryLog,
 			RecoveryWorkers:    vc.RecoveryWorkers,
 			PartialReplication: vc.PartialReplication,
+			PartialByTables:    partialByTables,
 		}
 		if vc.Cache != nil {
 			vcfg.Cache = &cjdbc.CacheConfig{
@@ -160,6 +173,9 @@ func main() {
 			if bc.WriteWorkers != 0 {
 				opts = append(opts, cjdbc.WithWriteWorkers(bc.WriteWorkers))
 			}
+			if len(bc.Tables) > 0 {
+				opts = append(opts, cjdbc.WithTables(bc.Tables...))
+			}
 			if bc.DSN != "" {
 				err = vdb.AddClusterBackend(bc.Name, bc.DSN, opts...)
 			} else {
@@ -168,6 +184,9 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+		}
+		if err := vdb.ValidatePlacement(); err != nil {
+			fatal(err)
 		}
 		if vc.Group != "" {
 			if err := vdb.JoinGroup(vc.Group, cfg.Name); err != nil {

@@ -1,11 +1,14 @@
-// Partial replication (§2.4.3): tables are placed on subsets of the
-// backends. The hot "session" table lives on two machines only, so its
+// Partial replication (RAIDb-2, §2.4.3): tables are placed on subsets of
+// the backends. The hot "session" table lives on two machines only, so its
 // write broadcast does not consume capacity of the other replicas — the
 // same mechanism that confines TPC-W's best-seller temporary tables to two
-// backends in Figure 10.
+// backends in Figure 10. Placement is declared per backend with WithTables
+// (the controller JSON's "tables" field) and checked with
+// ValidatePlacement.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -18,19 +21,27 @@ func main() {
 
 	vdb, err := ctrl.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{
 		Name: "app",
-		PartialReplication: map[string][]string{
-			"account": {"db0", "db1", "db2"}, // replicated everywhere
-			"session": {"db0", "db1"},        // hot write table: two hosts only
-			"archive": {"db2"},               // cold data: one host
-		},
+		// Placement comes entirely from the per-backend declarations below.
+		PartialByTables: true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// account is replicated everywhere; session (hot writes) lives on two
+	// hosts; archive (cold data) on one.
+	hosted := map[string][]string{
+		"db0": {"account", "session"},
+		"db1": {"account", "session"},
+		"db2": {"account", "archive"},
+	}
 	for _, name := range []string{"db0", "db1", "db2"} {
-		if err := vdb.AddInMemoryBackend(name); err != nil {
+		if err := vdb.AddInMemoryBackend(name, cjdbc.WithTables(hosted[name]...)); err != nil {
 			log.Fatal(err)
 		}
+	}
+	// Every declared table has a host and every host names a real backend.
+	if err := vdb.ValidatePlacement(); err != nil {
+		log.Fatal(err)
 	}
 
 	sess, err := vdb.OpenSession("app", "")
@@ -46,6 +57,7 @@ func main() {
 		}
 		return rows
 	}
+	// DDL routes to the declared hosts: db2 never materializes session.
 	must("CREATE TABLE account (id INTEGER PRIMARY KEY, name VARCHAR)")
 	must("CREATE TABLE session (sid INTEGER PRIMARY KEY, aid INTEGER, ts TIMESTAMP)")
 	must("CREATE TABLE archive (id INTEGER PRIMARY KEY, blob_data VARCHAR)")
@@ -70,8 +82,13 @@ func main() {
 		fmt.Printf("backend %s executed %d operations\n", b.Name(), b.Ops())
 	}
 
-	// A query joining tables with no common host is refused.
-	if _, err := sess.Query("SELECT * FROM session s JOIN archive ar ON s.sid = ar.id"); err != nil {
-		fmt.Printf("join across disjoint partitions correctly refused: %v\n", err)
+	// A query joining tables with no common host fails with the typed
+	// NoHostError naming the unservable footprint.
+	_, err = sess.Query("SELECT * FROM session s JOIN archive ar ON s.sid = ar.id")
+	var nh *cjdbc.NoHostError
+	if errors.As(err, &nh) {
+		fmt.Printf("join across disjoint partitions correctly refused; footprint %v has no common host\n", nh.Tables)
+	} else {
+		log.Fatalf("expected NoHostError, got %v", err)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +69,12 @@ type Config struct {
 	// goroutine per ready write instead of resident workers — the execution
 	// model the pool replaced, kept as the measurement baseline.
 	WriteWorkers int
+	// Tables declares the subset of the virtual database's tables this
+	// backend hosts (RAIDb-2 partial replication, §2.4.3). Empty means the
+	// backend hosts everything (RAIDb-1 full replication). The controller
+	// pins each declared table's placement to the declaring backends and
+	// routes reads, writes, and recovery streams accordingly.
+	Tables []string
 }
 
 // Backend is one database of a virtual database: a native driver plus the
@@ -103,6 +111,7 @@ type Backend struct {
 	driver   Driver
 	cost     *CostModel
 	maxConns int
+	declared []string // lower-cased declared hosted tables; nil = all
 
 	state atomic.Int32
 
@@ -243,9 +252,22 @@ func New(cfg Config) *Backend {
 	if workers == 0 {
 		workers = max(2, runtime.GOMAXPROCS(0))
 	}
+	var declared []string
+	if len(cfg.Tables) > 0 {
+		seen := make(map[string]bool, len(cfg.Tables))
+		for _, t := range cfg.Tables {
+			lt := strings.ToLower(strings.TrimSpace(t))
+			if lt != "" && !seen[lt] {
+				seen[lt] = true
+				declared = append(declared, lt)
+			}
+		}
+		sort.Strings(declared)
+	}
 	b := &Backend{
 		name:     cfg.Name,
 		weight:   cfg.Weight,
+		declared: declared,
 		driver:   cfg.Driver,
 		cost:     cfg.Cost,
 		maxConns: cfg.MaxConns,
@@ -264,6 +286,17 @@ func New(cfg Config) *Backend {
 
 // Name returns the backend name.
 func (b *Backend) Name() string { return b.name }
+
+// DeclaredTables returns the backend's declared hosted-table subset
+// (lower-cased, sorted, deduplicated), or nil when it hosts everything.
+func (b *Backend) DeclaredTables() []string {
+	out := make([]string, len(b.declared))
+	copy(out, b.declared)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
 
 // Weight returns the load-balancing weight.
 func (b *Backend) Weight() int { return b.weight }

@@ -18,6 +18,24 @@ import (
 // ErrNoBackend is returned when no enabled backend can serve the request.
 var ErrNoBackend = errors.New("balancer: no enabled backend can execute this request")
 
+// NoHostError reports that routing found no enabled backend hosting every
+// table a statement references — the RAIDb-2 failure mode where placement,
+// not load or health, makes a request unservable (a join across tables
+// placed on disjoint backends, or every host of a table being down). It
+// matches ErrNoBackend under errors.Is so existing fallbacks keep working,
+// and errors.As extracts the offending footprint.
+type NoHostError struct {
+	Tables []string
+}
+
+// Error names the unhostable footprint.
+func (e *NoHostError) Error() string {
+	return "balancer: no enabled backend hosts all of [" + strings.Join(e.Tables, ", ") + "]"
+}
+
+// Unwrap makes errors.Is(err, ErrNoBackend) hold.
+func (e *NoHostError) Unwrap() error { return ErrNoBackend }
+
 // Balancer picks one backend among the candidates able to serve a read.
 type Balancer interface {
 	Name() string
@@ -144,6 +162,25 @@ type Replication interface {
 	Hosts(table string) []string
 }
 
+// Placement is the optional interface a replication policy implements when
+// table placement is explicit (RAIDb-2 partial replication). The controller
+// type-asserts it to declare per-backend table subsets, build recovery host
+// filters, and validate configurations; full replication does not implement
+// it, so every placement-aware path degrades to "host everything".
+type Placement interface {
+	// DeclareHost pins a table to an additional host. Declared placement is
+	// authoritative: dynamic schema gathering never overrides it.
+	DeclareHost(table, host string)
+	// Hosted reports whether a backend hosts a table. Tables absent from
+	// the placement map count as hosted everywhere.
+	Hosted(table, host string) bool
+	// ReattachHost records that a re-integrated backend hosts the given
+	// tables (the ones its restored state actually contains).
+	ReattachHost(host string, tables []string)
+	// Validate checks the placement against the cluster's backend names.
+	Validate(backends []string) error
+}
+
 // FullReplication hosts every table on every backend.
 type FullReplication struct{}
 
@@ -173,21 +210,31 @@ func (FullReplication) NoteDrop(string) {}
 func (FullReplication) Hosts(string) []string { return nil }
 
 // PartialReplication maps tables to the backends hosting them, configured
-// per table and updated dynamically on CREATE/DROP (§2.4.3).
+// per table and updated dynamically on CREATE/DROP (§2.4.3). Declared
+// (pinned) tables — those in the initial map or added through DeclareHost —
+// keep their operator-chosen placement: a CREATE observed while some host
+// is down must not shrink the replica set, and a replayed DROP must not
+// erase where the table belongs on re-create.
 type PartialReplication struct {
-	mu    sync.RWMutex
-	hosts map[string]map[string]bool // table -> backend name set
+	mu     sync.RWMutex
+	hosts  map[string]map[string]bool // table -> backend name set
+	pinned map[string]bool            // tables with operator-declared placement
 }
 
 // NewPartialReplication builds a policy from a table -> backend-names map.
+// Every table in the map is pinned.
 func NewPartialReplication(tables map[string][]string) *PartialReplication {
-	p := &PartialReplication{hosts: make(map[string]map[string]bool, len(tables))}
+	p := &PartialReplication{
+		hosts:  make(map[string]map[string]bool, len(tables)),
+		pinned: make(map[string]bool, len(tables)),
+	}
 	for t, bs := range tables {
 		set := make(map[string]bool, len(bs))
 		for _, b := range bs {
 			set[b] = true
 		}
 		p.hosts[strings.ToLower(t)] = set
+		p.pinned[strings.ToLower(t)] = true
 	}
 	return p
 }
@@ -270,22 +317,109 @@ func (p *PartialReplication) WriteTargets(tables []string, all []*backend.Backen
 	return out
 }
 
-// NoteCreate records a new table's hosts.
+// NoteCreate records a new table's hosts. Pinned tables are left alone:
+// their placement is declared, not observed.
 func (p *PartialReplication) NoteCreate(table string, hosts []string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	t := strings.ToLower(table)
+	if p.pinned[t] {
+		return
+	}
 	set := make(map[string]bool, len(hosts))
 	for _, h := range hosts {
 		set[h] = true
 	}
-	p.hosts[strings.ToLower(table)] = set
+	p.hosts[t] = set
 }
 
-// NoteDrop removes a table.
+// NoteDrop removes a dynamically gathered table. A pinned table keeps its
+// declared placement across DROP/CREATE cycles.
 func (p *PartialReplication) NoteDrop(table string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	delete(p.hosts, strings.ToLower(table))
+	t := strings.ToLower(table)
+	if p.pinned[t] {
+		return
+	}
+	delete(p.hosts, t)
+}
+
+// DeclareHost pins a table to an additional host; the declared placement
+// grows as backends declaring the table join the cluster.
+func (p *PartialReplication) DeclareHost(table, host string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := strings.ToLower(table)
+	set := p.hosts[t]
+	if set == nil {
+		set = make(map[string]bool, 1)
+		p.hosts[t] = set
+	}
+	set[host] = true
+	p.pinned[t] = true
+}
+
+// Hosted reports whether a backend hosts a table. Tables absent from the
+// placement map were created before gathering or dropped since — they count
+// as hosted everywhere, matching full-replication behavior.
+func (p *PartialReplication) Hosted(table, host string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	set, known := p.hosts[strings.ToLower(table)]
+	if !known {
+		return true
+	}
+	return set[host]
+}
+
+// ReattachHost records that a backend hosts the given tables — called after
+// re-integration with the tables the restored state actually contains, so
+// reads route to the backend again even if the placement map drifted while
+// it was down.
+func (p *PartialReplication) ReattachHost(host string, tables []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, table := range tables {
+		t := strings.ToLower(table)
+		set := p.hosts[t]
+		if set == nil {
+			set = make(map[string]bool, 1)
+			p.hosts[t] = set
+		}
+		set[host] = true
+	}
+}
+
+// Validate checks the declared placement against the cluster's backend
+// names: every declared table needs at least one host, and every host must
+// name a configured backend. A table with no host could never execute a
+// statement anywhere; a typo'd backend name would silently shrink a replica
+// set.
+func (p *PartialReplication) Validate(backends []string) error {
+	known := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		known[b] = true
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	tables := make([]string, 0, len(p.hosts))
+	for t := range p.hosts {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		set := p.hosts[t]
+		if len(set) == 0 {
+			return fmt.Errorf("balancer: table %q is hosted by no backend", t)
+		}
+		for h := range set {
+			if !known[h] {
+				return fmt.Errorf("balancer: table %q lists unknown backend %q", t, h)
+			}
+		}
+	}
+	return nil
 }
 
 // Hosts returns the sorted backend names hosting a table.

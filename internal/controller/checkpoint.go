@@ -3,9 +3,11 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"cjdbc/internal/backend"
+	"cjdbc/internal/balancer"
 	"cjdbc/internal/recovery"
 )
 
@@ -67,7 +69,10 @@ func (v *VirtualDatabase) BackupBackend(backendName, checkpointName string) (*re
 	if err != nil {
 		return nil, err
 	}
-	dump, dumpErr := recovery.TakeDump(checkpointName, sp)
+	// Under partial replication the backend's engine holds exactly its
+	// hosted tables, so the filter is normally a no-op — it guards against
+	// leftovers from a past placement into the dump.
+	dump, dumpErr := recovery.TakeDumpHosted(checkpointName, sp, v.hostFilter(b))
 	// Catch up and re-enable even when the dump failed: writes rejected
 	// while the backend was disabled are only recovered by replay.
 	if err := v.catchUpAndEnable(b, seq); err != nil {
@@ -130,7 +135,9 @@ func (v *VirtualDatabase) RestoreBackend(backendName string, dump *recovery.Dump
 	// dropping the tables they undo into.
 	b.DrainWrites()
 	b.SetRecovering()
-	if err := recovery.Restore(dump, b); err != nil {
+	// The dump may come from a donor hosting more tables than this backend
+	// (RAIDb-2): restore only the hosted subset.
+	if err := recovery.RestoreHosted(dump, b, v.hostFilter(b)); err != nil {
 		b.Disable()
 		return err
 	}
@@ -144,10 +151,21 @@ func (v *VirtualDatabase) IntegrateBackend(b *backend.Backend, dump *recovery.Du
 		return ErrNoRecoveryLog
 	}
 	b.OnWriteFailure(v.writeFailureCallback)
+	if decl := b.DeclaredTables(); len(decl) > 0 {
+		pl, ok := v.repl.(balancer.Placement)
+		if !ok {
+			return fmt.Errorf("controller: backend %s declares hosted tables but virtual database %s uses %s replication; declared subsets need partial replication",
+				b.Name(), v.name, v.repl.Name())
+		}
+		for _, t := range decl {
+			pl.DeclareHost(t, b.Name())
+		}
+	}
 	b.Disable()
 	b.DrainWrites()
 	b.SetRecovering()
-	if err := recovery.Restore(dump, b); err != nil {
+	hosted := v.hostFilter(b)
+	if err := recovery.RestoreHosted(dump, b, hosted); err != nil {
 		return err
 	}
 	seq, ok, err := v.log.CheckpointSeq(dump.Name)
@@ -162,6 +180,9 @@ func (v *VirtualDatabase) IntegrateBackend(b *backend.Backend, dump *recovery.Du
 	v.mu.Unlock()
 	if v.repl.RequiresParsing() {
 		for _, td := range dump.Tables {
+			if hosted != nil && !hosted(td.Name) {
+				continue
+			}
 			hosts := append(v.repl.Hosts(td.Name), b.Name())
 			v.repl.NoteCreate(td.Name, hosts)
 		}
@@ -178,6 +199,139 @@ func (v *VirtualDatabase) IntegrateBackend(b *backend.Backend, dump *recovery.Du
 // the backend stays disabled, because a partially replayed backend may hold
 // a mix of conflict classes at different log positions.
 //
+// neededTables returns the tables the target backend hosts that currently
+// exist on some enabled peer — the set a checkpoint dump must contain to
+// fully reseed it. Tables whose every host is down are unrecoverable from
+// live peers and are excluded (their data comes back when a host does).
+func (v *VirtualDatabase) neededTables(target *backend.Backend) []string {
+	hosted := v.hostFilter(target)
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range v.Backends() {
+		if p == target || !p.Enabled() {
+			continue
+		}
+		names, err := p.TableNames()
+		if err != nil {
+			continue
+		}
+		for _, t := range names {
+			if !seen[t] && (hosted == nil || hosted(t)) {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dumpCovers reports whether the dump contains every needed table.
+func dumpCovers(d *recovery.Dump, needed []string) bool {
+	have := make(map[string]bool, len(d.Tables))
+	for i := range d.Tables {
+		have[d.Tables[i].Name] = true
+	}
+	for _, t := range needed {
+		if !have[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// BootstrapBackupFor takes a checkpoint dump covering every table the
+// target backend hosts, drawing each table from an enabled peer that has it
+// — the RAIDb-2 case where no single donor hosts the target's whole subset.
+// Unlike BackupBackend (which disables its one donor and dumps it off-line)
+// the snapshot happens under the cluster write quiesce: the marker is
+// logged at a moment no write transaction spans, the claimed donors'
+// enqueued writes are drained, and the tables are dumped while writes stay
+// blocked, so the dump is exactly the state at the marker. Donors keep
+// serving reads throughout and are never disabled.
+func (v *VirtualDatabase) BootstrapBackupFor(target *backend.Backend, checkpointName string) (*recovery.Dump, error) {
+	if v.log == nil {
+		return nil, ErrNoRecoveryLog
+	}
+	hosted := v.hostFilter(target)
+	deadline := time.Now().Add(checkpointTxWait)
+	for {
+		ticket := v.sched.LockAllWrites()
+		if !v.sched.AnyTxActive() {
+			dump, err := v.assembleDump(target, hosted, checkpointName)
+			ticket.Unlock()
+			return dump, err
+		}
+		ticket.Unlock()
+		if time.Now().After(deadline) {
+			return nil, ErrCheckpointBusy
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// assembleDump claims each needed table on an enabled donor, drains the
+// claimed donors, logs the checkpoint marker, and snapshots the claimed
+// tables. Runs under LockAllWrites with no write transaction active.
+func (v *VirtualDatabase) assembleDump(target *backend.Backend, hosted recovery.HostFilter, name string) (*recovery.Dump, error) {
+	type claim struct {
+		sp     backend.SchemaProvider
+		tables []string
+	}
+	var claims []claim
+	claimed := make(map[string]bool)
+	donors := 0
+	for _, p := range v.Backends() {
+		if p == target || !p.Enabled() {
+			continue
+		}
+		sp, ok := p.Driver().(backend.SchemaProvider)
+		if !ok {
+			continue
+		}
+		donors++
+		names, err := p.TableNames()
+		if err != nil {
+			continue
+		}
+		sort.Strings(names)
+		var mine []string
+		for _, t := range names {
+			if !claimed[t] && (hosted == nil || hosted(t)) {
+				claimed[t] = true
+				mine = append(mine, t)
+			}
+		}
+		if len(mine) > 0 {
+			claims = append(claims, claim{sp: sp, tables: mine})
+			p.DrainWrites()
+		}
+	}
+	if donors == 0 {
+		return nil, ErrNoReintegrationSource
+	}
+	if _, err := v.log.Checkpoint(name); err != nil {
+		return nil, err
+	}
+	dump := &recovery.Dump{Name: name, Taken: time.Now()}
+	for _, c := range claims {
+		part, err := recovery.TakeDumpHosted(name, c.sp, func(t string) bool {
+			for _, want := range c.tables {
+				if want == t {
+					return true
+				}
+			}
+			return false
+		})
+		if err != nil {
+			return nil, err
+		}
+		dump.Tables = append(dump.Tables, part.Tables...)
+	}
+	sort.Slice(dump.Tables, func(i, j int) bool { return dump.Tables[i].Name < dump.Tables[j].Name })
+	return dump, nil
+}
+
 // Enabling is guarded against in-flight transactions: a transaction with
 // writes in the replay window but no demarcation logged yet cannot be
 // replayed (§3.2 replays only committed transactions), and if the backend
@@ -186,13 +340,19 @@ func (v *VirtualDatabase) IntegrateBackend(b *backend.Backend, dump *recovery.Du
 // transaction's writes forever. Under the write quiesce, an unresolved
 // transaction that is inactive in the scheduler can never demarcate again
 // (it was abandoned), so waiting until every unresolved transaction is
-// inactive, then replaying one final time, closes the window. The set of
-// transactions the backend itself abandoned at disable time (killed by the
-// teardown, or rejected with ErrDisabled) is a subset of the unresolved
+// inactive closes the window: abandoned transactions are marked dead in the
+// pass bookkeeping (they replay as rolled back) and one more pass applies
+// whatever was held back behind them — a pass with entries deferred behind
+// an unresolved transaction (Pass.Deferred) never enables directly, because
+// per-conflict-class replay order must match the live order. Partial
+// replication restricts every pass to the backend's hosted tables. The set
+// of transactions the backend itself abandoned at disable time (killed by
+// the teardown, or rejected with ErrDisabled) is a subset of the unresolved
 // ones, so the same wait covers the crash-consistent disable's obligation.
 func (v *VirtualDatabase) catchUpAndEnable(b *backend.Backend, seq uint64) error {
+	hosted := v.hostFilter(b)
 	// Bulk replay outside the write lock: may take a while on big logs.
-	pass, _, _, err := recovery.ReplayPass(v.log, seq, nil, b, v.recoveryWorkers)
+	pass, _, _, err := recovery.ReplayPassHosted(v.log, seq, nil, b, v.recoveryWorkers, hosted)
 	if err != nil {
 		b.Disable()
 		return err
@@ -201,7 +361,7 @@ func (v *VirtualDatabase) catchUpAndEnable(b *backend.Backend, seq uint64) error
 	for {
 		ticket := v.sched.LockAllWrites()
 		var unresolved []uint64
-		pass, unresolved, _, err = recovery.ReplayPass(v.log, seq, pass, b, v.recoveryWorkers)
+		pass, unresolved, _, err = recovery.ReplayPassHosted(v.log, seq, pass, b, v.recoveryWorkers, hosted)
 		if err != nil {
 			ticket.Unlock()
 			b.Disable()
@@ -215,16 +375,39 @@ func (v *VirtualDatabase) catchUpAndEnable(b *backend.Backend, seq uint64) error
 			}
 		}
 		if !active {
-			b.Enable()
-			ticket.Unlock()
-			v.health.markHealthy(b.Name())
-			return nil
+			if len(unresolved) == 0 && pass.Deferred == 0 {
+				if pl, ok := v.repl.(balancer.Placement); ok {
+					// Route reads to the tables the restored state actually
+					// contains, including any the placement map lost track of
+					// while the backend was down.
+					if names, err := b.TableNames(); err == nil {
+						pl.ReattachHost(b.Name(), names)
+					}
+				}
+				b.Enable()
+				ticket.Unlock()
+				v.health.markHealthy(b.Name())
+				return nil
+			}
+			// Unresolved but inactive under the quiesce: abandoned. Mark
+			// them dead so the next pass replays them as rolled back and
+			// releases the entries held back behind them.
+			if len(unresolved) > 0 {
+				if pass.TxDead == nil {
+					pass.TxDead = make(map[uint64]bool, len(unresolved))
+				}
+				for _, tx := range unresolved {
+					pass.TxDead[tx] = true
+				}
+			}
 		}
 		ticket.Unlock()
 		if time.Now().After(deadline) {
 			b.Disable()
 			return fmt.Errorf("controller: re-integration of %s timed out waiting for in-flight transactions to finish", b.Name())
 		}
-		time.Sleep(2 * time.Millisecond)
+		if active {
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
 }

@@ -374,30 +374,61 @@ func (m *healthMonitor) backoff(attempt int) time.Duration {
 
 // reintegrate brings one disabled backend back: restore from the latest
 // backup, replay the recovery log from the backup's checkpoint, final
-// catch-up under a write quiesce, enable. When no backup exists yet it
-// bootstraps one from a healthy backend first. The attempt fails fast while
-// the backend's fault is still active (the restore's first DirectExec
+// catch-up under a write quiesce, enable. A backup is only usable if it
+// covers every table the backend hosts (under RAIDb-2 partial replication a
+// dump taken from one donor rarely does); when the cached dump falls short
+// it bootstraps a fresh one — from a single covering donor when one exists
+// (off-line dump, no write stall), otherwise assembled from several donors
+// under the write quiesce (BootstrapBackupFor). The attempt fails fast
+// while the backend's fault is still active (the restore's first DirectExec
 // statement fails), so the supervisor's backoff loop is also the health
 // probe for down backends.
 func (v *VirtualDatabase) reintegrate(b *backend.Backend) error {
-	dump := v.lastDump.Load()
-	if dump == nil {
-		var src *backend.Backend
-		for _, cand := range v.Backends() {
-			if cand != b && cand.Enabled() {
-				src = cand
+	needed := v.neededTables(b)
+	if dump := v.lastDump.Load(); dump != nil && dumpCovers(dump, needed) {
+		return v.RestoreBackend(b.Name(), dump)
+	}
+	var src *backend.Backend
+	anyEnabled := false
+	for _, cand := range v.Backends() {
+		if cand == b || !cand.Enabled() {
+			continue
+		}
+		anyEnabled = true
+		names, err := cand.TableNames()
+		if err != nil {
+			continue
+		}
+		have := make(map[string]bool, len(names))
+		for _, t := range names {
+			have[t] = true
+		}
+		covers := true
+		for _, t := range needed {
+			if !have[t] {
+				covers = false
 				break
 			}
 		}
-		if src == nil {
-			return ErrNoReintegrationSource
+		if covers {
+			src = cand
+			break
 		}
-		name := fmt.Sprintf("auto-backup-%d", v.health.backups.Add(1))
+	}
+	if !anyEnabled {
+		return ErrNoReintegrationSource
+	}
+	name := fmt.Sprintf("auto-backup-%d", v.health.backups.Add(1))
+	if src != nil {
 		d, err := v.BackupBackend(src.Name(), name)
 		if err != nil {
 			return err
 		}
-		dump = d
+		return v.RestoreBackend(b.Name(), d)
 	}
-	return v.RestoreBackend(b.Name(), dump)
+	d, err := v.BootstrapBackupFor(b, name)
+	if err != nil {
+		return err
+	}
+	return v.RestoreBackend(b.Name(), d)
 }

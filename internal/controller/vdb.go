@@ -203,9 +203,22 @@ func (v *VirtualDatabase) SetDistributor(d Distributor) {
 }
 
 // AddBackend attaches a backend, wires its failure callback, gathers its
-// schema (dynamic schema gathering, §2.4.3) and enables it.
+// schema (dynamic schema gathering, §2.4.3) and enables it. A backend
+// declaring a hosted-table subset (RAIDb-2) pins that placement on the
+// replication policy before gathering, so the declaration — not the
+// backend's current contents — is what routing trusts.
 func (v *VirtualDatabase) AddBackend(b *backend.Backend) error {
 	b.OnWriteFailure(v.writeFailureCallback)
+	if decl := b.DeclaredTables(); len(decl) > 0 {
+		pl, ok := v.repl.(balancer.Placement)
+		if !ok {
+			return fmt.Errorf("controller: backend %s declares hosted tables but virtual database %s uses %s replication; declared subsets need partial replication",
+				b.Name(), v.name, v.repl.Name())
+		}
+		for _, t := range decl {
+			pl.DeclareHost(t, b.Name())
+		}
+	}
 	if v.repl.RequiresParsing() {
 		names, err := b.TableNames()
 		if err != nil {
@@ -222,6 +235,34 @@ func (v *VirtualDatabase) AddBackend(b *backend.Backend) error {
 	v.mu.Unlock()
 	b.Enable()
 	return nil
+}
+
+// ValidatePlacement checks the declared table placement against the
+// attached backends (every declared table hosted by at least one of them,
+// no unknown host names). A no-op under full replication.
+func (v *VirtualDatabase) ValidatePlacement() error {
+	pl, ok := v.repl.(balancer.Placement)
+	if !ok {
+		return nil
+	}
+	bs := v.Backends()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name()
+	}
+	return pl.Validate(names)
+}
+
+// hostFilter returns the recovery host filter restricting a backend's
+// checkpoint and replay streams to its hosted tables, or nil (host
+// everything) when the replication policy has no explicit placement.
+func (v *VirtualDatabase) hostFilter(b *backend.Backend) recovery.HostFilter {
+	pl, ok := v.repl.(balancer.Placement)
+	if !ok {
+		return nil
+	}
+	name := b.Name()
+	return func(table string) bool { return pl.Hosted(table, name) }
 }
 
 // Backends returns a snapshot of the backend list.
@@ -547,7 +588,15 @@ func (v *VirtualDatabase) orderedWrite(txID uint64, class sqlparser.StatementCla
 		v.sched.NoteTxWrite(txID, tables, global)
 	}
 	if v.log != nil {
-		if _, err := v.log.Append(recovery.Entry{User: user, TxID: txID, Class: lc, SQL: sql, Tables: tables, Global: global, V: recovery.FootprintVersion}); err != nil {
+		logTables := tables
+		if class == sqlparser.ClassWrite && global && len(logTables) == 0 && st != nil {
+			// Globally sequenced statements (DDL) still reference concrete
+			// tables; record them so a partially-replicated backend's replay
+			// can keep only the DDL it hosts. Global stays set — the entry
+			// remains an ordering barrier.
+			logTables = st.Tables()
+		}
+		if _, err := v.log.Append(recovery.Entry{User: user, TxID: txID, Class: lc, SQL: sql, Tables: logTables, Global: global, V: recovery.FootprintVersion}); err != nil {
 			return backend.Outcomes{}, err
 		}
 	}
@@ -567,6 +616,11 @@ func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql
 	tables := st.Tables()
 	targets := v.repl.WriteTargets(tables, v.Backends())
 	if len(targets) == 0 {
+		if _, ok := v.repl.(balancer.Placement); ok {
+			// Placement, not health, is the cause: name the footprint so the
+			// client can tell a routing impossibility from a dead cluster.
+			return backend.Outcomes{}, fmt.Errorf("%w: %w", ErrNoWriteTarget, &balancer.NoHostError{Tables: tables})
+		}
 		return backend.Outcomes{}, ErrNoWriteTarget
 	}
 	// Deterministic dispatch order keeps logs and traces comparable.
@@ -625,6 +679,12 @@ func (v *VirtualDatabase) execRead(txID uint64, plan *plancache.Plan, st sqlpars
 		if err != nil {
 			if lastErr != nil {
 				return nil, lastErr
+			}
+			if _, ok := v.repl.(balancer.Placement); ok && len(cands) == 0 {
+				// No enabled backend hosts the read's full footprint (a
+				// cross-partition join, or every host of a table down):
+				// report the placement failure, not a generic no-backend.
+				return nil, &balancer.NoHostError{Tables: tables}
 			}
 			return nil, err
 		}

@@ -103,9 +103,25 @@ func typeNameOf(k sqlval.Kind) string {
 // provider. The backend should be disabled first so no updates occur during
 // the dump (§3.1).
 func TakeDump(name string, src backend.SchemaProvider) (*Dump, error) {
+	return TakeDumpHosted(name, src, nil)
+}
+
+// TakeDumpHosted snapshots the tables the filter accepts — used when a
+// checkpoint is taken from a donor hosting more tables than the backend it
+// will seed (RAIDb-2 partial replication). nil dumps everything.
+func TakeDumpHosted(name string, src backend.SchemaProvider, hosted HostFilter) (*Dump, error) {
 	tables, err := src.TableNames()
 	if err != nil {
 		return nil, fmt.Errorf("recovery: dump: %w", err)
+	}
+	if hosted != nil {
+		kept := tables[:0]
+		for _, t := range tables {
+			if hosted(t) {
+				kept = append(kept, t)
+			}
+		}
+		tables = kept
 	}
 	d := &Dump{Name: name, Taken: time.Now()}
 	for _, t := range tables {
@@ -198,11 +214,32 @@ func (td *TableDump) InsertSQL(batchSize int) []string {
 	return out
 }
 
+// TableNames lists the tables the dump contains, in dump order. Controllers
+// use it to check donor coverage before seeding a partially-replicated
+// backend from another backend's checkpoint.
+func (d *Dump) TableNames() []string {
+	out := make([]string, len(d.Tables))
+	for i := range d.Tables {
+		out[i] = d.Tables[i].Name
+	}
+	return out
+}
+
 // Restore replays a dump onto a backend through plain SQL, dropping any
 // conflicting tables first. The backend must accept DirectExec (it is
 // normally disabled while restoring).
 func Restore(d *Dump, b *backend.Backend) error {
+	return RestoreHosted(d, b, nil)
+}
+
+// RestoreHosted restores only the dumped tables the filter accepts — the
+// RAIDb-2 path where a checkpoint taken from a donor with a wider table set
+// seeds a backend hosting a subset. nil restores everything.
+func RestoreHosted(d *Dump, b *backend.Backend, hosted HostFilter) error {
 	for _, td := range d.Tables {
+		if hosted != nil && !hosted(td.Name) {
+			continue
+		}
 		if _, err := b.DirectExec(nil, "DROP TABLE IF EXISTS "+td.Name); err != nil {
 			return fmt.Errorf("recovery: restore drop %s: %w", td.Name, err)
 		}

@@ -10,6 +10,31 @@ import (
 	"cjdbc/internal/conflictsched"
 )
 
+// HostFilter restricts replay to a backend's hosted tables under RAIDb-2
+// partial replication: it reports whether the backend hosts a table.
+// Entries whose recorded footprint contains a table the filter rejects are
+// skipped — they were never dispatched to the backend live, so its replay
+// stream is exactly the hosted subsequence of the log. Entries with no
+// recorded tables (legacy V=0, or statements with genuinely unknown
+// footprints) replay everywhere. nil means full replication.
+type HostFilter func(table string) bool
+
+// entryHosted reports whether a log entry belongs on a backend under the
+// placement filter. The rule mirrors dispatch: a statement is sent to the
+// backends hosting every table it references, so an entry replays only
+// where its whole footprint is hosted.
+func entryHosted(e *Entry, hosted HostFilter) bool {
+	if hosted == nil || len(e.Tables) == 0 {
+		return true
+	}
+	for _, t := range e.Tables {
+		if !hosted(t) {
+			return false
+		}
+	}
+	return true
+}
+
 // Replay applies the committed writes recorded after seq to a backend, in
 // log order. Entries belonging to transactions that aborted (or never
 // finished) are skipped. It is the sequential (workers = 1) form of
@@ -28,28 +53,55 @@ func Replay(l Log, seq uint64, b *backend.Backend) (applied int, err error) {
 // re-reads the window from the original checkpoint and picks the whole
 // transaction up. nil means nothing has been replayed yet.
 type Pass struct {
-	// Last is the highest log sequence number any pass has observed.
-	// Auto-commit entries at or below it have been applied.
+	// Last is the frontier: auto-commit entries at or below it have been
+	// applied (or held back in AutoDone's complement — see AutoDone). A
+	// held-back entry caps Last just below itself, so the next pass
+	// revisits it.
 	Last uint64
 	// TxDone records the committed transactions whose writes have been
 	// applied by earlier passes.
 	TxDone map[uint64]bool
+	// AutoDone records auto-commit entries applied above Last: when a
+	// held-back entry caps Last, later disjoint auto-commit entries that
+	// did apply are tracked individually so the next pass neither skips
+	// nor re-applies them.
+	AutoDone map[uint64]bool
+	// TxDead marks transactions the caller has proven can never demarcate
+	// (unresolved in the log but inactive cluster-wide under the write
+	// quiesce): they replay as rolled back and stop holding back their
+	// conflict classes.
+	TxDead map[uint64]bool
+	// Deferred counts the replayable units (whole transactions or
+	// auto-commit entries) the pass held back because an earlier
+	// conflicting entry could not be applied yet. The caller must run
+	// another pass before enabling the backend while it is non-zero.
+	Deferred int
 }
 
 // ReplayPass applies to b the committed writes recorded after seq that prev
 // has not already applied: transactions in prev.TxDone and auto-commit
-// entries at or below prev.Last are skipped. It returns the accumulated
-// bookkeeping for the next pass and the transactions that remain unresolved
-// — write entries in the window with no commit or rollback logged yet. A
-// caller re-integrating a backend must not enable it while an unresolved
-// transaction is still active cluster-wide: once that transaction commits,
-// the backend would no-op the demarcation and silently miss the writes.
-// On error the backend must stay disabled (see ReplayParallel).
+// entries covered by prev.Last/prev.AutoDone are skipped. It returns the
+// accumulated bookkeeping for the next pass and the transactions that
+// remain unresolved — write entries in the window with no commit or
+// rollback logged yet. A caller re-integrating a backend must not enable it
+// while an unresolved transaction is still active cluster-wide, nor while
+// next.Deferred is non-zero: entries held back behind an unresolved
+// transaction apply only in a later pass. On error the backend must stay
+// disabled (see ReplayParallel).
 func ReplayPass(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int) (next *Pass, unresolved []uint64, applied int, err error) {
+	return ReplayPassHosted(l, seq, prev, b, workers, nil)
+}
+
+// ReplayPassHosted is ReplayPass restricted to a backend's hosted tables
+// (RAIDb-2 partial replication): entries whose footprint the filter rejects
+// are invisible — not applied, not counted unresolved, and without a stake
+// in the pass's ordering decisions — exactly as they were never dispatched
+// to the backend live.
+func ReplayPassHosted(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int, hosted HostFilter) (next *Pass, unresolved []uint64, applied int, err error) {
 	if prev == nil {
 		prev = &Pass{}
 	}
-	applied, next, unresolved, err = replayPass(l, seq, prev, b, workers)
+	applied, next, unresolved, err = replayPass(l, seq, prev, b, workers, hosted)
 	return next, unresolved, applied, err
 }
 
@@ -75,11 +127,101 @@ func ReplayPass(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int) 
 // order; entries of classes disjoint from the failure may or may not have
 // applied, which is why the caller must keep the backend disabled on error.
 func ReplayParallel(l Log, seq uint64, b *backend.Backend, workers int) (applied int, err error) {
-	applied, _, _, err = replayPass(l, seq, &Pass{}, b, workers)
+	applied, _, _, err = replayPass(l, seq, &Pass{}, b, workers, nil)
 	return applied, err
 }
 
-func replayPass(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int) (applied int, next *Pass, unresolved []uint64, err error) {
+// decideDeferrals computes a pass's holdback set. A write of a transaction
+// that is still unresolved (no demarcation in the log, not marked dead)
+// cannot be applied this pass, yet later entries of the same conflict class
+// may already be replayable — applying those now would invert the per-class
+// Seq order once the transaction commits and a later pass applies its
+// writes. So every replayable unit whose keys reach a held-back entry is
+// deferred too: auto-commit entries individually, transactions as whole
+// groups (a transaction applies all-or-nothing, so one conflicting write
+// defers its writes on every table — the per-tx key chains them even when
+// their tables are disjoint). Deferred units poison their own keys in turn.
+// Decisions iterate to a fixpoint because a group deferral discovered at
+// its later entry retroactively holds back the group's earlier entries and
+// anything conflicting after them; the deferral set only grows, so the loop
+// terminates.
+func decideDeferrals(entries []Entry, hostedAt []bool, outcome map[uint64]EntryClass, prev *Pass) (deferTx, deferAuto map[uint64]bool) {
+	deferTx = make(map[uint64]bool)
+	deferAuto = make(map[uint64]bool)
+	for {
+		changed := false
+		held := make(map[string]bool)
+		heldBarrier := false
+		poison := func(keys []string, barrier bool) {
+			if barrier {
+				heldBarrier = true
+			}
+			for _, k := range keys {
+				held[k] = true
+			}
+		}
+		conflicts := func(keys []string, barrier bool) bool {
+			if heldBarrier {
+				return true
+			}
+			if barrier {
+				return len(held) > 0
+			}
+			for _, k := range keys {
+				if held[k] {
+					return true
+				}
+			}
+			return false
+		}
+		for i := range entries {
+			e := &entries[i]
+			if e.Class != ClassWrite || !hostedAt[i] {
+				continue
+			}
+			keys, barrier := replayKeys(e)
+			if e.TxID != 0 {
+				oc, ended := outcome[e.TxID]
+				switch {
+				case !ended && prev.TxDead[e.TxID]:
+					continue // abandoned: replays as rolled back, holds nothing
+				case !ended:
+					poison(keys, barrier) // unresolved: not applicable this pass
+					continue
+				case oc == ClassRollback, prev.TxDone[e.TxID]:
+					continue // never applies / already applied: no ordering stake
+				}
+				if deferTx[e.TxID] {
+					poison(keys, barrier)
+					continue
+				}
+				if conflicts(keys, barrier) {
+					deferTx[e.TxID] = true
+					changed = true
+					poison(keys, barrier)
+				}
+				continue
+			}
+			if e.Seq <= prev.Last || prev.AutoDone[e.Seq] {
+				continue
+			}
+			if deferAuto[e.Seq] {
+				poison(keys, barrier)
+				continue
+			}
+			if conflicts(keys, barrier) {
+				deferAuto[e.Seq] = true
+				changed = true
+				poison(keys, barrier)
+			}
+		}
+		if !changed {
+			return deferTx, deferAuto
+		}
+	}
+}
+
+func replayPass(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int, hosted HostFilter) (applied int, next *Pass, unresolved []uint64, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -97,21 +239,17 @@ func replayPass(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int) 
 			}
 		}
 	}
-	replayable := func(e *Entry) bool {
-		if e.Class != ClassWrite {
-			return false
-		}
-		if e.TxID == 0 {
-			// Auto-commit writes replay in the first pass that sees them.
-			return e.Seq > prev.Last
-		}
-		return outcome[e.TxID] == ClassCommit && !prev.TxDone[e.TxID]
+	// Hosted view: under partial replication the backend's replay stream is
+	// the subsequence of entries whose footprint it hosts.
+	hostedAt := make([]bool, len(entries))
+	for i := range entries {
+		hostedAt[i] = entryHosted(&entries[i], hosted)
 	}
 
 	// Bookkeeping for the next pass: the frontier and the transactions this
-	// pass settles, plus whatever earlier passes settled. Writes without a
-	// demarcation yet stay unresolved; their transactions replay whole in a
-	// later pass (or never, if they roll back or are abandoned).
+	// pass settles, plus whatever earlier passes settled. Hosted writes
+	// without a demarcation yet stay unresolved (unless the caller marked
+	// them dead); their transactions replay whole in a later pass, or never.
 	last := prev.Last
 	seenUnresolved := make(map[uint64]bool)
 	for i := range entries {
@@ -119,34 +257,77 @@ func replayPass(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int) 
 		if e.Seq > last {
 			last = e.Seq
 		}
-		if e.Class == ClassWrite && e.TxID != 0 {
-			if _, ended := outcome[e.TxID]; !ended && !seenUnresolved[e.TxID] {
+		if e.Class == ClassWrite && e.TxID != 0 && hostedAt[i] {
+			if _, ended := outcome[e.TxID]; !ended && !prev.TxDead[e.TxID] && !seenUnresolved[e.TxID] {
 				seenUnresolved[e.TxID] = true
 				unresolved = append(unresolved, e.TxID)
 			}
 		}
 	}
+
+	deferTx, deferAuto := decideDeferrals(entries, hostedAt, outcome, prev)
+	// A held-back auto-commit entry caps the frontier just below itself so
+	// the next pass revisits it; autos applied above the cap go to AutoDone.
+	for s := range deferAuto {
+		if s <= last {
+			last = s - 1
+		}
+	}
+
+	replayable := func(i int, e *Entry) bool {
+		if e.Class != ClassWrite || !hostedAt[i] {
+			return false
+		}
+		if e.TxID == 0 {
+			return e.Seq > prev.Last && !prev.AutoDone[e.Seq] && !deferAuto[e.Seq]
+		}
+		return outcome[e.TxID] == ClassCommit && !prev.TxDone[e.TxID] && !deferTx[e.TxID]
+	}
+
+	var autoApplied []uint64
 	buildNext := func() *Pass {
 		done := make(map[uint64]bool, len(prev.TxDone)+len(outcome))
 		for tx := range prev.TxDone {
 			done[tx] = true
 		}
 		for tx, oc := range outcome {
-			if oc == ClassCommit {
+			if oc == ClassCommit && !deferTx[tx] {
 				done[tx] = true
 			}
 		}
-		return &Pass{Last: last, TxDone: done}
+		autoDone := make(map[uint64]bool)
+		for s := range prev.AutoDone {
+			if s > last {
+				autoDone[s] = true
+			}
+		}
+		for _, s := range autoApplied {
+			if s > last {
+				autoDone[s] = true
+			}
+		}
+		var dead map[uint64]bool
+		if len(prev.TxDead) > 0 {
+			dead = make(map[uint64]bool, len(prev.TxDead))
+			for tx := range prev.TxDead {
+				dead[tx] = true
+			}
+		}
+		return &Pass{Last: last, TxDone: done, AutoDone: autoDone, TxDead: dead,
+			Deferred: len(deferTx) + len(deferAuto)}
 	}
 
 	if workers == 1 {
 		for i := range entries {
 			e := &entries[i]
-			if !replayable(e) {
+			if !replayable(i, e) {
 				continue
 			}
 			if _, err := b.DirectExec(nil, e.SQL); err != nil {
 				return applied, nil, unresolved, replayErr(e, err)
+			}
+			if e.TxID == 0 {
+				autoApplied = append(autoApplied, e.Seq)
 			}
 			applied++
 		}
@@ -179,11 +360,14 @@ func replayPass(l Log, seq uint64, prev *Pass, b *backend.Backend, workers int) 
 	// dependency graph is acyclic and replay cannot deadlock.
 	for i := range entries {
 		e := &entries[i]
-		if !replayable(e) {
+		if !replayable(i, e) {
 			continue
 		}
 		if failed.Load() {
 			break
+		}
+		if e.TxID == 0 {
+			autoApplied = append(autoApplied, e.Seq)
 		}
 		keys, barrier := replayKeys(e)
 		pool.Submit(keys, barrier, func() {

@@ -322,7 +322,10 @@ func BenchmarkParallelReplay(b *testing.B) {
 // TestReplayPassSpanningTransaction is the pass-bookkeeping proof: a
 // transaction whose writes fall inside the bulk pass's window but whose
 // commit is only logged afterwards must be applied whole by the later pass
-// — and nothing the earlier pass applied may be applied twice.
+// — and nothing the earlier pass applied may be applied twice. The
+// auto-commit insert on the same table sits after the unresolved write in
+// its conflict class, so the bulk pass holds it back (Deferred) and the
+// catch-up pass applies both in Seq order.
 func TestReplayPassSpanningTransaction(t *testing.T) {
 	l := NewMemoryLog()
 	b := mkBackend(t, "span", "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
@@ -336,8 +339,11 @@ func TestReplayPassSpanningTransaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if applied != 1 {
-		t.Fatalf("bulk pass applied %d, want 1 (auto-commit only; tx 9 has no commit yet)", applied)
+	if applied != 0 {
+		t.Fatalf("bulk pass applied %d, want 0 (auto-commit conflicts with unresolved tx 9)", applied)
+	}
+	if pass.Deferred != 1 {
+		t.Fatalf("bulk pass Deferred = %d, want 1", pass.Deferred)
 	}
 	if len(unresolved) != 1 || unresolved[0] != 9 {
 		t.Fatalf("unresolved = %v, want [9]", unresolved)
@@ -351,13 +357,15 @@ func TestReplayPassSpanningTransaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Tx 9's write plus the new auto-commit; replaying the id=2 insert
-	// again would have failed on the primary key.
-	if applied != 2 {
-		t.Fatalf("catch-up pass applied %d, want 2", applied)
+	// Tx 9's write, the held-back id=2 insert, and the new auto-commit.
+	if applied != 3 {
+		t.Fatalf("catch-up pass applied %d, want 3", applied)
 	}
 	if len(unresolved) != 0 {
 		t.Fatalf("unresolved after commit = %v, want none", unresolved)
+	}
+	if pass.Deferred != 0 {
+		t.Fatalf("catch-up pass Deferred = %d, want 0", pass.Deferred)
 	}
 
 	// A third pass over an unchanged log is a no-op.

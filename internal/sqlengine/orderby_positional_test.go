@@ -2,13 +2,15 @@ package sqlengine
 
 import "testing"
 
-func TestReviewScratchPositionalOrderByWithStar(t *testing.T) {
+// TestPositionalOrderByWithStar: a positional ORDER BY key after a star in
+// the select list refers to a post-expansion output column, which the
+// planner cannot resolve at the AST level (the star's width is unknown
+// there). The planned result must match the full-scan sort, which resolves
+// the position against the expanded output.
+func TestPositionalOrderByWithStar(t *testing.T) {
 	e := New("db")
 	defer e.Close()
-	s, err := e.NewSession()
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := e.NewSession()
 	defer s.Close()
 	mustExecSQL := func(q string) *Result {
 		r, err := s.ExecSQL(q)

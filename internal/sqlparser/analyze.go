@@ -359,8 +359,17 @@ func orderShapeElidable(orderBy []OrderItem, items []SelectItem) bool {
 		ex := oi.Expr
 		if ex.Kind == ExprLiteral && ex.Lit.K == sqlval.KindInt {
 			pos := int(ex.Lit.I) - 1
-			if pos < 0 || pos >= len(items) || items[pos].Star {
+			if pos < 0 || pos >= len(items) {
 				return false
+			}
+			// A star at or before the position expands to an unknown number
+			// of output columns, so the positional reference cannot be
+			// resolved against the select list here; orderRows resolves it
+			// against the post-expansion output instead.
+			for _, it := range items[:pos+1] {
+				if it.Star {
+					return false
+				}
 			}
 			ex = items[pos].Expr
 		}

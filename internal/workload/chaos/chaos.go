@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"cjdbc/internal/backend"
+	"cjdbc/internal/balancer"
 	"cjdbc/internal/controller"
 	"cjdbc/internal/recovery"
 	"cjdbc/internal/sqlengine"
@@ -54,6 +55,13 @@ type Config struct {
 	Seed         int64
 	Events       []Event
 	Health       controller.HealthConfig
+	// Placement, when non-empty, runs the scenario under RAIDb-2 partial
+	// replication: Placement[ti] lists the backend indices hosting table
+	// c<ti>, each backend is seeded with and declares exactly its hosted
+	// tables, and the quiesce consistency check becomes hosted-subset
+	// identity (every host of a table byte-identical, every non-host
+	// holding nothing). Must have one non-empty entry per table.
+	Placement [][]int
 	// LockTimeout is the engines' lock-wait timeout (default 10s).
 	LockTimeout time.Duration
 	// ConvergeTimeout bounds the post-quiesce wait for every backend to
@@ -122,13 +130,39 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.ConvergeTimeout <= 0 {
 		cfg.ConvergeTimeout = 30 * time.Second
 	}
+	// hostsOf maps a table index to the backends hosting it; full
+	// replication means everyone hosts everything.
+	hostsOf := func(ti int) []int {
+		if len(cfg.Placement) == 0 {
+			all := make([]int, cfg.Backends)
+			for i := range all {
+				all[i] = i
+			}
+			return all
+		}
+		return cfg.Placement[ti]
+	}
+	if len(cfg.Placement) > 0 {
+		if len(cfg.Placement) != cfg.Tables {
+			return nil, fmt.Errorf("chaos: placement has %d entries for %d tables", len(cfg.Placement), cfg.Tables)
+		}
+		for ti, hosts := range cfg.Placement {
+			if len(hosts) == 0 {
+				return nil, fmt.Errorf("chaos: table c%d has no hosts", ti)
+			}
+		}
+	}
 
-	v := controller.NewVirtualDatabase(controller.VDBConfig{
+	vcfg := controller.VDBConfig{
 		Name:        "chaos",
 		ParallelTx:  true,
 		RecoveryLog: recovery.NewMemoryLog(),
 		Health:      cfg.Health,
-	})
+	}
+	if len(cfg.Placement) > 0 {
+		vcfg.Replication = balancer.NewPartialReplication(nil)
+	}
+	v := controller.NewVirtualDatabase(vcfg)
 	defer v.Close()
 
 	engines := make([]*sqlengine.Engine, cfg.Backends)
@@ -136,7 +170,21 @@ func Run(cfg Config) (*Report, error) {
 	for i := range engines {
 		e := sqlengine.New(fmt.Sprintf("db%d", i), sqlengine.WithLockTimeout(cfg.LockTimeout))
 		s := e.NewSession()
+		var hosted []string
 		for ti := 0; ti < cfg.Tables; ti++ {
+			mine := false
+			for _, h := range hostsOf(ti) {
+				if h == i {
+					mine = true
+					break
+				}
+			}
+			if !mine {
+				continue
+			}
+			if len(cfg.Placement) > 0 {
+				hosted = append(hosted, fmt.Sprintf("c%d", ti))
+			}
 			if _, err := s.ExecSQL(fmt.Sprintf("CREATE TABLE c%d (id INTEGER PRIMARY KEY, v INTEGER)", ti)); err != nil {
 				return nil, fmt.Errorf("chaos: seed: %w", err)
 			}
@@ -151,11 +199,15 @@ func Run(cfg Config) (*Report, error) {
 		b := backend.New(backend.Config{
 			Name:   fmt.Sprintf("db%d", i),
 			Driver: &backend.EngineDriver{Engine: e},
+			Tables: hosted,
 		})
 		backends[i] = b
 		if err := v.AddBackend(b); err != nil {
 			return nil, err
 		}
+	}
+	if err := v.ValidatePlacement(); err != nil {
+		return nil, err
 	}
 	defer func() {
 		for _, b := range backends {
@@ -314,21 +366,34 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep.Disables = v.StatsSnapshot().BackendsDisabled
 
-	// Byte-identical replicas, re-integrated ones included.
+	// Byte-identical replicas, re-integrated ones included. Under partial
+	// replication the invariant is hosted-subset identity: every host of a
+	// table matches the first host, and no non-host holds the table.
 	for ti := 0; ti < cfg.Tables && rep.Divergence == ""; ti++ {
 		tbl := fmt.Sprintf("c%d", ti)
-		want, err := sortedDump(engines[0], tbl)
+		hosts := hostsOf(ti)
+		hostSet := make(map[int]bool, len(hosts))
+		for _, h := range hosts {
+			hostSet[h] = true
+		}
+		want, err := sortedDump(engines[hosts[0]], tbl)
 		if err != nil {
 			return nil, err
 		}
-		for bi := 1; bi < cfg.Backends; bi++ {
+		for bi := 0; bi < cfg.Backends; bi++ {
+			if !hostSet[bi] {
+				if _, _, err := engines[bi].SnapshotTable(tbl); err == nil {
+					rep.Divergence = fmt.Sprintf("db%d holds table %s it does not host", bi, tbl)
+				}
+				continue
+			}
 			got, err := sortedDump(engines[bi], tbl)
 			if err != nil {
 				return nil, err
 			}
 			if got != want {
-				rep.Divergence = fmt.Sprintf("table %s differs between db0 and db%d:\n--- db0:\n%s\n--- db%d:\n%s",
-					tbl, bi, want, bi, got)
+				rep.Divergence = fmt.Sprintf("table %s differs between db%d and db%d:\n--- db%d:\n%s\n--- db%d:\n%s",
+					tbl, hosts[0], bi, hosts[0], want, bi, got)
 				break
 			}
 		}

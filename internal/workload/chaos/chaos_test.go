@@ -90,6 +90,49 @@ func TestChaosCrashAndReintegrate(t *testing.T) {
 	settleGoroutines(t, base)
 }
 
+// TestChaosPartialPlacementCrashHostMidTransaction runs the headline
+// scenario under RAIDb-2 partial replication: every table lives on two of
+// the three backends, and db1 — a host of every partially-replicated table
+// it shares — crashes mid-transaction under live traffic. While it is
+// down, routing must degrade to each table's surviving host (or fail with
+// the typed no-host error, which the workload tolerates); after the heal,
+// auto-re-integration must restore db1's hosted subset only. At quiesce:
+// zero lost acks, every host of every table byte-identical, and no backend
+// holding a table it does not host.
+func TestChaosPartialPlacementCrashHostMidTransaction(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rep, err := Run(Config{
+		Backends:     3,
+		Writers:      6,
+		OpsPerWriter: 60,
+		Tables:       4,
+		Seed:         42,
+		Health:       testHealth(),
+		// db1 hosts c0, c1 and c3; db0 and db2 cover the rest.
+		Placement: [][]int{
+			{0, 1},    // c0
+			{1, 2},    // c1
+			{0, 2},    // c2
+			{0, 1, 2}, // c3
+		},
+		Events: []Event{
+			// Crash-mid-transaction on db1: its third commit fails and the
+			// whole backend goes dark until healed. c0 degrades to db0, c1
+			// to db2, c3 to the other two.
+			{AtOp: 40, Backend: 1, Plan: backend.NewFaultPlan(backend.CrashOnCommit(3, nil))},
+			{AtOp: 240, Backend: 1, Heal: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep)
+	if rep.Disables == 0 {
+		t.Fatal("scenario never disabled a backend; the fault did not fire")
+	}
+	settleGoroutines(t, base)
+}
+
 // TestChaosSlowReplica injects latency, not failure: one backend runs its
 // writes slower than the others for the whole scenario. Nothing should be
 // disabled — latency is not an error — and the replicas must still end
