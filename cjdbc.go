@@ -106,6 +106,13 @@ type VirtualDatabaseConfig struct {
 	// calls.
 	Health *HealthConfig
 
+	// Placement configures the load-driven placement policy for partially
+	// replicated virtual databases: hot tables gain replicas, cold tables
+	// shed them, all under live traffic. Nil disables the policy; manual
+	// AddTableHost/RemoveTableHost moves always work under partial
+	// replication.
+	Placement *PlacementConfig
+
 	// DisableParallelTransactions turns off the parallel-transactions
 	// optimization, serializing every operation (for ablation).
 	DisableParallelTransactions bool
@@ -143,6 +150,27 @@ type HealthConfig struct {
 	// permanently failed; 0 means the default (8), negative retries
 	// forever.
 	ReintegrateAttempts int
+}
+
+// PlacementConfig tunes the load-driven placement policy. Once per
+// ObserveWindow the policy snapshots per-table read/write counters; a table
+// read at least HotTableThreshold times in the window gains a replica on the
+// least-loaded enabled backend not hosting it, and a table whose total
+// traffic stayed at or under ColdTableThreshold sheds one surplus replica.
+// At most one move is in flight at a time.
+type PlacementConfig struct {
+	// HotTableThreshold is the per-window read count at or above which a
+	// table is replicated onto one more backend; 0 disables replication
+	// moves.
+	HotTableThreshold uint64
+	// ColdTableThreshold is the per-window total traffic at or below which a
+	// table with two or more hosts sheds one; 0 disables shedding.
+	ColdTableThreshold uint64
+	// ObserveWindow is how often load is sampled; <= 0 disables the policy
+	// goroutine entirely.
+	ObserveWindow time.Duration
+	// Cooldown is the minimum delay between two policy-driven moves.
+	Cooldown time.Duration
 }
 
 // CacheConfig configures the query result cache (§2.4.2).
@@ -245,6 +273,15 @@ func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualD
 			ReintegrateAttempts:   cfg.Health.ReintegrateAttempts,
 		}
 	}
+	var placement controller.PlacementPolicy
+	if cfg.Placement != nil {
+		placement = controller.PlacementPolicy{
+			HotTableThreshold:  cfg.Placement.HotTableThreshold,
+			ColdTableThreshold: cfg.Placement.ColdTableThreshold,
+			ObserveWindow:      cfg.Placement.ObserveWindow,
+			Cooldown:           cfg.Placement.Cooldown,
+		}
+	}
 	inner, err := c.inner.AddVirtualDatabase(controller.VDBConfig{
 		Name:            cfg.Name,
 		Replication:     repl,
@@ -257,6 +294,7 @@ func (c *Controller) CreateVirtualDatabase(cfg VirtualDatabaseConfig) (*VirtualD
 		PlanCacheSize:   cfg.PlanCacheSize,
 		RecoveryWorkers: cfg.RecoveryWorkers,
 		Health:          health,
+		Placement:       placement,
 		CtrlCost: controller.CtrlCost{
 			PerRequest:      cfg.CtrlCostPerRequest,
 			PerCacheHit:     cfg.CtrlCostPerCacheHit,
@@ -352,6 +390,11 @@ func WithTables(tables ...string) BackendOption {
 // down). Extract it with errors.As to learn the offending tables.
 type NoHostError = balancer.NoHostError
 
+// LastHostError is the typed refusal of a placement move that would leave a
+// table with no enabled host. Extract it with errors.As to learn the table
+// and the host whose removal was refused.
+type LastHostError = balancer.LastHostError
+
 // AddInMemoryBackend creates a fresh in-process SQL engine and attaches it
 // as a backend, returning the engine's name.
 func (v *VirtualDatabase) AddInMemoryBackend(name string, opts ...BackendOption) error {
@@ -416,6 +459,22 @@ func (v *VirtualDatabase) LeaveGroup() {
 // AddBackend. A no-op under full replication.
 func (v *VirtualDatabase) ValidatePlacement() error {
 	return v.inner.ValidatePlacement()
+}
+
+// AddTableHost replicates one table onto one more backend under live
+// traffic (RAIDb-2 dynamic placement): the copy is bootstrapped from an
+// enabled donor and caught up through the recovery log, and routing flips to
+// include the new host only once the copy is provably current. Requires
+// partial replication.
+func (v *VirtualDatabase) AddTableHost(table, backendName string) error {
+	return v.inner.AddTableHost(table, backendName)
+}
+
+// RemoveTableHost sheds one replica of a table under live traffic: routing
+// flips away first, in-flight work drains, then the copy is dropped.
+// Removing the last enabled host is refused with a LastHostError.
+func (v *VirtualDatabase) RemoveTableHost(table, backendName string) error {
+	return v.inner.RemoveTableHost(table, backendName)
 }
 
 // Checkpoint writes a named marker into the recovery log.

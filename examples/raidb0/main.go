@@ -1,0 +1,121 @@
+// RAIDb-0 (§2.4.1): full partitioning, zero redundancy. Every table lives
+// on exactly one backend, so the cluster aggregates the capacity of all
+// machines — each write lands on a single host instead of being broadcast —
+// at the price of no fault tolerance: lose a backend and its tables are
+// gone. This is the striping end of the RAIDb spectrum, and with dynamic
+// placement (PR 10) a stripe can still be *migrated* between backends under
+// live traffic: AddTableHost copies it to the new host and flips routing,
+// RemoveTableHost drains and drops the old copy, and the copy count passes
+// through 2 but starts and ends at 1. Removing the only host of a table is
+// refused with the typed LastHostError.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"cjdbc"
+)
+
+func main() {
+	ctrl := cjdbc.NewController("ctrl0", 1)
+	defer ctrl.Close()
+
+	vdb, err := ctrl.CreateVirtualDatabase(cjdbc.VirtualDatabaseConfig{
+		Name:            "shop",
+		PartialByTables: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Pure striping: three tables, three backends, no table on more than one.
+	hosted := map[string][]string{
+		"db0": {"users"},
+		"db1": {"orders"},
+		"db2": {"products"},
+	}
+	for _, name := range []string{"db0", "db1", "db2"} {
+		if err := vdb.AddInMemoryBackend(name, cjdbc.WithTables(hosted[name]...)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := vdb.ValidatePlacement(); err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := vdb.OpenSession("shop", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	must := func(sql string, args ...any) *cjdbc.Rows {
+		rows, err := sess.Exec(sql, args...)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		return rows
+	}
+	must("CREATE TABLE users (id INTEGER PRIMARY KEY, name VARCHAR)")
+	must("CREATE TABLE orders (id INTEGER PRIMARY KEY, uid INTEGER, total INTEGER)")
+	must("CREATE TABLE products (id INTEGER PRIMARY KEY, title VARCHAR)")
+
+	for i := 1; i <= 20; i++ {
+		must("INSERT INTO users (id, name) VALUES (?, ?)", i, fmt.Sprintf("user%d", i))
+		must("INSERT INTO orders (id, uid, total) VALUES (?, ?, ?)", i, i, i*10)
+		must("INSERT INTO products (id, title) VALUES (?, ?)", i, fmt.Sprintf("widget%d", i))
+	}
+
+	// Zero redundancy: 20 inserts per table executed ~20 ops per backend,
+	// not 60 — each write touched exactly its one stripe host.
+	for _, b := range vdb.Internal().Backends() {
+		fmt.Printf("backend %s executed %d operations (its stripe only)\n", b.Name(), b.Ops())
+	}
+
+	// No copy means no fault tolerance and no cross-stripe joins: a query
+	// whose footprint spans two stripes has no single host that can run it.
+	_, err = sess.Query("SELECT u.name, o.total FROM users u JOIN orders o ON u.id = o.uid")
+	var nh *cjdbc.NoHostError
+	if errors.As(err, &nh) {
+		fmt.Printf("cross-stripe join refused: footprint %v has no common host\n", nh.Tables)
+	} else {
+		log.Fatalf("expected NoHostError, got %v", err)
+	}
+
+	// The floor of the placement invariant: a table may never lose its last
+	// host, so in RAIDb-0 every RemoveTableHost without a prior add is refused.
+	err = vdb.RemoveTableHost("users", "db0")
+	var lh *cjdbc.LastHostError
+	if errors.As(err, &lh) {
+		fmt.Printf("removing the only host refused: %v\n", lh)
+	} else {
+		log.Fatalf("expected LastHostError, got %v", err)
+	}
+
+	// Live stripe migration: move users from db0 to db2. AddTableHost copies
+	// the table under a write quiesce and only then flips routing;
+	// RemoveTableHost flips routing away first, drains, then drops. The
+	// stripe is never unhosted and never below one copy.
+	if err := vdb.AddTableHost("users", "db2"); err != nil {
+		log.Fatal(err)
+	}
+	if err := vdb.RemoveTableHost("users", "db0"); err != nil {
+		log.Fatal(err)
+	}
+	if err := vdb.ValidatePlacement(); err != nil {
+		log.Fatal(err)
+	}
+	rows := must("SELECT COUNT(*) FROM users")
+	rows.Next()
+	var n int64
+	rows.Scan(&n)
+	fmt.Printf("users migrated db0 -> db2 under live routing; %d rows intact\n", n)
+
+	// db0 hosted only users, so after the migration it serves nothing: the
+	// drain dropped its copy and post-flip writes route to db2 alone.
+	must("INSERT INTO users (id, name) VALUES (100, 'late')")
+	for _, b := range vdb.Internal().Backends() {
+		fmt.Printf("backend %s total operations after migration: %d\n", b.Name(), b.Ops())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 
+	"cjdbc/internal/balancer"
 	"cjdbc/internal/controller"
 )
 
@@ -23,11 +24,16 @@ type BackendInfo struct {
 	Failures int64  `json:"failures"`
 }
 
-// VDBInfo is the monitoring view of one virtual database.
+// VDBInfo is the monitoring view of one virtual database. Placement and
+// TableLoads are present only under partial replication: the current
+// table -> hosts map (which placement moves mutate at runtime) and the
+// cumulative per-table read/write counters feeding the placement policy.
 type VDBInfo struct {
-	Name     string           `json:"name"`
-	Stats    controller.Stats `json:"stats"`
-	Backends []BackendInfo    `json:"backends"`
+	Name       string               `json:"name"`
+	Stats      controller.Stats     `json:"stats"`
+	Backends   []BackendInfo        `json:"backends"`
+	Placement  map[string][]string  `json:"placement,omitempty"`
+	TableLoads []balancer.TableLoad `json:"tableLoads,omitempty"`
 }
 
 // Server serves the admin API for one controller.
@@ -115,6 +121,26 @@ func (s *Server) handleVDB(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, map[string]any{"checkpoint": cp, "seq": seq})
+	case "addtablehost", "removetablehost":
+		table := r.URL.Query().Get("table")
+		bName := r.URL.Query().Get("backend")
+		if table == "" || bName == "" {
+			http.Error(w, "admin: placement moves require ?table=&backend=", http.StatusBadRequest)
+			return
+		}
+		var err error
+		if action == "addtablehost" {
+			err = vdb.AddTableHost(table, bName)
+		} else {
+			err = vdb.RemoveTableHost(table, bName)
+		}
+		if err != nil {
+			// Refused moves (last host, already hosted, no placement) are
+			// client-resolvable conflicts, not server faults.
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]string{action: table, "backend": bName})
 	default:
 		http.Error(w, fmt.Sprintf("admin: unknown action %q", action), http.StatusNotFound)
 	}
@@ -131,6 +157,13 @@ func vdbInfo(v *controller.VirtualDatabase) VDBInfo {
 			Ops:      b.Ops(),
 			Failures: b.Failures(),
 		})
+	}
+	if tables := v.PlacementTables(); len(tables) > 0 {
+		info.Placement = make(map[string][]string, len(tables))
+		for _, t := range tables {
+			info.Placement[t] = v.Replication().Hosts(t)
+		}
+		info.TableLoads = v.LoadStats().Snapshot(false)
 	}
 	return info
 }

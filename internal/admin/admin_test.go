@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cjdbc/internal/backend"
+	"cjdbc/internal/balancer"
 	"cjdbc/internal/controller"
 	"cjdbc/internal/recovery"
 	"cjdbc/internal/sqlengine"
@@ -112,6 +113,86 @@ func TestUnknownAction(t *testing.T) {
 	s, _ := newTestServer(t)
 	if rec := get(t, s.Handler(), "/vdbs/app/frobnicate"); rec.Code != 404 {
 		t.Errorf("unknown action = %d", rec.Code)
+	}
+}
+
+func TestPlacementEndpoints(t *testing.T) {
+	c := controller.New("ctrl", 1)
+	vdb, err := c.AddVirtualDatabase(controller.VDBConfig{
+		Name:        "papp",
+		Replication: balancer.NewPartialReplication(nil),
+		ParallelTx:  true,
+		RecoveryLog: recovery.NewMemoryLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tables := range [][]string{{"a"}, nil} {
+		name := "db" + string(rune('0'+i))
+		e := sqlengine.New(name)
+		if i == 0 {
+			es := e.NewSession()
+			if _, err := es.ExecSQL("CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := es.ExecSQL("INSERT INTO a (id, v) VALUES (1, 0)"); err != nil {
+				t.Fatal(err)
+			}
+			es.Close()
+		}
+		b := backend.New(backend.Config{Name: name, Driver: &backend.EngineDriver{Engine: e}, Tables: tables})
+		t.Cleanup(b.Close)
+		if err := vdb.AddBackend(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(c)
+
+	// One read through the vdb so the load counters are non-empty.
+	sess, err := vdb.NewSession("user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Exec("SELECT COUNT(*) FROM a", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var info VDBInfo
+	rec := get(t, s.Handler(), "/vdbs/papp")
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Placement["a"]) != 1 || info.Placement["a"][0] != "db0" {
+		t.Fatalf("placement = %v", info.Placement)
+	}
+	if len(info.TableLoads) == 0 || info.TableLoads[0].Table != "a" || info.TableLoads[0].Reads == 0 {
+		t.Fatalf("tableLoads = %+v", info.TableLoads)
+	}
+
+	if rec := get(t, s.Handler(), "/vdbs/papp/addtablehost?table=a&backend=db1"); rec.Code != 200 {
+		t.Fatalf("addtablehost = %d, body=%s", rec.Code, rec.Body.String())
+	}
+	rec = get(t, s.Handler(), "/vdbs/papp")
+	info = VDBInfo{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Placement["a"]) != 2 {
+		t.Fatalf("placement after add = %v", info.Placement)
+	}
+
+	if rec := get(t, s.Handler(), "/vdbs/papp/addtablehost?table=a&backend=db1"); rec.Code != 409 {
+		t.Fatalf("duplicate addtablehost = %d", rec.Code)
+	}
+	if rec := get(t, s.Handler(), "/vdbs/papp/removetablehost?table=a&backend=db0"); rec.Code != 200 {
+		t.Fatalf("removetablehost = %d, body=%s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, s.Handler(), "/vdbs/papp/removetablehost?table=a&backend=db1"); rec.Code != 409 {
+		t.Fatalf("last-host removetablehost = %d", rec.Code)
+	}
+	if rec := get(t, s.Handler(), "/vdbs/papp/addtablehost?table=a"); rec.Code != 400 {
+		t.Fatalf("missing backend param = %d", rec.Code)
 	}
 }
 

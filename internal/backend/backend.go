@@ -759,6 +759,26 @@ func (b *Backend) txWorker(txID uint64, tc *txConn) {
 		b.pending.Add(-1)
 		t.done <- WriteOutcome{Backend: b, Res: res, Err: err}
 		if t.class != sqlparser.ClassWrite {
+			break
+		}
+	}
+	// The end-of-transaction task is the last task its lane ever carries:
+	// every enqueue path checks tc.ending under b.mu before bumping the
+	// pending gauge and sending (the teardown's synthetic rollback sets
+	// ending under the same mutex). This sweep enforces that invariant
+	// structurally: a task stranded behind the demarcation would otherwise
+	// hold the pending gauge up forever — wedging least-pending balancing on
+	// a crashed backend — and hang its waiter; deliver a terminal outcome
+	// and rebalance the gauge instead.
+	for {
+		select {
+		case t := <-tc.queue:
+			if t.class == sqlparser.ClassWrite {
+				tc.wrote.Done()
+			}
+			b.pending.Add(-1)
+			t.done <- WriteOutcome{Backend: b, Err: ErrDisabled}
+		default:
 			return
 		}
 	}

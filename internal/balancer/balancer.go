@@ -36,6 +36,20 @@ func (e *NoHostError) Error() string {
 // Unwrap makes errors.Is(err, ErrNoBackend) hold.
 func (e *NoHostError) Unwrap() error { return ErrNoBackend }
 
+// LastHostError rejects a placement change that would leave a table with no
+// host at all. A table below one copy is unservable for both reads and
+// writes, so RemoveHost refuses the move instead of letting routing degrade
+// to NoHostError later.
+type LastHostError struct {
+	Table string
+	Host  string
+}
+
+// Error names the protected copy.
+func (e *LastHostError) Error() string {
+	return fmt.Sprintf("balancer: cannot remove %s from %s: it is the table's last host", e.Host, e.Table)
+}
+
 // Balancer picks one backend among the candidates able to serve a read.
 type Balancer interface {
 	Name() string
@@ -177,6 +191,11 @@ type Placement interface {
 	// ReattachHost records that a re-integrated backend hosts the given
 	// tables (the ones its restored state actually contains).
 	ReattachHost(host string, tables []string)
+	// RemoveHost atomically removes a backend from a table's host set. It
+	// fails with a *LastHostError if the removal would leave the table
+	// hostless, and with a plain error if the backend does not host the
+	// table (or the table is unknown, i.e. implicitly hosted everywhere).
+	RemoveHost(table, host string) error
 	// Validate checks the placement against the cluster's backend names.
 	Validate(backends []string) error
 }
@@ -389,6 +408,25 @@ func (p *PartialReplication) ReattachHost(host string, tables []string) {
 		}
 		set[host] = true
 	}
+}
+
+// RemoveHost atomically removes a backend from a table's host set. The
+// check-and-remove runs under one lock acquisition so concurrent removals
+// of the same table cannot race past the last-host guard. The table stays
+// pinned: its (shrunken) placement remains operator-declared.
+func (p *PartialReplication) RemoveHost(table, host string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := strings.ToLower(table)
+	set, known := p.hosts[t]
+	if !known || !set[host] {
+		return fmt.Errorf("balancer: backend %s does not host table %s", host, t)
+	}
+	if len(set) == 1 {
+		return &LastHostError{Table: t, Host: host}
+	}
+	delete(set, host)
+	return nil
 }
 
 // Validate checks the declared placement against the cluster's backend

@@ -1,0 +1,108 @@
+package balancer
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LoadStats aggregates per-table, per-backend read and write counts — the
+// observation input of the dynamic-placement policy. The controller bumps it
+// on every routed read (the chosen backend) and every dispatched write (each
+// target backend); the placement policy snapshots and resets it once per
+// observe window to compute per-window table heat.
+type LoadStats struct {
+	mu     sync.Mutex
+	reads  map[string]map[string]uint64 // table -> backend -> count
+	writes map[string]map[string]uint64
+}
+
+// NewLoadStats builds an empty counter set.
+func NewLoadStats() *LoadStats {
+	return &LoadStats{
+		reads:  make(map[string]map[string]uint64),
+		writes: make(map[string]map[string]uint64),
+	}
+}
+
+func bump(m map[string]map[string]uint64, table, host string, n uint64) {
+	t := strings.ToLower(table)
+	set := m[t]
+	if set == nil {
+		set = make(map[string]uint64, 4)
+		m[t] = set
+	}
+	set[host] += n
+}
+
+// NoteRead records one read of the given tables served by a backend.
+func (s *LoadStats) NoteRead(tables []string, host string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for _, t := range tables {
+		bump(s.reads, t, host, 1)
+	}
+	s.mu.Unlock()
+}
+
+// NoteWrite records one write of the given tables applied on a backend.
+func (s *LoadStats) NoteWrite(tables []string, host string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for _, t := range tables {
+		bump(s.writes, t, host, 1)
+	}
+	s.mu.Unlock()
+}
+
+// TableLoad is one table's traffic during a window.
+type TableLoad struct {
+	Table  string
+	Reads  uint64            // total reads across backends
+	Writes uint64            // total writes across backends
+	ByHost map[string]uint64 // per-backend read counts
+}
+
+// Snapshot returns the per-table loads sorted by descending read count and,
+// if reset is true, zeroes the counters for the next window.
+func (s *LoadStats) Snapshot(reset bool) []TableLoad {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tables := make(map[string]bool, len(s.reads)+len(s.writes))
+	for t := range s.reads {
+		tables[t] = true
+	}
+	for t := range s.writes {
+		tables[t] = true
+	}
+	out := make([]TableLoad, 0, len(tables))
+	for t := range tables {
+		tl := TableLoad{Table: t, ByHost: make(map[string]uint64, len(s.reads[t]))}
+		for h, n := range s.reads[t] {
+			tl.Reads += n
+			tl.ByHost[h] = n
+		}
+		for _, n := range s.writes[t] {
+			tl.Writes += n
+		}
+		out = append(out, tl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reads != out[j].Reads {
+			return out[i].Reads > out[j].Reads
+		}
+		return out[i].Table < out[j].Table
+	})
+	if reset {
+		s.reads = make(map[string]map[string]uint64)
+		s.writes = make(map[string]map[string]uint64)
+	}
+	return out
+}

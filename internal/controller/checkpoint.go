@@ -141,7 +141,30 @@ func (v *VirtualDatabase) RestoreBackend(backendName string, dump *recovery.Dump
 		b.Disable()
 		return err
 	}
+	v.dropUnhostedLeftovers(b)
 	return v.catchUpAndEnable(b, seq)
+}
+
+// dropUnhostedLeftovers removes tables the backend materializes but does not
+// host — the stale copy a crashed RemoveTableHost could not drop, or an
+// AddTableHost bootstrap aborted by the target's crash. A restored backend
+// must hold exactly its hosted subset: catchUpAndEnable reattaches every
+// table the backend contains, so a leftover copy would rejoin the placement
+// and serve stale data.
+func (v *VirtualDatabase) dropUnhostedLeftovers(b *backend.Backend) {
+	hosted := v.hostFilter(b)
+	if hosted == nil {
+		return
+	}
+	names, err := b.TableNames()
+	if err != nil {
+		return
+	}
+	for _, t := range names {
+		if !hosted(t) {
+			_, _ = b.DirectExec(nil, "DROP TABLE IF EXISTS "+t)
+		}
+	}
 }
 
 // IntegrateBackend adds a brand-new backend and brings it up to date from a
@@ -168,6 +191,7 @@ func (v *VirtualDatabase) IntegrateBackend(b *backend.Backend, dump *recovery.Du
 	if err := recovery.RestoreHosted(dump, b, hosted); err != nil {
 		return err
 	}
+	v.dropUnhostedLeftovers(b)
 	seq, ok, err := v.log.CheckpointSeq(dump.Name)
 	if err != nil {
 		return err

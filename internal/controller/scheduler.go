@@ -64,6 +64,13 @@ type Scheduler struct {
 	classes map[string]*classLock
 	txFeet  map[uint64]*txFootprint
 
+	// readers tracks in-flight reads: every read holds it shared for its
+	// duration, and WaitReaders takes it exclusively as a barrier. Placement
+	// changes use it after flipping routing away from a backend: once
+	// WaitReaders returns, no read chosen under the old placement can still
+	// be executing, so the stale copy is safe to drop.
+	readers sync.RWMutex
+
 	// serializeAll disables the parallel-transactions optimization
 	// (§2.4.4): when set, reads and writes all serialize through the gate.
 	serializeAll bool
@@ -289,18 +296,43 @@ func (s *Scheduler) ForgetTx(txID uint64) {
 	s.classMu.Unlock()
 }
 
-// BeginRead blocks reads only when parallel transactions are disabled.
-func (s *Scheduler) BeginRead() {
+// GateRead blocks reads while parallel transactions are disabled, and is
+// otherwise free. Static-placement vdbs use it instead of BeginRead: with
+// no placement moves, no copy can be dropped out from under a routed read,
+// so the readers barrier is unnecessary overhead there.
+func (s *Scheduler) GateRead() {
 	if s.serializeAll {
 		s.gate.Lock()
 	}
 }
 
-// EndRead matches BeginRead.
-func (s *Scheduler) EndRead() {
+// UngateRead matches GateRead.
+func (s *Scheduler) UngateRead() {
 	if s.serializeAll {
 		s.gate.Unlock()
 	}
+}
+
+// BeginRead marks a read in flight (see readers); it additionally blocks
+// reads when parallel transactions are disabled.
+func (s *Scheduler) BeginRead() {
+	s.readers.RLock()
+	s.GateRead()
+}
+
+// EndRead matches BeginRead.
+func (s *Scheduler) EndRead() {
+	s.UngateRead()
+	s.readers.RUnlock()
+}
+
+// WaitReaders blocks until every read that began before the call has
+// finished. New reads may start as soon as it returns: the barrier orders
+// "reads routed under the old placement" before "drop the copy", nothing
+// more.
+func (s *Scheduler) WaitReaders() {
+	s.readers.Lock()
+	s.readers.Unlock() // the empty critical section is the barrier
 }
 
 // WaitOutcomes applies the early-response policy to a cluster write's

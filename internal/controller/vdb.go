@@ -65,6 +65,10 @@ type VDBConfig struct {
 	// value keeps the classic behavior: one-strike disable, no probing, no
 	// automatic re-integration.
 	Health HealthConfig
+	// Placement configures the load-driven dynamic-placement policy. The
+	// zero value disables the policy goroutine; manual AddTableHost /
+	// RemoveTableHost moves work regardless (under partial replication).
+	Placement PlacementPolicy
 }
 
 // Stats counts virtual database activity.
@@ -100,6 +104,15 @@ type VirtualDatabase struct {
 	// state machine; always non-nil, its goroutines run only when
 	// configured (probe interval or auto-reintegration).
 	health *healthMonitor
+
+	// dynamic is set when the replication policy supports placement
+	// changes; loads is the per-table per-backend read/write counter
+	// feeding the dynamic-placement policy (nil unless dynamic); placer
+	// executes placement moves (always non-nil, its policy goroutine runs
+	// only when configured).
+	dynamic bool
+	loads   *balancer.LoadStats
+	placer  *placementManager
 
 	// lastDump caches the most recent successful backup so automatic
 	// re-integration can restore a failed backend without re-dumping a
@@ -162,15 +175,26 @@ func NewVirtualDatabase(cfg VDBConfig) *VirtualDatabase {
 		cost:            cfg.CtrlCost,
 		recoveryWorkers: cfg.RecoveryWorkers,
 	}
+	if _, ok := repl.(balancer.Placement); ok {
+		// Load accounting and the read barrier only serve dynamic
+		// placement; full-replication vdbs never consult either, so they
+		// skip the per-read costs entirely (loads stays nil: the Note
+		// methods no-op on a nil receiver).
+		v.dynamic = true
+		v.loads = balancer.NewLoadStats()
+	}
 	v.health = newHealthMonitor(v, cfg.Health)
 	v.health.start()
+	v.placer = newPlacementManager(v, cfg.Placement)
+	v.placer.start()
 	return v
 }
 
 // Close stops the virtual database's background goroutines (health prober,
-// re-integration supervisor). Backends are not closed; they belong to the
-// caller. Safe to call more than once.
+// re-integration supervisor, placement policy). Backends are not closed;
+// they belong to the caller. Safe to call more than once.
 func (v *VirtualDatabase) Close() {
+	v.placer.close()
 	v.health.close()
 }
 
@@ -194,6 +218,9 @@ func (v *VirtualDatabase) RecoveryLog() recovery.Log { return v.log }
 
 // Replication returns the replication policy.
 func (v *VirtualDatabase) Replication() balancer.Replication { return v.repl }
+
+// LoadStats returns the per-table per-backend traffic counters.
+func (v *VirtualDatabase) LoadStats() *balancer.LoadStats { return v.loads }
 
 // SetDistributor installs the horizontal-scalability write path.
 func (v *VirtualDatabase) SetDistributor(d Distributor) {
@@ -629,6 +656,7 @@ func (v *VirtualDatabase) dispatchWrite(txID uint64, st sqlparser.Statement, sql
 	outs := backend.NewOutcomes(len(targets))
 	for _, b := range targets {
 		b.EnqueueWriteClassTo(txID, sqlparser.ClassWrite, st, sql, cTables, cGlobal, outs.C)
+		v.loads.NoteWrite(tables, b.Name())
 	}
 
 	// Dynamic schema maintenance (§2.4.3: updated on each create or drop).
@@ -666,8 +694,15 @@ func (v *VirtualDatabase) execRead(txID uint64, plan *plancache.Plan, st sqlpars
 		v.cacheMisses.Add(1)
 	}
 
-	v.sched.BeginRead()
-	defer v.sched.EndRead()
+	if v.dynamic {
+		// The read barrier only matters when a placement move may drop a
+		// copy out from under a routed read; static vdbs skip it.
+		v.sched.BeginRead()
+		defer v.sched.EndRead()
+	} else {
+		v.sched.GateRead()
+		defer v.sched.UngateRead()
+	}
 
 	tables := plan.Tables
 	var lastErr error
@@ -690,6 +725,7 @@ func (v *VirtualDatabase) execRead(txID uint64, plan *plancache.Plan, st sqlpars
 		}
 		res, err := b.Read(txID, st, sql)
 		if err == nil {
+			v.loads.NoteRead(tables, b.Name())
 			if v.cache != nil && txID == 0 {
 				v.cache.PutFootprint(sql, plan.Tables, plan.ReadCols, plan.ReadColsOK, res)
 			}

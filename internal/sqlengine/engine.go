@@ -730,7 +730,13 @@ type Session struct {
 	// readers do not serialize on that mutex either.
 	lockState atomic.Bool
 
-	temp map[string]*table // session-local temporary tables
+	// temp holds the session-local temporary tables as an immutable map
+	// behind an atomic pointer. Mutations happen only on the goroutine
+	// executing the session's statements and swap in a fresh copy; the
+	// dispatcher goroutine reads it concurrently (ReserveWriteLockNotify
+	// checks the temp namespace while a prior statement may still be
+	// creating a temporary table), so a plain map would race.
+	temp atomic.Pointer[map[string]*table]
 
 	// killed/killCh implement Session.Kill: killed flips exactly once and
 	// killCh closes with it, so in-flight lock waits can select on it.
@@ -748,11 +754,54 @@ func (e *Engine) NewSession() *Session {
 		stamp:    uncommittedBit | e.writerSeq.Add(1),
 		held:     make(map[string]bool),
 		reserved: make(map[string][]*lockRequest),
-		temp:     make(map[string]*table),
 		killCh:   make(chan struct{}),
 	}
+	s.tempClear()
 	e.registerSession(s)
 	return s
+}
+
+// tempGet looks a name up in the session's temporary-table namespace. Safe
+// from any goroutine (single atomic load of the immutable map).
+func (s *Session) tempGet(name string) (*table, bool) {
+	t, ok := (*s.temp.Load())[name]
+	return t, ok
+}
+
+// tempSet publishes a temporary table. Owner goroutine only: copies the
+// current map and swaps it in.
+func (s *Session) tempSet(name string, t *table) {
+	old := *s.temp.Load()
+	m := make(map[string]*table, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[name] = t
+	s.temp.Store(&m)
+}
+
+// tempDelete removes a temporary table. Owner goroutine only.
+func (s *Session) tempDelete(name string) {
+	old := *s.temp.Load()
+	if _, ok := old[name]; !ok {
+		return
+	}
+	m := make(map[string]*table, len(old))
+	for k, v := range old {
+		if k != name {
+			m[k] = v
+		}
+	}
+	s.temp.Store(&m)
+}
+
+// tempClear drops the whole temporary namespace. Owner goroutine only.
+func (s *Session) tempClear() {
+	if p := s.temp.Load(); p != nil && len(*p) == 0 {
+		return
+	}
+	m := make(map[string]*table)
+	s.temp.Store(&m)
 }
 
 // statShard returns the session's slice of the engine counters.
@@ -777,7 +826,7 @@ func (s *Session) ReserveWriteLock(table string) {
 // instead of blocking a worker on the wait.
 func (s *Session) ReserveWriteLockNotify(table string, granted func()) {
 	table = strings.ToLower(table)
-	if _, isTemp := s.temp[table]; isTemp {
+	if _, isTemp := s.tempGet(table); isTemp {
 		if granted != nil {
 			granted()
 		}
@@ -877,8 +926,8 @@ func (s *Session) applyUndo() {
 				t.store.Unlock()
 			}
 		case 'c': // undo create table: drop it
-			if op.tbl != nil && s.temp[op.table] == op.tbl {
-				delete(s.temp, op.table)
+			if t, ok := s.tempGet(op.table); ok && op.tbl != nil && t == op.tbl {
+				s.tempDelete(op.table)
 			} else {
 				delete(e.tables, op.table)
 			}
@@ -906,7 +955,7 @@ func (s *Session) applyUndo() {
 // namespace first. Caller holds e.mu (shared suffices: catalog writers hold
 // it exclusively).
 func (s *Session) resolveLocked(name string) *table {
-	if t, ok := s.temp[name]; ok {
+	if t, ok := s.tempGet(name); ok {
 		return t
 	}
 	return s.engine.tables[name]
@@ -945,9 +994,7 @@ func (s *Session) Reset() {
 	}
 	s.unpin()
 	s.engine.locks.releaseAll(s)
-	if len(s.temp) > 0 {
-		s.temp = make(map[string]*table)
-	}
+	s.tempClear()
 	s.undo = nil
 	s.dirty = nil
 }
@@ -965,7 +1012,7 @@ func (s *Session) Close() {
 	}
 	s.unpin()
 	s.engine.locks.releaseAll(s)
-	s.temp = make(map[string]*table)
+	s.tempClear()
 	s.closed = true
 	s.engine.deregisterSession(s)
 	if s.engine.gcDebt.Load() > 0 {
@@ -987,7 +1034,7 @@ func (s *Session) lockDeadline() time.Time {
 // is not in an explicit transaction the caller releases locks at statement
 // end.
 func (s *Session) lockTable(name string, exclusive bool, deadline time.Time) error {
-	if _, isTemp := s.temp[name]; isTemp {
+	if _, isTemp := s.tempGet(name); isTemp {
 		s.engine.locks.cancelReservations(s, name)
 		return nil
 	}

@@ -175,7 +175,7 @@ func (s *Session) execCreateTable(ct *sqlparser.CreateTable) (*Result, error) {
 		return nil, errf("table %q already exists", name)
 	}
 	if ct.Temporary {
-		s.temp[name] = tbl
+		s.tempSet(name, tbl)
 	} else {
 		e.tables[name] = tbl
 	}
@@ -187,7 +187,7 @@ func (s *Session) execCreateTable(ct *sqlparser.CreateTable) (*Result, error) {
 func (s *Session) execDropTable(dt *sqlparser.DropTable) (*Result, error) {
 	name := strings.ToLower(dt.Table)
 	e := s.engine
-	if _, isTemp := s.temp[name]; isTemp {
+	if _, isTemp := s.tempGet(name); isTemp {
 		s.engine.locks.cancelReservations(s, name)
 	} else {
 		if err := s.lockTable(name, true, s.lockDeadline()); err != nil {
@@ -196,10 +196,10 @@ func (s *Session) execDropTable(dt *sqlparser.DropTable) (*Result, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := s.temp[name]; ok {
+	if _, ok := s.tempGet(name); ok {
 		// Temporary tables are session-private and non-durable; dropping
 		// one is not transactional (it cannot be observed by anyone else).
-		delete(s.temp, name)
+		s.tempDelete(name)
 		return &Result{}, nil
 	}
 	t, ok := e.tables[name]

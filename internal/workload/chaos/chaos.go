@@ -13,6 +13,10 @@
 //
 // Faults are scripted by operation count against a seeded workload, not by
 // wall clock, so a scenario replays the same fault positions run after run.
+// Under partial replication a script can also fire dynamic placement moves
+// (AddHost/RemoveHost events), including against a backend that crashes with
+// the bootstrap in flight; the quiesce check then judges hosted-subset
+// identity against the live placement the moves produced.
 package chaos
 
 import (
@@ -43,6 +47,14 @@ type Event struct {
 	// clears and every rule expires, so the backend starts answering again
 	// and the re-integration supervisor's next attempt succeeds.
 	Heal bool
+	// AddHost / RemoveHost fire a dynamic placement move of table c<Table>
+	// targeting the backend, asynchronously (a bootstrap runs under live
+	// traffic and live faults — that interleaving is the point). Move errors
+	// are tolerated: a crashed target legitimately refuses a move, and the
+	// quiesce consistency check judges the *live* placement instead.
+	AddHost    bool
+	RemoveHost bool
+	Table      int
 }
 
 // Config sizes one scenario.
@@ -78,6 +90,9 @@ type Report struct {
 	// Divergence describes the first replica mismatch found; "" when every
 	// backend is byte-identical.
 	Divergence string
+	// Moves counts the placement moves that completed (scripted moves that
+	// were refused — crashed target, last host — do not count).
+	Moves int64
 	// StrandedTickets and HeldLocks sum the engines' leftover lock state.
 	StrandedTickets int
 	HeldLocks       int
@@ -228,7 +243,7 @@ func Run(cfg Config) (*Report, error) {
 	events := append([]Event(nil), cfg.Events...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].AtOp < events[j].AtOp })
 	stopInjector := make(chan struct{})
-	var injectorWG sync.WaitGroup
+	var injectorWG, movesWG sync.WaitGroup
 	injectorWG.Add(1)
 	go func() {
 		defer injectorWG.Done()
@@ -248,6 +263,18 @@ func Run(cfg Config) (*Report, error) {
 			}
 			if ev.Plan != nil {
 				b.SetFaultPlan(ev.Plan)
+			}
+			if ev.AddHost || ev.RemoveHost {
+				tbl := fmt.Sprintf("c%d", ev.Table)
+				movesWG.Add(1)
+				go func(add bool) {
+					defer movesWG.Done()
+					if add {
+						_ = v.AddTableHost(tbl, b.Name())
+					} else {
+						_ = v.RemoveTableHost(tbl, b.Name())
+					}
+				}(ev.AddHost)
 			}
 		}
 	}()
@@ -327,7 +354,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 	close(stopInjector)
 	injectorWG.Wait()
+	// Join the in-flight placement moves before touching cluster state: every
+	// move path is internally deadline-bounded, so this terminates.
+	movesWG.Wait()
 	rep.Ops = done.Load()
+	rep.Moves = v.PlacementMoves()
 	if rep.LostAcks > 0 {
 		// Writers are still wedged; the consistency checks below would race
 		// with them, and the report already fails.
@@ -367,11 +398,33 @@ func Run(cfg Config) (*Report, error) {
 	rep.Disables = v.StatsSnapshot().BackendsDisabled
 
 	// Byte-identical replicas, re-integrated ones included. Under partial
-	// replication the invariant is hosted-subset identity: every host of a
-	// table matches the first host, and no non-host holds the table.
+	// replication the invariant is hosted-subset identity — judged against
+	// the *live* placement, which scripted moves mutate at runtime: every
+	// current host of a table matches the first host, no current non-host
+	// holds the table, and the converged placement still validates.
+	if len(cfg.Placement) > 0 {
+		if err := v.ValidatePlacement(); err != nil {
+			rep.Divergence = fmt.Sprintf("placement did not converge valid: %v", err)
+		}
+	}
 	for ti := 0; ti < cfg.Tables && rep.Divergence == ""; ti++ {
 		tbl := fmt.Sprintf("c%d", ti)
-		hosts := hostsOf(ti)
+		var hosts []int
+		if len(cfg.Placement) > 0 {
+			for _, h := range v.Replication().Hosts(tbl) {
+				var bi int
+				if _, err := fmt.Sscanf(h, "db%d", &bi); err == nil {
+					hosts = append(hosts, bi)
+				}
+			}
+			sort.Ints(hosts)
+			if len(hosts) == 0 {
+				rep.Divergence = fmt.Sprintf("table %s has no live host", tbl)
+				break
+			}
+		} else {
+			hosts = hostsOf(ti)
+		}
 		hostSet := make(map[int]bool, len(hosts))
 		for _, h := range hosts {
 			hostSet[h] = true

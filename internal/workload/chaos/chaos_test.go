@@ -133,6 +133,60 @@ func TestChaosPartialPlacementCrashHostMidTransaction(t *testing.T) {
 	settleGoroutines(t, base)
 }
 
+// TestChaosCrashBackendMidPlacementChange crashes the *target* of a dynamic
+// placement move with the bootstrap in flight: db2's fault plan crashes the
+// backend on the third direct statement — its own restore lane — so the
+// AddHost of c1 onto it deterministically dies mid-restore, before the
+// routing flip. The half-restored copy must never flip into routing; the
+// crash disables db2, and once the epilogue heals it (no scripted heal: the
+// crash must stay armed however late the bootstrap runs), auto-
+// re-integration brings it back with the leftover partial copy swept away.
+// A RemoveHost on the healthy db1 rides along and must land. At quiesce:
+// zero lost acks, a valid converged placement, and every live host of every
+// table byte-identical to its peers.
+func TestChaosCrashBackendMidPlacementChange(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rep, err := Run(Config{
+		Backends:     3,
+		Writers:      6,
+		OpsPerWriter: 100,
+		Tables:       4,
+		Seed:         42,
+		Health:       testHealth(),
+		// db0 hosts everything (the genesis-backup source and default donor),
+		// db1 and db2 hold partial subsets the moves reshuffle.
+		Placement: [][]int{
+			{0, 1}, // c0
+			{0, 1}, // c1
+			{0, 2}, // c2
+			{0, 2}, // c3
+		},
+		Events: []Event{
+			// Arm db2: the third direct statement (restore/replay lane)
+			// crashes the backend, and the preceding ones are slowed so the
+			// bootstrap window is wide. The crash rule comes first: rules
+			// are first-match, and the latency rule would otherwise swallow
+			// every operation.
+			{AtOp: 30, Backend: 2, Plan: backend.NewFaultPlan(
+				&backend.Rule{Kind: backend.OpDirect, AfterN: 3, Times: 1, Crash: true},
+				backend.Slow(backend.OpDirect, 2*time.Millisecond))},
+			{AtOp: 40, Backend: 2, AddHost: true, Table: 1},
+			{AtOp: 300, Backend: 1, RemoveHost: true, Table: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep)
+	if rep.Disables == 0 {
+		t.Fatal("scenario never disabled a backend; the mid-bootstrap crash did not fire")
+	}
+	if rep.Moves == 0 {
+		t.Fatal("no placement move completed; the scenario exercised nothing")
+	}
+	settleGoroutines(t, base)
+}
+
 // TestChaosSlowReplica injects latency, not failure: one backend runs its
 // writes slower than the others for the whole scenario. Nothing should be
 // disabled — latency is not an error — and the replicas must still end

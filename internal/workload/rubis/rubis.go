@@ -118,9 +118,11 @@ func Load(sess cjdbc.Session, sc Scale, seed int64) error {
 		return err
 	}
 	if err := batch("INSERT INTO items (it_id, it_name, it_description, it_seller, it_cat_id, it_initial_price, it_max_bid, it_nb_bids, it_end_date) VALUES ", sc.Items, func(i int) string {
-		return fmt.Sprintf("(%d, 'item%d', 'a fine item %d', %d, %d, %g, %g, %d, '2004-12-31 00:00:00')",
+		// Auction deadlines spread over the month so the closing-soon
+		// range browse (BETWEEN two dates) selects real subsets.
+		return fmt.Sprintf("(%d, 'item%d', 'a fine item %d', %d, %d, %g, %g, %d, '2004-12-%02d 00:00:00')",
 			i+1, i+1, i+1, rng.Intn(sc.Users)+1, i%sc.Categories+1,
-			float64(5+i%50), float64(5+i%50), 0)
+			float64(5+i%50), float64(5+i%50), 0, i%28+1)
 	}); err != nil {
 		return err
 	}
@@ -161,9 +163,14 @@ func (c *Client) Interaction() (int, error) {
 	switch {
 	case x < 12: // browse categories
 		return c.one("SELECT cat_id, cat_name FROM categories ORDER BY cat_name")
-	case x < 32: // search items in category
+	case x < 24: // search items in category
 		return c.one("SELECT it_id, it_name, it_max_bid, it_nb_bids FROM items WHERE it_cat_id = ? ORDER BY it_end_date LIMIT 25",
 			c.rng.Intn(c.scale.Categories)+1)
+	case x < 32: // browse auctions closing soon: a date-range window over the
+		// it_end_date ordered index, the shape RUBiS renders on its front page.
+		d := c.rng.Intn(21) + 1
+		return c.one("SELECT it_id, it_name, it_max_bid, it_end_date FROM items WHERE it_end_date BETWEEN ? AND ? ORDER BY it_end_date LIMIT 25",
+			fmt.Sprintf("2004-12-%02d 00:00:00", d), fmt.Sprintf("2004-12-%02d 23:59:59", d+7))
 	case x < 57: // view item
 		return c.one("SELECT it_name, it_description, it_initial_price, it_max_bid, it_nb_bids, u_nickname FROM items JOIN users ON it_seller = u_id WHERE it_id = ?",
 			c.randItem())

@@ -1,0 +1,68 @@
+package striping
+
+import "testing"
+
+// TestStripedWorkloadSingleHostTables runs the RAIDb-0 scenario without any
+// placement change: six tables striped over three backends, every table on
+// exactly one host, mixed traffic, and the single-copy invariants at quiesce.
+func TestStripedWorkloadSingleHostTables(t *testing.T) {
+	rep, err := Run(Config{
+		Backends:     3,
+		Tables:       6,
+		Writers:      4,
+		OpsPerWriter: 50,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("striping: ops=%d errors=%d writes=%d backendOps=%v amp=%.2f",
+		rep.Ops, rep.Errors, rep.Writes, rep.BackendOps, rep.WriteAmplification)
+	if rep.Violation != "" {
+		t.Fatal(rep.Violation)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d operations failed", rep.Errors)
+	}
+	// Zero redundancy: cluster-wide backend executions stay ~1 per client
+	// operation instead of multiplying by the replica count.
+	if rep.WriteAmplification > 1.3 {
+		t.Fatalf("write amplification %.2f; RAIDb-0 must not replicate writes", rep.WriteAmplification)
+	}
+	for bi, n := range rep.BackendOps {
+		if n == 0 {
+			t.Fatalf("backend db%d served no operations; striping did not spread load", bi)
+		}
+	}
+}
+
+// TestStripedWorkloadLiveMigration repeats the scenario with a live stripe
+// migration riding on the traffic: s0 moves from db0 to db1 via AddTableHost
+// then RemoveTableHost, the copy count passing through 2 but starting and
+// ending at 1, while writers keep hitting it.
+func TestStripedWorkloadLiveMigration(t *testing.T) {
+	for _, seed := range []int64{11, 29} {
+		rep, err := Run(Config{
+			Backends:     3,
+			Tables:       6,
+			Writers:      4,
+			OpsPerWriter: 60,
+			Seed:         seed,
+			Migrate:      true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("striping seed=%d: ops=%d errors=%d migrated=%v backendOps=%v",
+			seed, rep.Ops, rep.Errors, rep.Migrated, rep.BackendOps)
+		if rep.Violation != "" {
+			t.Fatal(rep.Violation)
+		}
+		if !rep.Migrated {
+			t.Fatal("migration did not complete")
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("%d operations failed during the migration", rep.Errors)
+		}
+	}
+}

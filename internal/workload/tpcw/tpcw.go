@@ -351,11 +351,23 @@ func (c *Client) home() (int, error) {
 	return n, nil
 }
 
+// newProducts is TPC-W's recency browse: newest items in a subject. It
+// alternates the plain subject scan with the full spec shape — a
+// publication-date *range* (only items newer than a cutoff) ordered
+// newest-first and truncated, which plans as a bounded reverse scan of the
+// i_pub_date ordered index.
 func (c *Client) newProducts() (int, error) {
 	subject := subjects[c.rng.Intn(len(subjects))]
-	_, err := c.sess.Query(
-		"SELECT i_id, i_title, a_fname, a_lname FROM item JOIN author ON i_a_id = a_id WHERE i_subject = ? ORDER BY i_pub_date DESC, i_title LIMIT 50",
-		subject)
+	var err error
+	if c.rng.Intn(2) == 0 {
+		_, err = c.sess.Query(
+			"SELECT i_id, i_title, i_pub_date, a_fname, a_lname FROM item JOIN author ON i_a_id = a_id WHERE i_subject = ? AND i_pub_date >= ? ORDER BY i_pub_date DESC, i_title LIMIT 50",
+			subject, fmt.Sprintf("200%d-01-01 00:00:00", c.rng.Intn(4)))
+	} else {
+		_, err = c.sess.Query(
+			"SELECT i_id, i_title, a_fname, a_lname FROM item JOIN author ON i_a_id = a_id WHERE i_subject = ? ORDER BY i_pub_date DESC, i_title LIMIT 50",
+			subject)
+	}
 	if err != nil {
 		return 0, err
 	}
